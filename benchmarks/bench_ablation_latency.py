@@ -1,0 +1,82 @@
+"""E19 (ablation) — latency sensitivity across every algorithm family.
+
+Each theorem carries its own l-coefficient: the number of tensor calls.
+This ablation sweeps l over six orders of magnitude on one fixed
+instance per family and reports where each algorithm's latency share
+crosses 50% — a single table that says which of the paper's algorithms
+are latency-robust (few tall calls: DFT, polynomial evaluation, scan)
+and which are latency-exposed (many block calls: closure, GE).
+
+The per-family call counts are also asserted against the theorems'
+call-structure (n/m for dense MM, ~2(n/sqrt(m))^2 for closure, etc.),
+so the table is a cross-check of every l term at once.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine, matmul
+from repro.analysis.tables import render_table
+from repro.arith.polyeval import batch_polyeval
+from repro.graph.closure import transitive_closure
+from repro.linalg.gaussian import ge_forward
+from repro.primitives import tcu_prefix_sum
+from repro.transform.dft import dft
+
+
+def _families(rng):
+    side = 64
+    A = rng.random((side, side))
+    B = rng.random((side, side))
+    system = rng.random((side, side)) + side * np.eye(side)
+    adj = (rng.random((side, side)) < 0.15).astype(np.int64)
+    np.fill_diagonal(adj, 0)
+    signal = rng.standard_normal(4096)
+    coeffs = rng.standard_normal(1024)
+    points = rng.uniform(-1, 1, 64)
+    vector = rng.standard_normal(4096)
+    return {
+        "dense MM (Thm 2)": lambda tcu: matmul(tcu, A, B),
+        "Gaussian elim (Thm 4)": lambda tcu: ge_forward(tcu, system),
+        "closure (Thm 5)": lambda tcu: transitive_closure(tcu, adj),
+        "DFT (Thm 7)": lambda tcu: dft(tcu, signal),
+        "poly eval (Thm 11)": lambda tcu: batch_polyeval(tcu, coeffs, points),
+        "prefix sum (ext)": lambda tcu: tcu_prefix_sum(tcu, vector),
+    }
+
+
+def test_ablation_latency_sensitivity(benchmark, rng, record):
+    m = 16
+    families = _families(rng)
+    benchmark(lambda: families["dense MM (Thm 2)"](TCUMachine(m=m, ell=100.0)))
+
+    ells = [0.0, 1e2, 1e4, 1e6]
+    rows = []
+    shares_at_max = {}
+    for name, run in families.items():
+        calls = None
+        shares = []
+        for ell in ells:
+            tcu = TCUMachine(m=m, ell=ell)
+            run(tcu)
+            calls = tcu.ledger.tensor_calls
+            shares.append(tcu.ledger.latency_time / tcu.time)
+        shares_at_max[name] = shares[-1]
+        rows.append([name, calls] + [f"{100 * s:.1f}%" for s in shares])
+    # call-structure cross-checks (the theorems' l coefficients)
+    by_name = {row[0]: row[1] for row in rows}
+    assert by_name["dense MM (Thm 2)"] == 64 * 64 // m          # n/m
+    assert by_name["DFT (Thm 7)"] <= 12                          # ~per level
+    assert by_name["prefix sum (ext)"] <= 8                      # ~log_m n
+    assert by_name["closure (Thm 5)"] <= 2 * (64 // 4) ** 2      # Fig 7 grid
+    # the batched/streaming algorithms are the latency-robust ones
+    assert shares_at_max["DFT (Thm 7)"] < shares_at_max["closure (Thm 5)"]
+    assert shares_at_max["prefix sum (ext)"] < shares_at_max["dense MM (Thm 2)"]
+    record(
+        "e19_latency_ablation",
+        render_table(
+            ["algorithm", "tensor calls"] + [f"latency share @ l={ell:g}" for ell in ells],
+            rows,
+            title=f"E19 (ablation): latency share by algorithm family, m={m}, fixed instances",
+        ),
+    )

@@ -1,0 +1,53 @@
+"""E4 — Corollary 1: rectangular products sqrt(n) x r by r x sqrt(n).
+
+Sweeps the inner dimension r on both sides of sqrt(n) and fits
+``rn/sqrt(m) + (r sqrt(n)/m) l``: model time is linear in r, and the
+bound degenerates to Theorem 2's at r = sqrt(n).
+"""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import fit_constant, loglog_slope
+from repro.analysis.formulas import cor1_rectangular_mm, thm2_dense_mm
+from repro.analysis.tables import render_table
+from repro.matmul.dense import rectangular_mm
+
+
+def test_cor1_inner_dimension_sweep(benchmark, rng, record):
+    m, ell = 16, 32.0
+    sqrt_n = 64
+    n = sqrt_n * sqrt_n
+    A = rng.random((sqrt_n, 32))
+    B = rng.random((32, sqrt_n))
+    benchmark(lambda: rectangular_mm(TCUMachine(m=m, ell=ell), A, B))
+
+    rows, preds, times = [], [], []
+    r_values = [8, 16, 32, 64, 128, 256]
+    for r in r_values:
+        tcu = TCUMachine(m=m, ell=ell)
+        X = rng.random((sqrt_n, r))
+        Y = rng.random((r, sqrt_n))
+        C = rectangular_mm(tcu, X, Y)
+        assert np.allclose(C, X @ Y, atol=1e-8)
+        pred = cor1_rectangular_mm(n, r, m, ell)
+        rows.append([r, tcu.time, pred, tcu.time / pred])
+        preds.append(pred)
+        times.append(tcu.time)
+    slope = loglog_slope(r_values, times)
+    fit = fit_constant(preds, times)
+    assert 0.9 < slope < 1.15  # linear in r
+    assert fit.within(0.6)
+    # consistency with Theorem 2 at r = sqrt(n)
+    square_pred = thm2_dense_mm(n, m, ell)
+    assert abs(cor1_rectangular_mm(n, sqrt_n, m, ell) - square_pred) < 1e-9
+    rows.append(["slope(r)", slope, 1.0, fit.constant])
+    record(
+        "e4_cor1_rectangular",
+        render_table(
+            ["r", "measured T", "predicted shape", "ratio"],
+            rows,
+            title=f"E4 (Corollary 1): rectangular MM, sqrt(n)={sqrt_n}, m={m}, l={ell}",
+        ),
+    )

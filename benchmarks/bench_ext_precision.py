@@ -1,0 +1,75 @@
+"""E17 (extension) — limited numerical precision, the paper's §6 question.
+
+Runs the paper's algorithms on fp16/bf16/int8 tensor units (cost is
+unchanged — precision changes answers, not model time) and measures the
+error: the mixed-precision-DFT experiment of the cited [28] line, and
+dense-MM error growth with inner-dimension length.
+"""
+
+import numpy as np
+import pytest
+
+from repro import matmul
+from repro.analysis.tables import render_table
+from repro.core.quantize import QuantizedTCUMachine
+from repro.transform.dft import dft
+
+
+def test_ext_precision_mm_error(benchmark, rng, record):
+    m = 16
+    A = rng.random((64, 64))
+    B = rng.random((64, 64))
+    benchmark(lambda: matmul(QuantizedTCUMachine(m=m, precision="fp16"), A, B))
+
+    rows = []
+    for fmt in ("fp16", "bf16", "int8"):
+        errs = []
+        for side in (16, 64, 256):
+            X = rng.random((side, side))
+            Y = rng.random((side, side))
+            machine = QuantizedTCUMachine(m=m, precision=fmt)
+            C = matmul(machine, X, Y)
+            errs.append(float(np.linalg.norm(C - X @ Y) / np.linalg.norm(X @ Y)))
+        rows.append([fmt, *errs])
+        assert errs[-1] < 0.05  # all formats stay usable on [0,1) data
+    # fp16 has more mantissa than bf16 at every size
+    fp16_row = rows[0][1:]
+    bf16_row = rows[1][1:]
+    assert all(a < b for a, b in zip(fp16_row, bf16_row))
+    record(
+        "e17_precision_mm",
+        render_table(
+            ["format", "rel err side=16", "side=64", "side=256"],
+            rows,
+            title=f"E17 (extension): dense MM relative error by tensor-unit precision, m={m}",
+        ),
+    )
+
+
+def test_ext_precision_dft_error(benchmark, rng, record):
+    """[28]'s observation reproduced on the model: half-precision DFT
+    error grows slowly with n and stays in the usable range."""
+    m = 16
+    x = rng.standard_normal(1024)
+    benchmark(lambda: dft(QuantizedTCUMachine(m=m, precision="fp16"), x))
+
+    rows = []
+    for n in (64, 512, 4096):
+        sig = rng.standard_normal(n)
+        ref = np.fft.fft(sig)
+        row = [n]
+        for fmt in ("fp16", "bf16"):
+            machine = QuantizedTCUMachine(m=m, precision=fmt)
+            y = dft(machine, sig)
+            row.append(float(np.linalg.norm(y - ref) / np.linalg.norm(ref)))
+        rows.append(row)
+    fp16_errs = [r[1] for r in rows]
+    assert fp16_errs[0] < fp16_errs[-1] < 0.05  # grows, stays usable
+    record(
+        "e17_precision_dft",
+        render_table(
+            ["n", "fp16 rel err", "bf16 rel err"],
+            rows,
+            title=f"E17 (extension): DFT error growth at low precision, m={m}",
+        ),
+    )

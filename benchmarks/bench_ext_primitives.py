@@ -1,0 +1,82 @@
+"""E18 (extension) — scan/reduction and triangle counting.
+
+The related-work TCU algorithms ([9]/[7] scan and reduction, [5]-style
+triangle counting) measured on the model: both scans are Theta(n) with
+O(log_m n) latency exposure, and triangle counting is one Strassen-like
+product plus a linear pass.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import loglog_slope
+from repro.analysis.formulas import thm1_strassen_like_mm
+from repro.analysis.tables import render_table
+from repro.graph.triangles import count_triangles
+from repro.matmul.strassen import STRASSEN_2X2
+from repro.primitives import tcu_prefix_sum, tcu_reduce
+
+
+def test_ext_scan_shapes(benchmark, rng, record):
+    m, ell = 16, 16.0
+    x = rng.standard_normal(4096)
+    benchmark(lambda: tcu_prefix_sum(TCUMachine(m=m, ell=ell), x))
+
+    rows, scan_times = [], []
+    ns = [1024, 4096, 16384, 65536]
+    for n in ns:
+        sig = rng.standard_normal(n)
+        t_scan = TCUMachine(m=m, ell=ell)
+        got = tcu_prefix_sum(t_scan, sig)
+        assert np.allclose(got, np.cumsum(sig), atol=1e-7)
+        t_red = TCUMachine(m=m, ell=ell)
+        total = tcu_reduce(t_red, sig)
+        assert np.isclose(total, sig.sum(), atol=1e-7)
+        rows.append([n, t_scan.time, t_scan.ledger.tensor_calls, t_red.time, t_red.ledger.tensor_calls])
+        scan_times.append(t_scan.time)
+    slope = loglog_slope(ns, scan_times)
+    assert 0.9 < slope < 1.1  # Theta(n)
+    # latency exposure is logarithmic: call counts grow ~log, not ~n
+    assert rows[-1][2] < 16
+    rows.append(["slope(n)", slope, "-", "-", "-"])
+    record(
+        "e18_scan_reduce",
+        render_table(
+            ["n", "scan T", "scan calls", "reduce T", "reduce calls"],
+            rows,
+            title=f"E18 (extension): prefix sum and reduction, m={m}, l={ell}",
+        ),
+    )
+
+
+def test_ext_triangle_counting(benchmark, rng, record):
+    m, ell = 16, 16.0
+    G = nx.gnp_random_graph(48, 0.2, seed=2)
+    A = nx.to_numpy_array(G, dtype=np.int64)
+    benchmark(lambda: count_triangles(TCUMachine(m=m, ell=ell), A))
+
+    rows, times, preds = [], [], []
+    for n in (16, 32, 64, 128):
+        G = nx.gnp_random_graph(n, 0.2, seed=n)
+        adj = nx.to_numpy_array(G, dtype=np.int64)
+        tcu = TCUMachine(m=m, ell=ell)
+        got = count_triangles(tcu, adj)
+        want = sum(nx.triangles(G).values()) // 3
+        assert got == want
+        pred = thm1_strassen_like_mm(n * n, m, ell, STRASSEN_2X2.omega0) + n * n
+        rows.append([n, got, tcu.time, pred, tcu.time / pred])
+        times.append(tcu.time)
+        preds.append(pred)
+    slope = loglog_slope([16, 32, 64, 128], times)
+    assert 2.5 < slope < 3.2  # ~2*omega0 in vertices
+    rows.append(["slope(n)", "-", slope, 2 * STRASSEN_2X2.omega0, "-"])
+    record(
+        "e18_triangles",
+        render_table(
+            ["n vertices", "triangles", "measured T", "Thm1-based shape", "ratio"],
+            rows,
+            title=f"E18 (extension): triangle counting via one Strassen product, m={m}, l={ell}",
+        ),
+    )

@@ -1,0 +1,89 @@
+"""E1 — Figure 1 / Section 2.2: the systolic array's timing behaviour.
+
+Regenerates the quantities the paper's systolic description promises:
+load phase of sqrt(m) steps, output ``c[i,j]`` emitted at step
+``sqrt(m) + i + j``, and the one-extra-step marginal cost of streaming
+additional left-operand rows (the basis of the asymmetric tall-call
+cost ``O(n sqrt(m) + l)`` in the machine model).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.core.systolic import SystolicArray
+
+
+def _timing_table(rng):
+    rows = []
+    for s in (2, 4, 8):
+        arr = SystolicArray(s)
+        for n_mult in (1, 2, 4, 8):
+            n = s * n_mult
+            A = rng.integers(-5, 5, (n, s))
+            B = rng.integers(-5, 5, (s, s))
+            C, stats = arr.matmul(A, B)
+            assert np.array_equal(C, A @ B)
+            rows.append(
+                [
+                    s,
+                    n,
+                    stats.load_steps,
+                    stats.compute_steps,
+                    n + 2 * (s - 1),  # predicted
+                    round(stats.utilization, 3),
+                ]
+            )
+    return rows
+
+
+def test_fig1_systolic_timing(benchmark, rng, record):
+    s = 8
+    arr = SystolicArray(s)
+    A = rng.integers(-5, 5, (4 * s, s))
+    B = rng.integers(-5, 5, (s, s))
+
+    benchmark(lambda: arr.matmul(A, B))
+
+    rows = _timing_table(rng)
+    for row in rows:
+        assert row[3] == row[4], "compute steps deviate from n + 2(sqrt(m)-1)"
+        assert row[2] == row[0], "load phase must take sqrt(m) steps"
+    # streaming amortisation: utilisation rises monotonically with n at fixed s
+    for s in (2, 4, 8):
+        utils = [r[5] for r in rows if r[0] == s]
+        assert utils == sorted(utils)
+    record(
+        "e1_fig1_systolic",
+        render_table(
+            ["sqrt(m)", "n rows", "load steps", "compute steps", "predicted", "PE utilisation"],
+            rows,
+            title="E1 (Figure 1): weight-stationary systolic array timing",
+        ),
+    )
+
+
+def test_fig1_emit_schedule(benchmark, rng, record):
+    s = 4
+    arr = SystolicArray(s)
+    A = rng.integers(-5, 5, (s, s))
+    B = rng.integers(-5, 5, (s, s))
+
+    def run():
+        return arr.matmul(A, B)
+
+    _, stats = benchmark(run)
+    expect = np.add.outer(np.arange(s), np.arange(s)) + s - 1
+    assert np.array_equal(stats.emit_step, expect)
+    record(
+        "e1_fig1_emit_schedule",
+        render_table(
+            ["output entry", "emit step (measured)", "sqrt(m)+i+j-1 (paper, 0-based)"],
+            [
+                [f"c[{i},{j}]", int(stats.emit_step[i, j]), i + j + s - 1]
+                for i in range(s)
+                for j in range(s)
+            ],
+            title="E1 (Figure 1): per-entry output schedule, sqrt(m)=4",
+        ),
+    )

@@ -1,0 +1,100 @@
+"""E15 — Section 3.1: the TPUv1-like vs Volta-TC-like regimes.
+
+The same workloads run on both hardware presets.  The paper's
+qualitative story: the TPU point (huge m, huge latency, bounded row
+streams) wins on large throughput-bound products, while the tensor-core
+point (small m, small l) wins whenever the computation is made of many
+small or latency-sensitive calls.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TPU_V1, VOLTA_TC, matmul
+from repro.analysis.tables import render_table
+from repro.transform.dft import dft
+
+
+def test_presets_mm_regimes(benchmark, rng, record):
+    A = rng.random((512, 512)).astype(np.float64)
+    B = rng.random((512, 512)).astype(np.float64)
+    benchmark(lambda: matmul(VOLTA_TC.create(), A, B))
+
+    rows = []
+    winners = {}
+    for side in (64, 256, 1024):
+        X = rng.random((side, side))
+        Y = rng.random((side, side))
+        tpu = TPU_V1.create()
+        tc = VOLTA_TC.create()
+        matmul(tpu, X, Y)
+        matmul(tc, X, Y)
+        winner = "tpu-v1" if tpu.time < tc.time else "volta-tc"
+        winners[side] = winner
+        rows.append([side, tpu.time, tpu.ledger.tensor_calls, tc.time, tc.ledger.tensor_calls, winner])
+    # small problems: latency kills the TPU point; large: capacity wins
+    assert winners[64] == "volta-tc"
+    assert winners[1024] == "tpu-v1"
+    record(
+        "e15_presets_mm",
+        render_table(
+            ["sqrt(n)", "TPUv1 T", "TPUv1 calls", "VoltaTC T", "VoltaTC calls", "winner"],
+            rows,
+            title="E15 (Section 3.1): dense MM on the two hardware presets",
+        ),
+    )
+
+
+def test_presets_dft_latency_sensitivity(benchmark, rng, record):
+    """The DFT issues a call per recursion level: the latency-heavy
+    preset needs far larger transforms before its capacity pays off."""
+    x = rng.standard_normal(4096)
+    benchmark(lambda: dft(VOLTA_TC.create(), x))
+
+    rows = []
+    for n in (1024, 16384, 262144):
+        sig = rng.standard_normal(n)
+        tpu = TPU_V1.create()
+        tc = VOLTA_TC.create()
+        dft(tpu, sig)
+        dft(tc, sig)
+        rows.append([n, tpu.time, tc.time, "tpu-v1" if tpu.time < tc.time else "volta-tc"])
+    assert rows[0][3] == "volta-tc"  # latency dominates small transforms
+    record(
+        "e15_presets_dft",
+        render_table(
+            ["n", "TPUv1 T", "VoltaTC T", "winner"],
+            rows,
+            title="E15 (Section 3.1): DFT on the two hardware presets",
+        ),
+    )
+
+
+def test_presets_asymmetry_ablation(benchmark, rng, record):
+    """Quantifies Section 3's asymmetric streaming feature: one tall
+    call vs a weak-model square-call split, on both presets."""
+    from repro import WeakTCUMachine
+
+    benchmark(lambda: matmul(VOLTA_TC.create(), rng.random((256, 16)), rng.random((16, 16))))
+
+    rows = []
+    for spec in (VOLTA_TC, TPU_V1):
+        s = spec.sqrt_m
+        n_rows = 64 * s
+        A = rng.random((n_rows, s))
+        B = rng.random((s, s))
+        tall = spec.create()
+        tall.mm(A, B)
+        weak = WeakTCUMachine(spec.m, spec.ell, kappa=spec.kappa)
+        weak.mm_tall(A, B)
+        rows.append([spec.name, n_rows, tall.time, weak.time, weak.time / tall.time])
+    # splitting hurts exactly in proportion to latency
+    assert rows[1][4] > rows[0][4]  # TPU (high l) suffers more
+    record(
+        "e15_presets_asymmetry",
+        render_table(
+            ["preset", "rows streamed", "tall-call T", "square-split T", "split/tall"],
+            rows,
+            title="E15 ablation: asymmetric streaming vs weak-model splitting",
+        ),
+    )

@@ -1,0 +1,87 @@
+"""E12 — Theorem 10: Karatsuba with the Theorem 9 base case.
+
+Fits the ``(n/(kappa sqrt(m)))^{log2 3}`` growth, locates the crossover
+against plain Theorem 9, and runs the base-case threshold ablation
+around the paper's ``kappa sqrt(m)`` boundary.
+"""
+
+import random
+
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import find_crossover, fit_constant, loglog_slope
+from repro.analysis.formulas import thm10_karatsuba
+from repro.analysis.tables import render_table
+from repro.arith.intmul import int_multiply
+from repro.arith.karatsuba import karatsuba_multiply, karatsuba_threshold
+
+
+def _operand(bits, seed):
+    random.seed(seed)
+    return random.getrandbits(bits) | (1 << (bits - 1))
+
+
+def test_thm10_bits_sweep_and_crossover(benchmark, rng, record):
+    m, ell, kappa = 16, 16.0, 32
+    a = _operand(4096, 1)
+    b = _operand(4096, 2)
+    benchmark(lambda: karatsuba_multiply(TCUMachine(m=m, kappa=kappa), a, b))
+
+    bits_list = [1024, 2048, 4096, 8192, 16384, 32768]
+    rows, k_times, s_times, preds = [], [], [], []
+    for bits in bits_list:
+        x = _operand(bits, bits)
+        y = _operand(bits, bits + 5)
+        t_kara = TCUMachine(m=m, ell=ell, kappa=kappa)
+        assert karatsuba_multiply(t_kara, x, y) == x * y
+        t_school = TCUMachine(m=m, ell=ell, kappa=kappa)
+        int_multiply(t_school, x, y)
+        pred = thm10_karatsuba(bits, m, ell, kappa)
+        rows.append([bits, t_kara.time, t_school.time, pred, t_kara.time / pred])
+        k_times.append(t_kara.time)
+        s_times.append(t_school.time)
+        preds.append(pred)
+    k_slope = loglog_slope(bits_list, k_times)
+    s_slope = loglog_slope(bits_list, s_times)
+    assert 1.4 < k_slope < 1.75  # ~log2(3) = 1.585
+    assert 1.85 < s_slope < 2.1
+    assert k_times[-1] < s_times[-1]  # Karatsuba wins eventually
+    crossover = find_crossover(bits_list, s_times, k_times)
+    fit = fit_constant(preds, k_times)
+    rows.append(["slopes", k_slope, s_slope, "crossover bits:", crossover])
+    record(
+        "e12_thm10_karatsuba",
+        render_table(
+            ["bits", "Karatsuba T", "Theorem 9 T", "Thm 10 shape", "ratio"],
+            rows,
+            title=f"E12 (Theorem 10): Karatsuba vs schoolbook, m={m}, kappa={kappa}, l={ell}",
+        ),
+    )
+
+
+def test_thm10_threshold_ablation(benchmark, rng, record):
+    m, kappa, bits = 16, 32, 16384
+    a = _operand(bits, 7)
+    b = _operand(bits, 8)
+    benchmark(lambda: karatsuba_multiply(TCUMachine(m=m, kappa=kappa), a, b))
+
+    rows = []
+    times = {}
+    base = karatsuba_threshold(TCUMachine(m=m, kappa=kappa))
+    for factor in (0.25, 0.5, 1.0, 2.0, 4.0):
+        thr = max(8, int(base * factor))
+        tcu = TCUMachine(m=m, kappa=kappa, ell=16.0)
+        assert karatsuba_multiply(tcu, a, b, threshold=thr) == a * b
+        times[factor] = tcu.time
+        rows.append([factor, thr, tcu.time])
+    # the paper's threshold should be within 2x of the sampled best
+    assert times[1.0] <= 2.0 * min(times.values())
+    record(
+        "e12_thm10_threshold",
+        render_table(
+            ["factor", "threshold bits", "model time"],
+            rows,
+            title=f"E12 ablation: Karatsuba base-case threshold (paper = kappa*sqrt(m) = {base} bits)",
+        ),
+    )

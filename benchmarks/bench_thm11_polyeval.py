@@ -1,0 +1,72 @@
+"""E13 — Theorem 11: batch polynomial evaluation.
+
+Grid sweep over (n, p) fitted against ``pn/sqrt(m) + p sqrt(m) + (n/m) l``
+plus the comparison against pointwise Horner (Theta(pn) RAM time).
+"""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import fit_constant
+from repro.analysis.formulas import thm11_polyeval
+from repro.analysis.tables import render_table
+from repro.arith.polyeval import batch_polyeval
+from repro.baselines.ram import RAMMachine, ram_horner
+
+
+def test_thm11_grid_sweep(benchmark, rng, record):
+    m, ell = 16, 16.0
+    coeffs = rng.standard_normal(256)
+    pts = rng.uniform(-1, 1, 64)
+    benchmark(lambda: batch_polyeval(TCUMachine(m=m, ell=ell), coeffs, pts))
+
+    rows, preds, times = [], [], []
+    for n in (64, 256, 1024):
+        for p in (8, 32, 128):
+            c = rng.standard_normal(n)
+            x = rng.uniform(-1, 1, p)
+            tcu = TCUMachine(m=m, ell=ell)
+            got = batch_polyeval(tcu, c, x)
+            assert np.allclose(got, np.polyval(c[::-1], x), atol=1e-7)
+            pred = thm11_polyeval(n, p, m, ell)
+            rows.append([n, p, tcu.time, pred, tcu.time / pred])
+            preds.append(pred)
+            times.append(tcu.time)
+    fit = fit_constant(preds, times)
+    assert fit.within(0.6)
+    rows.append(["fit", "-", fit.constant, "-", fit.max_rel_error])
+    record(
+        "e13_thm11_grid",
+        render_table(
+            ["n (degree+1)", "p points", "measured T", "predicted shape", "ratio"],
+            rows,
+            title=f"E13 (Theorem 11): polynomial evaluation (n, p) grid, m={m}, l={ell}",
+        ),
+    )
+
+
+def test_thm11_vs_horner(benchmark, rng, record):
+    n, p = 1024, 128
+    coeffs = rng.standard_normal(n)
+    pts = rng.uniform(-1, 1, p)
+    benchmark(lambda: batch_polyeval(TCUMachine(m=256), coeffs, pts))
+
+    rows = []
+    ram = RAMMachine()
+    ram_horner(ram, coeffs, pts)
+    for m in (16, 64, 256, 1024):
+        tcu = TCUMachine(m=m, ell=16.0)
+        batch_polyeval(tcu, coeffs, pts)
+        rows.append([m, tcu.time, ram.time, ram.time / tcu.time])
+    speedups = [r[3] for r in rows]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0  # the sqrt(m) advantage is visible
+    record(
+        "e13_thm11_vs_horner",
+        render_table(
+            ["m", "TCU T", "Horner RAM T", "RAM/TCU"],
+            rows,
+            title=f"E13 (Theorem 11): vs Horner at n={n}, p={p}",
+        ),
+    )

@@ -1,0 +1,116 @@
+"""E2 — Theorem 2: blocked dense MM is semiring-optimal on the TCU.
+
+Three sweeps: problem size n (slope 1.5 in matrix area), unit size m
+(inverse-sqrt(m) throughput), and latency l (the (n/m) l additive
+term), each fitted against ``n^{3/2}/sqrt(m) + (n/m) l`` with one
+constant.  Also checks the measured time against the Theorem 2 lower
+bound and the Theorem 12 (external-memory) bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine, matmul
+from repro.analysis.fitting import fit_constant, loglog_slope
+from repro.analysis.formulas import thm2_dense_mm
+from repro.analysis.tables import render_table
+from repro.extmem.bounds import (
+    dense_mm_semiring_lower_bound,
+    tcu_matmul_time_lower_bound,
+)
+
+
+def test_thm2_size_sweep(benchmark, rng, record):
+    m, ell = 16, 32.0
+    A = rng.random((64, 64))
+    B = rng.random((64, 64))
+    benchmark(lambda: matmul(TCUMachine(m=m, ell=ell), A, B))
+
+    sides = [16, 32, 64, 128, 256]
+    rows, preds, times = [], [], []
+    for side in sides:
+        tcu = TCUMachine(m=m, ell=ell)
+        X = rng.random((side, side))
+        Y = rng.random((side, side))
+        matmul(tcu, X, Y)
+        n = side * side
+        pred = thm2_dense_mm(n, m, ell)
+        lower = dense_mm_semiring_lower_bound(n, m, ell)
+        em_bound = tcu_matmul_time_lower_bound(n, m)
+        assert tcu.time >= 0.999 * lower
+        assert tcu.time >= em_bound
+        rows.append([side, tcu.time, pred, tcu.time / pred, lower])
+        preds.append(pred)
+        times.append(tcu.time)
+    slope = loglog_slope([s * s for s in sides], times)
+    fit = fit_constant(preds, times)
+    assert 1.45 < slope < 1.6
+    assert fit.within(0.5)
+    rows.append(["slope(n)", slope, 1.5, fit.constant, fit.max_rel_error])
+    record(
+        "e2_thm2_size_sweep",
+        render_table(
+            ["sqrt(n)", "measured T", "predicted shape", "ratio", "semiring LB"],
+            rows,
+            title=f"E2 (Theorem 2): dense MM size sweep, m={m}, l={ell}",
+        ),
+    )
+
+
+def test_thm2_unit_sweep(benchmark, rng, record):
+    side = 128
+    A = rng.random((side, side))
+    B = rng.random((side, side))
+    benchmark(lambda: matmul(TCUMachine(m=64), A, B))
+
+    rows, preds, times = [], [], []
+    for m in (16, 64, 256, 1024):
+        tcu = TCUMachine(m=m, ell=0.0)
+        matmul(tcu, A, B)
+        pred = thm2_dense_mm(side * side, m, 0.0)
+        rows.append([m, tcu.time, pred, tcu.time / pred])
+        preds.append(pred)
+        times.append(tcu.time)
+    # throughput term scales as 1/sqrt(m)
+    slope = loglog_slope([16, 64, 256, 1024], times)
+    assert -0.65 < slope < -0.35
+    fit = fit_constant(preds, times)
+    assert fit.within(0.6)
+    rows.append(["slope(m)", slope, -0.5, fit.constant])
+    record(
+        "e2_thm2_unit_sweep",
+        render_table(
+            ["m", "measured T", "predicted shape", "ratio"],
+            rows,
+            title=f"E2 (Theorem 2): unit-size sweep, sqrt(n)={side}, l=0",
+        ),
+    )
+
+
+def test_thm2_latency_sweep(benchmark, rng, record):
+    side, m = 64, 16
+    A = rng.random((side, side))
+    B = rng.random((side, side))
+    benchmark(lambda: matmul(TCUMachine(m=m, ell=1000.0), A, B))
+
+    rows = []
+    times = []
+    ells = [0.0, 1e2, 1e4, 1e6]
+    for ell in ells:
+        tcu = TCUMachine(m=m, ell=ell)
+        matmul(tcu, A, B)
+        n = side * side
+        rows.append([ell, tcu.time, tcu.ledger.latency_time, (n / m) * ell])
+        times.append(tcu.time)
+        # latency accumulates as exactly (#calls) * l with n/m calls
+        assert tcu.ledger.latency_time == tcu.ledger.tensor_calls * ell
+        assert tcu.ledger.tensor_calls == n // m
+    assert times == sorted(times)
+    record(
+        "e2_thm2_latency_sweep",
+        render_table(
+            ["l", "measured T", "latency part", "(n/m) l predicted"],
+            rows,
+            title=f"E2 (Theorem 2): latency sweep, sqrt(n)={side}, m={m}",
+        ),
+    )

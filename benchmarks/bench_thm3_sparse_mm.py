@@ -1,0 +1,89 @@
+"""E5 — Theorem 3: output-sensitive sparse multiplication.
+
+The cost should track ``sqrt(n/Z) (Z/m)^{omega0} (m+l) + I``: growing
+the output density Z raises the compressed-product cost, and for
+Z << n the sparse algorithm undercuts the dense Theorem 2 schedule on
+the same operands.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import TCUMachine, matmul
+from repro.analysis.fitting import fit_constant
+from repro.analysis.formulas import OMEGA0_STRASSEN, thm3_sparse_mm
+from repro.analysis.tables import render_table
+from repro.matmul.sparse import sparse_mm
+
+
+def _sparse_pair(side, density, rng, seed):
+    mk = lambda s: sp.random(
+        side, side, density=density, random_state=s,
+        data_rvs=lambda k: rng.integers(1, 6, k),
+    ).astype(np.int64)
+    return mk(seed), mk(seed + 1)
+
+
+def test_thm3_density_sweep(benchmark, rng, record):
+    side, m = 64, 16
+    A, B = _sparse_pair(side, 0.03, rng, 11)
+    benchmark(lambda: sparse_mm(TCUMachine(m=m), A, B, seed=5))
+
+    rows, preds, times = [], [], []
+    for density in (0.01, 0.02, 0.04, 0.08):
+        A, B = _sparse_pair(side, density, rng, int(density * 1000))
+        expected = (A @ B).toarray()
+        Z = int((expected != 0).sum())
+        I = int(A.nnz + B.nnz)
+        tcu = TCUMachine(m=m, ell=16.0)
+        C, stats = sparse_mm(tcu, A, B, seed=3, return_stats=True)
+        assert np.array_equal(C.toarray(), expected)
+        pred = thm3_sparse_mm(side * side, max(Z, 1), I, m, 16.0, OMEGA0_STRASSEN)
+        rows.append([density, I, Z, tcu.time, pred, stats.rounds])
+        if Z > 0:
+            preds.append(pred)
+            times.append(tcu.time)
+    # denser output -> more model time, and the measured series fits the
+    # formula loosely (peeling rounds add a constant factor)
+    assert times == sorted(times)
+    fit = fit_constant(preds, times)
+    assert fit.constant > 0
+    record(
+        "e5_thm3_density_sweep",
+        render_table(
+            ["density", "I (input nnz)", "Z (output nnz)", "measured T", "predicted shape", "rounds"],
+            rows,
+            title=f"E5 (Theorem 3): sparse MM output-density sweep, side={side}, m={m}",
+        ),
+    )
+
+
+def test_thm3_sparse_vs_dense(benchmark, rng, record):
+    """For Z << n the compressed algorithm beats the dense schedule."""
+    side, m = 96, 16
+    A, B = _sparse_pair(side, 0.008, rng, 21)
+    benchmark(lambda: sparse_mm(TCUMachine(m=m), A, B, seed=9))
+
+    rows = []
+    for density in (0.005, 0.01, 0.05, 0.2):
+        A, B = _sparse_pair(side, density, rng, int(density * 10000))
+        expected = (A @ B).toarray()
+        Z = int((expected != 0).sum())
+        t_sparse = TCUMachine(m=m, ell=16.0)
+        sparse_mm(t_sparse, A, B, seed=7)
+        t_dense = TCUMachine(m=m, ell=16.0)
+        matmul(t_dense, A.toarray(), B.toarray())
+        rows.append(
+            [density, Z, t_sparse.time, t_dense.time, t_dense.time / t_sparse.time]
+        )
+    # the sparsest instance must win; the densest need not
+    assert rows[0][4] > 1.0
+    record(
+        "e5_thm3_sparse_vs_dense",
+        render_table(
+            ["density", "Z", "sparse T", "dense T", "dense/sparse"],
+            rows,
+            title=f"E5 (Theorem 3): sparse vs dense crossover, side={side}, m={m}",
+        ),
+    )

@@ -1,0 +1,78 @@
+"""E6 — Theorem 4: Gaussian elimination forward phase.
+
+Fits ``n^{3/2}/sqrt(m) + (n/m) l + n sqrt(m)`` across a size sweep and
+verifies the theorem's collapse claim: once sqrt(n) >= m, GE costs no
+more than a constant times the optimal dense-MM time of Theorem 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine, matmul
+from repro.analysis.fitting import fit_constant, loglog_slope
+from repro.analysis.formulas import thm2_dense_mm, thm4_gaussian_elimination
+from repro.analysis.tables import render_table
+from repro.linalg.gaussian import ge_forward
+
+
+def _system(rng, side):
+    return rng.random((side, side)) + side * np.eye(side)
+
+
+def test_thm4_size_sweep(benchmark, rng, record):
+    m, ell = 16, 32.0
+    A = _system(rng, 64)
+    benchmark(lambda: ge_forward(TCUMachine(m=m, ell=ell), A))
+
+    sides = [16, 32, 64, 128, 256]
+    rows, preds, times, tensor_times = [], [], [], []
+    for side in sides:
+        tcu = TCUMachine(m=m, ell=ell)
+        ge_forward(tcu, _system(rng, side))
+        n = side * side
+        pred = thm4_gaussian_elimination(n, m, ell)
+        rows.append([side, tcu.time, pred, tcu.time / pred])
+        preds.append(pred)
+        times.append(tcu.time)
+        tensor_times.append(tcu.ledger.tensor_time)
+    fit = fit_constant(preds, times)
+    assert fit.within(0.75)
+    tensor_slope = loglog_slope(sides, tensor_times)
+    assert 2.8 < tensor_slope < 3.2  # the n^{3/2} term in matrix area
+    rows.append(["tensor slope", tensor_slope, 3.0, fit.constant])
+    record(
+        "e6_thm4_size_sweep",
+        render_table(
+            ["sqrt(n)", "measured T", "predicted shape", "ratio"],
+            rows,
+            title=f"E6 (Theorem 4): GE forward phase size sweep, m={m}, l={ell}",
+        ),
+    )
+
+
+def test_thm4_collapses_to_mm_cost(benchmark, rng, record):
+    """For sqrt(n) >= m the GE bound equals the dense MM bound."""
+    m = 16
+    A = _system(rng, 64)
+    benchmark(lambda: ge_forward(TCUMachine(m=m), A))
+
+    rows = []
+    for side in (32, 64, 128):  # side >= m = 16 throughout
+        ge = TCUMachine(m=m, ell=16.0)
+        mm = TCUMachine(m=m, ell=16.0)
+        ge_forward(ge, _system(rng, side))
+        matmul(mm, rng.random((side, side)), rng.random((side, side)))
+        ratio = ge.time / mm.time
+        pred_ratio = thm4_gaussian_elimination(side**2, m, 16.0) / thm2_dense_mm(
+            side**2, m, 16.0
+        )
+        rows.append([side, ge.time, mm.time, ratio, pred_ratio])
+        assert ratio < 4.0
+    record(
+        "e6_thm4_vs_dense_mm",
+        render_table(
+            ["sqrt(n)", "GE time", "dense MM time", "ratio", "predicted ratio"],
+            rows,
+            title=f"E6 (Theorem 4): GE collapses to MM cost when sqrt(n) >= m={m}",
+        ),
+    )

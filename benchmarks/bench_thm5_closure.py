@@ -1,0 +1,80 @@
+"""E7 — Theorem 5: blocked transitive closure.
+
+Fits ``n^3/sqrt(m) + (n^2/m) l + n^2 sqrt(m)`` over a vertex-count
+sweep, confirms the sqrt(m) speed-up over the Figure 5 RAM iteration,
+and checks the latency accounting (Theta(n^2/m) tall calls).
+"""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import fit_constant, loglog_slope
+from repro.analysis.formulas import thm5_transitive_closure
+from repro.analysis.tables import render_table
+from repro.baselines.ram import RAMMachine, ram_transitive_closure
+from repro.graph.closure import transitive_closure
+
+
+def _digraph(rng, n, p=0.15):
+    A = (rng.random((n, n)) < p).astype(np.int64)
+    np.fill_diagonal(A, 0)
+    return A
+
+
+def test_thm5_size_sweep(benchmark, rng, record):
+    m, ell = 16, 32.0
+    A = _digraph(rng, 32)
+    benchmark(lambda: transitive_closure(TCUMachine(m=m, ell=ell), A))
+
+    ns = [16, 32, 64, 128]
+    rows, preds, times = [], [], []
+    for n in ns:
+        adj = _digraph(rng, n)
+        tcu = TCUMachine(m=m, ell=ell)
+        got = transitive_closure(tcu, adj)
+        ram = RAMMachine()
+        want = ram_transitive_closure(ram, adj)
+        assert np.array_equal(got, want)
+        pred = thm5_transitive_closure(n, m, ell)
+        rows.append([n, tcu.time, pred, tcu.time / pred, ram.time / tcu.time])
+        preds.append(pred)
+        times.append(tcu.time)
+    slope = loglog_slope(ns, times)
+    fit = fit_constant(preds, times)
+    assert 2.6 < slope < 3.2
+    assert fit.within(0.75)
+    # the sqrt(m) advantage should appear at the largest size
+    assert rows[-1][4] > 1.0
+    rows.append(["slope(n)", slope, 3.0, fit.constant, "-"])
+    record(
+        "e7_thm5_closure",
+        render_table(
+            ["n vertices", "measured T", "predicted shape", "ratio", "RAM/TCU"],
+            rows,
+            title=f"E7 (Theorem 5): transitive closure size sweep, m={m}, l={ell}",
+        ),
+    )
+
+
+def test_thm5_latency_accounting(benchmark, rng, record):
+    n, m = 64, 16
+    A = _digraph(rng, n)
+    benchmark(lambda: transitive_closure(TCUMachine(m=m), A))
+
+    rows = []
+    for ell in (0.0, 100.0, 10000.0):
+        tcu = TCUMachine(m=m, ell=ell)
+        transitive_closure(tcu, A)
+        nb = n // tcu.sqrt_m
+        rows.append([ell, tcu.ledger.tensor_calls, tcu.ledger.latency_time, tcu.time])
+        # Figure 7 issues at most 2 tall calls per (k, j != k) pair
+        assert tcu.ledger.tensor_calls <= 2 * nb * nb
+    record(
+        "e7_thm5_latency",
+        render_table(
+            ["l", "tensor calls", "latency time", "total T"],
+            rows,
+            title=f"E7 (Theorem 5): latency accounting, n={n}, m={m}",
+        ),
+    )

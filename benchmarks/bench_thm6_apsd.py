@@ -1,0 +1,81 @@
+"""E8 — Theorem 6: Seidel's APSD on the TCU.
+
+Fits ``(n^2/m)^{omega0} (m+l) log n`` over connected random graphs,
+separates the log-n recursion depth (diameter-bound) and compares the
+Strassen-powered run against the classical one.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import fit_constant
+from repro.analysis.formulas import OMEGA0_STRASSEN, thm6_apsd
+from repro.analysis.tables import render_table
+from repro.graph.apsd import SeidelStats, seidel
+from repro.matmul.strassen import CLASSICAL_2X2, STRASSEN_2X2
+
+
+def _connected_graph(n, seed):
+    G = nx.connected_watts_strogatz_graph(n, 4, 0.3, seed=seed)
+    return nx.to_numpy_array(G, dtype=np.int64), G
+
+
+def test_thm6_size_sweep(benchmark, rng, record):
+    m, ell = 16, 16.0
+    A, _ = _connected_graph(32, 1)
+    benchmark(lambda: seidel(TCUMachine(m=m, ell=ell), A))
+
+    ns = [16, 32, 64, 128]
+    rows, preds, times = [], [], []
+    for n in ns:
+        A, G = _connected_graph(n, n)
+        tcu = TCUMachine(m=m, ell=ell)
+        stats = SeidelStats()
+        D = seidel(tcu, A, stats=stats)
+        # spot-check a few distances against networkx
+        lengths = dict(nx.single_source_shortest_path_length(G, 0))
+        for v in range(n):
+            assert D[0, v] == lengths[v]
+        pred = thm6_apsd(n, m, ell, OMEGA0_STRASSEN)
+        rows.append([n, stats.depth, stats.products, tcu.time, pred, tcu.time / pred])
+        preds.append(pred)
+        times.append(tcu.time)
+        assert stats.depth <= int(np.ceil(np.log2(n))) + 1
+    fit = fit_constant(preds, times)
+    assert fit.within(0.85)  # the log factor tracks diameter, not n, so looser
+    rows.append(["fit const", fit.constant, "-", "-", "-", fit.max_rel_error])
+    record(
+        "e8_thm6_apsd",
+        render_table(
+            ["n vertices", "recursion depth", "products", "measured T", "predicted shape", "ratio"],
+            rows,
+            title=f"E8 (Theorem 6): Seidel APSD size sweep, m={m}, l={ell}",
+        ),
+    )
+
+
+def test_thm6_fast_mm_helps(benchmark, rng, record):
+    """Theorem 6 inherits the omega0 of the MM scheme: Strassen beats
+    classical inside Seidel for large n/m."""
+    n, m = 128, 16
+    A, _ = _connected_graph(n, 5)
+    benchmark(lambda: seidel(TCUMachine(m=m), A, algorithm=STRASSEN_2X2))
+
+    rows = []
+    times = {}
+    for alg in (CLASSICAL_2X2, STRASSEN_2X2):
+        tcu = TCUMachine(m=m, ell=16.0)
+        seidel(tcu, A, algorithm=alg)
+        times[alg.name] = tcu.time
+        rows.append([alg.name, alg.omega0, tcu.time])
+    assert times["strassen"] < times["classical"]
+    record(
+        "e8_thm6_fast_mm",
+        render_table(
+            ["scheme", "omega0", "model time"],
+            rows,
+            title=f"E8 (Theorem 6): APSD with classical vs Strassen products, n={n}, m={m}",
+        ),
+    )

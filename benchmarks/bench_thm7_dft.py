@@ -1,0 +1,104 @@
+"""E9 — Theorem 7: Cooley-Tukey DFT with a sqrt(m)-radix TCU base.
+
+Fits ``(n + l) log_m n`` over a length sweep, shows the log_m n level
+count directly, and measures the batching advantage (Lemma 1's tall
+operand trick) that the stencil algorithm depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import fit_constant, loglog_slope
+from repro.analysis.formulas import thm7_dft
+from repro.analysis.tables import render_table
+from repro.baselines.ram import RAMMachine, ram_fft
+from repro.transform.dft import batched_dft, dft, dft_recursion_depth
+
+
+def test_thm7_length_sweep(benchmark, rng, record):
+    m, ell = 16, 16.0
+    x = rng.standard_normal(1024)
+    benchmark(lambda: dft(TCUMachine(m=m, ell=ell), x))
+
+    ns = [64, 256, 1024, 4096, 16384]
+    rows, preds, times = [], [], []
+    for n in ns:
+        sig = rng.standard_normal(n)
+        tcu = TCUMachine(m=m, ell=ell)
+        y = dft(tcu, sig)
+        assert np.allclose(y, np.fft.fft(sig), atol=1e-6)
+        pred = thm7_dft(n, m, ell)
+        depth = dft_recursion_depth(n, m)
+        rows.append([n, depth, tcu.time, pred, tcu.time / pred])
+        preds.append(pred)
+        times.append(tcu.time)
+    slope = loglog_slope(ns, times)
+    fit = fit_constant(preds, times)
+    assert 1.0 < slope < 1.3  # near-linear
+    assert fit.within(0.6)
+    rows.append(["slope(n)", "-", slope, 1.0, fit.constant])
+    record(
+        "e9_thm7_length_sweep",
+        render_table(
+            ["n", "levels (log_m n)", "measured T", "predicted shape", "ratio"],
+            rows,
+            title=f"E9 (Theorem 7): DFT length sweep, m={m}, l={ell}",
+        ),
+    )
+
+
+def test_thm7_unit_sweep(benchmark, rng, record):
+    n = 4096
+    sig = rng.standard_normal(n)
+    benchmark(lambda: dft(TCUMachine(m=64), sig))
+
+    rows = []
+    times = []
+    for m in (16, 64, 256, 4096):
+        tcu = TCUMachine(m=m, ell=0.0)
+        dft(tcu, sig)
+        rows.append([m, dft_recursion_depth(n, m), tcu.time])
+        times.append(tcu.time)
+    # more capacity -> fewer levels -> less time
+    assert times == sorted(times, reverse=True)
+    record(
+        "e9_thm7_unit_sweep",
+        render_table(
+            ["m", "levels", "measured T"],
+            rows,
+            title=f"E9 (Theorem 7): DFT unit-size sweep, n={n}",
+        ),
+    )
+
+
+def test_thm7_batching_and_ram(benchmark, rng, record):
+    """Batched transforms amortise latency; the TCU DFT also undercuts
+    the RAM FFT's n log2 n once m is moderately large."""
+    m, ell, n, batch = 256, 1000.0, 1024, 32
+    X = rng.standard_normal((batch, n))
+    benchmark(lambda: batched_dft(TCUMachine(m=m, ell=ell), X))
+
+    together = TCUMachine(m=m, ell=ell)
+    batched_dft(together, X)
+    separate = TCUMachine(m=m, ell=ell)
+    for row in X:
+        dft(separate, row)
+    ram = RAMMachine()
+    for row in X:
+        ram_fft(ram, row)
+    rows = [
+        ["batched TCU", together.time, together.ledger.latency_time],
+        ["row-by-row TCU", separate.time, separate.ledger.latency_time],
+        ["RAM radix-2 FFT", ram.time, 0.0],
+    ]
+    assert together.ledger.latency_time < separate.ledger.latency_time / 4
+    assert together.time < ram.time
+    record(
+        "e9_thm7_batching",
+        render_table(
+            ["variant", "model time", "latency part"],
+            rows,
+            title=f"E9 (Theorem 7): batching {batch} DFTs of n={n}, m={m}, l={ell}",
+        ),
+    )

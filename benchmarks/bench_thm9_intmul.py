@@ -1,0 +1,85 @@
+"""E11 — Theorem 9: schoolbook integer multiplication on the TCU.
+
+Fits ``n^2/(kappa^2 sqrt(m)) + (n/(kappa m)) l`` over a bit-length
+sweep, compares against the RAM schoolbook (the 1/sqrt(m) advantage)
+and sweeps the word width kappa.
+"""
+
+import random
+
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import fit_constant, loglog_slope
+from repro.analysis.formulas import thm9_integer_mul
+from repro.analysis.tables import render_table
+from repro.arith.intmul import int_multiply
+from repro.baselines.ram import RAMMachine, ram_schoolbook_intmul
+
+
+def _operand(bits, seed):
+    random.seed(seed)
+    return random.getrandbits(bits) | (1 << (bits - 1))
+
+
+def test_thm9_bits_sweep(benchmark, rng, record):
+    m, ell, kappa = 16, 16.0, 32
+    a = _operand(2048, 1)
+    b = _operand(2048, 2)
+    benchmark(lambda: int_multiply(TCUMachine(m=m, ell=ell, kappa=kappa), a, b))
+
+    bits_list = [512, 1024, 2048, 4096, 8192]
+    rows, preds, times = [], [], []
+    for bits in bits_list:
+        x = _operand(bits, bits)
+        y = _operand(bits, bits + 1)
+        tcu = TCUMachine(m=m, ell=ell, kappa=kappa)
+        assert int_multiply(tcu, x, y) == x * y
+        # the machine's safe limb width is what enters the formula
+        limb = tcu.words.limb_bits
+        pred = thm9_integer_mul(bits, m, ell, limb)
+        rows.append([bits, tcu.time, pred, tcu.time / pred])
+        preds.append(pred)
+        times.append(tcu.time)
+    slope = loglog_slope(bits_list, times)
+    fit = fit_constant(preds, times)
+    assert 1.85 < slope < 2.1
+    assert fit.within(0.5)
+    rows.append(["slope(n)", slope, 2.0, fit.constant])
+    record(
+        "e11_thm9_bits_sweep",
+        render_table(
+            ["bits", "measured T", "predicted shape", "ratio"],
+            rows,
+            title=f"E11 (Theorem 9): integer multiplication bit sweep, m={m}, kappa={kappa}, l={ell}",
+        ),
+    )
+
+
+def test_thm9_vs_ram_and_unit_sweep(benchmark, rng, record):
+    kappa, bits = 32, 4096
+    a = _operand(bits, 3)
+    b = _operand(bits, 4)
+    benchmark(lambda: int_multiply(TCUMachine(m=256, kappa=kappa), a, b))
+
+    rows = []
+    ram = RAMMachine()
+    assert ram_schoolbook_intmul(ram, a, b, 8) == a * b  # same 8-bit limbs
+    for m in (16, 64, 256, 1024):
+        tcu = TCUMachine(m=m, kappa=kappa, ell=16.0)
+        int_multiply(tcu, a, b)
+        rows.append([m, tcu.time, ram.time, ram.time / tcu.time])
+    # the advantage over RAM grows with m until the unit is wider than
+    # the operand's limb count, where it saturates
+    speedups = [r[3] for r in rows]
+    assert speedups[1] > speedups[0]
+    assert max(speedups) > 4.0
+    assert speedups[-1] >= 0.8 * max(speedups)
+    record(
+        "e11_thm9_vs_ram",
+        render_table(
+            ["m", "TCU T", "RAM schoolbook T (8-bit limbs)", "RAM/TCU"],
+            rows,
+            title=f"E11 (Theorem 9): unit-size sweep at n={bits} bits, kappa={kappa}",
+        ),
+    )

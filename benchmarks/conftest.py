@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Every experiment writes the paper-style table it reproduces to
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can quote the
+exact numbers a fresh run regenerates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """record(name, text): persist one experiment's rendered table."""
+
+    def _record(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1908_06649 % 2**32)  # the paper's arXiv id

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Graph analytics on a tensor unit: reachability and shortest paths.
+
+Builds a small-world communication graph, computes its transitive
+closure (Theorem 5) and all-pairs shortest distances via Seidel's
+algorithm (Theorem 6) on the simulated TCU, and compares the model
+cost against plain RAM baselines — the paper's claim that graph
+problems inherit the tensor unit's sqrt(m) matrix-multiply advantage.
+
+Run:  python examples/graph_analytics.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import TCUMachine
+from repro.baselines.ram import RAMMachine, ram_apsd_bfs, ram_transitive_closure
+from repro.graph import SeidelStats, apsd, transitive_closure
+from repro.analysis.tables import render_table
+
+
+def main() -> None:
+    n = 96
+    G = nx.connected_watts_strogatz_graph(n, 6, 0.2, seed=7)
+    A = nx.to_numpy_array(G, dtype=np.int64)
+    tcu = TCUMachine(m=64, ell=32.0)
+
+    # --- reachability --------------------------------------------------
+    with tcu.section("closure"):
+        # direct the edges (i -> j for i < j) to make closure non-trivial
+        directed = np.triu(A)
+        closure = transitive_closure(tcu, directed)
+    ram = RAMMachine()
+    ram_closure = ram_transitive_closure(ram, directed)
+    assert np.array_equal(closure, ram_closure)
+    closure_rows = [
+        ["reachable pairs", int(closure.sum()), int(closure.sum())],
+        ["model time", tcu.ledger.section_time("closure"), ram.time],
+    ]
+
+    # --- shortest distances --------------------------------------------
+    stats = SeidelStats()
+    with tcu.section("apsd"):
+        D = apsd(tcu, A, stats=stats)
+    ram2 = RAMMachine()
+    D_ref = ram_apsd_bfs(ram2, A)
+    assert np.array_equal(D, D_ref)
+    ecc = D.max(axis=1)
+    apsd_rows = [
+        ["diameter", int(D.max()), int(D_ref.max())],
+        ["mean distance", float(D[np.isfinite(D)].mean()), float(D_ref[np.isfinite(D_ref)].mean())],
+        ["radius", int(ecc.min()), int(ecc.min())],
+        ["Seidel recursion depth", stats.depth, "-"],
+        ["model time", tcu.ledger.section_time("apsd"), ram2.time],
+    ]
+
+    print(render_table(["quantity", "TCU", "RAM baseline"], closure_rows,
+                       title=f"transitive closure of a {n}-vertex DAG (Theorem 5)"))
+    print()
+    print(render_table(["quantity", "TCU (Seidel)", "RAM (n x BFS)"], apsd_rows,
+                       title=f"all-pairs shortest distances (Theorem 6)"))
+    print()
+    speed_closure = ram.time / tcu.ledger.section_time("closure")
+    print(f"closure: TCU is {speed_closure:.1f}x cheaper in model time "
+          f"(sqrt(m) = {tcu.sqrt_m} would be the ideal factor)")
+    print("apsd: on a graph this sparse, n BFS passes are cheap; Seidel's "
+          "matrix route is the dense-graph / worst-case-guarantee tool, "
+          "and inside it the TCU still provides the sqrt(m) MM advantage.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Hardware regimes: TPUv1-like vs Volta-TC-like machines (Section 3.1),
+plus the external-memory bridge of Section 5.
+
+The same workloads run on both presets to show the latency/capacity
+trade-off the paper describes, and a recorded execution trace is
+replayed on the Theorem 12 external-memory simulation.
+
+Run:  python examples/hardware_presets.py
+"""
+
+import numpy as np
+
+from repro import TCUMachine, TPU_V1, VOLTA_TC, WeakTCUMachine, matmul
+from repro.analysis.tables import render_kv, render_table
+from repro.extmem import (
+    matmul_io_lower_bound,
+    simulate_ledger_io,
+    tcu_matmul_time_lower_bound,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    print(render_kv(
+        {
+            TPU_V1.name: f"m={TPU_V1.m} (256x256), l={TPU_V1.ell:.0f}, kappa={TPU_V1.kappa}, rows<=96K",
+            VOLTA_TC.name: f"m={VOLTA_TC.m} (16x16), l={VOLTA_TC.ell:.0f}, kappa={VOLTA_TC.kappa}",
+        },
+        title="Section 3.1 presets",
+    ))
+    print()
+
+    # --- who wins where -------------------------------------------------
+    rows = []
+    for side in (64, 256, 1024):
+        A = rng.random((side, side))
+        B = rng.random((side, side))
+        tpu = TPU_V1.create()
+        tc = VOLTA_TC.create()
+        matmul(tpu, A, B)
+        matmul(tc, A, B)
+        rows.append([
+            side,
+            tpu.time,
+            f"{100 * tpu.ledger.latency_time / tpu.time:.0f}%",
+            tc.time,
+            f"{100 * tc.ledger.latency_time / tc.time:.0f}%",
+            "tpu-v1" if tpu.time < tc.time else "volta-tc",
+        ])
+    print(render_table(
+        ["sqrt(n)", "TPUv1 T", "latency share", "VoltaTC T", "latency share", "winner"],
+        rows,
+        title="dense MM: latency-bound vs capacity-bound regimes",
+    ))
+    print()
+
+    # --- the asymmetric streaming feature --------------------------------
+    s = VOLTA_TC.sqrt_m
+    A = rng.random((256 * s, s))
+    B = rng.random((s, s))
+    tall = VOLTA_TC.create()
+    tall.mm(A, B)
+    weak = WeakTCUMachine(VOLTA_TC.m, VOLTA_TC.ell, kappa=VOLTA_TC.kappa)
+    weak.mm_tall(A, B)
+    print(render_table(
+        ["call style", "tensor calls", "model time"],
+        [
+            ["one tall stream (Section 3)", tall.ledger.tensor_calls, tall.time],
+            ["weak model: square splits (Section 5)", weak.ledger.tensor_calls, weak.time],
+        ],
+        title="why the model streams tall left operands",
+    ))
+    print()
+
+    # --- Theorem 12: replay a trace in external memory -------------------
+    side, m = 128, 64
+    tcu = TCUMachine(m=m, ell=float(m))
+    matmul(tcu, rng.random((side, side)), rng.random((side, side)))
+    sim = simulate_ledger_io(tcu.ledger, weak=True)
+    n = side * side
+    print(render_kv(
+        {
+            "TCU model time": tcu.time,
+            "EM simulation I/Os (M=3m, B=1)": sim.total_ios,
+            "I/Os per model-time unit": round(sim.io_per_time, 3),
+            "Hong-Kung I/O bound at M=3m": round(matmul_io_lower_bound(n, 3 * m)),
+            "=> weak-TCU time lower bound": round(tcu_matmul_time_lower_bound(n, m)),
+        },
+        title=f"Theorem 12 bridge on a {side}x{side} product",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Heat diffusion on a tensor unit: the paper's stencil showcase.
+
+A hot square diffuses over a 2-D plate.  The k-sweep evolution is
+computed two ways — k explicit sweeps (Theta(nk) RAM-style work) and
+the Theorem 8 spectral route (unroll the k sweeps into one (2k+1)^2
+kernel with Lemma 2, then one batched TCU convolution per tile block) —
+and the model costs are compared, together with a plain DFT demo
+(Theorem 7).
+
+Run:  python examples/spectral_heat.py
+"""
+
+import numpy as np
+
+from repro import TCUMachine
+from repro.analysis.tables import render_table
+from repro.transform import (
+    dft,
+    heat_equation_weights,
+    stencil_direct,
+    stencil_tcu,
+    unrolled_weights,
+)
+
+
+def hot_plate(side: int) -> np.ndarray:
+    plate = np.zeros((side, side))
+    c = side // 2
+    plate[c - 4 : c + 4, c - 4 : c + 4] = 100.0  # the hot square
+    return plate
+
+
+def main() -> None:
+    side = 64
+    plate = hot_plate(side)
+    W = heat_equation_weights(alpha=0.2)
+
+    rows = []
+    for k in (4, 16, 32):
+        tcu = TCUMachine(m=64, ell=32.0)
+        with tcu.section("spectral"):
+            Wk = unrolled_weights(tcu, W, k)
+            evolved = stencil_tcu(tcu, plate, W, k, precomputed_W=Wk)
+        ref_machine = TCUMachine(m=64)
+        reference = stencil_direct(ref_machine, plate, W, k)
+        assert np.allclose(evolved, reference, atol=1e-7)
+        rows.append(
+            [
+                k,
+                float(evolved.max()),
+                float(evolved.sum()),
+                tcu.ledger.section_time("spectral"),
+                ref_machine.time,
+                ref_machine.time / tcu.ledger.section_time("spectral"),
+            ]
+        )
+    print(
+        render_table(
+            ["k sweeps", "peak temp", "total heat*", "TCU spectral T", "direct sweeps T", "direct/TCU"],
+            rows,
+            title=f"2-D heat diffusion on a {side}x{side} plate (Theorem 8)",
+        )
+    )
+    print("* free-space evolution: heat leaving the plate is not reflected\n")
+
+    # --- the DFT that powers the convolution (Theorem 7) ---------------
+    tcu = TCUMachine(m=64, ell=32.0)
+    signal = np.sin(2 * np.pi * 5 * np.arange(1024) / 1024) + 0.5 * np.sin(
+        2 * np.pi * 12 * np.arange(1024) / 1024
+    )
+    spectrum = dft(tcu, signal)
+    peaks = np.argsort(np.abs(spectrum[:512]))[-2:]
+    print(
+        f"DFT of a 5 Hz + 12 Hz mixture (n=1024): spectral peaks at bins "
+        f"{sorted(int(p) for p in peaks)} (expected [5, 12]); "
+        f"model time {tcu.time:,.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

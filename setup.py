@@ -1,0 +1,8 @@
+"""Legacy shim: environments without the `wheel` package cannot build
+PEP 660 editable wheels, so `pip install -e .` falls back to
+`setup.py develop` through this file.  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Analysis utilities: theorem formulas, fitting, table rendering."""
+
+from .fitting import (
+    ConstantFit,
+    find_crossover,
+    fit_constant,
+    geometric_sweep,
+    loglog_slope,
+    power_law_fit,
+)
+from .formulas import (
+    OMEGA0_CLASSICAL,
+    OMEGA0_STRASSEN,
+    THEOREM_FORMULAS,
+    cor1_rectangular_mm,
+    thm1_strassen_like_mm,
+    thm2_dense_mm,
+    thm3_sparse_mm,
+    thm4_gaussian_elimination,
+    thm5_transitive_closure,
+    thm6_apsd,
+    thm7_dft,
+    thm8_stencil,
+    thm9_integer_mul,
+    thm10_karatsuba,
+    thm11_polyeval,
+)
+from .report import compile_report
+from .tables import format_number, render_kv, render_table
+
+__all__ = [
+    "loglog_slope",
+    "power_law_fit",
+    "fit_constant",
+    "ConstantFit",
+    "find_crossover",
+    "geometric_sweep",
+    "THEOREM_FORMULAS",
+    "OMEGA0_CLASSICAL",
+    "OMEGA0_STRASSEN",
+    "thm1_strassen_like_mm",
+    "thm2_dense_mm",
+    "cor1_rectangular_mm",
+    "thm3_sparse_mm",
+    "thm4_gaussian_elimination",
+    "thm5_transitive_closure",
+    "thm6_apsd",
+    "thm7_dft",
+    "thm8_stencil",
+    "thm9_integer_mul",
+    "thm10_karatsuba",
+    "thm11_polyeval",
+    "render_table",
+    "render_kv",
+    "format_number",
+    "compile_report",
+]

@@ -1,0 +1,124 @@
+"""Curve fitting for the theorem-validation experiments.
+
+Three tools cover every shape check the benches perform:
+
+* :func:`loglog_slope` / :func:`power_law_fit` — estimate the growth
+  exponent of a measured series (is dense MM time really ~ n^{1.5}?);
+* :func:`fit_constant` — the single leading constant between a
+  theorem's formula and the measured model times, plus the residual
+  spread that tells us whether the *shape* matches;
+* :func:`find_crossover` — where one algorithm's curve overtakes
+  another's (Strassen vs classical, Karatsuba vs schoolbook, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "loglog_slope",
+    "power_law_fit",
+    "fit_constant",
+    "ConstantFit",
+    "find_crossover",
+    "geometric_sweep",
+]
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x (the growth exponent)."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two matching points")
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("log-log fit requires positive data")
+    lx, ly = np.log(x), np.log(y)
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+def power_law_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Fit ``y = c * x^e``; returns ``(e, c)``."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("power-law fit requires positive data")
+    e, logc = np.polyfit(np.log(x), np.log(y), 1)
+    return float(e), float(np.exp(logc))
+
+
+@dataclass(frozen=True)
+class ConstantFit:
+    """Least-squares leading constant between prediction and measurement."""
+
+    constant: float
+    max_rel_error: float
+    mean_rel_error: float
+
+    def within(self, tolerance: float) -> bool:
+        """True when every measured point is within ``tolerance``
+        relative error of ``constant * prediction``."""
+        return self.max_rel_error <= tolerance
+
+
+def fit_constant(
+    predicted: Sequence[float], measured: Sequence[float]
+) -> ConstantFit:
+    """Best single constant ``c`` minimising ``sum (c p_i - y_i)^2`` and
+    the relative errors of the resulting fit."""
+    p = np.asarray(predicted, dtype=np.float64)
+    y = np.asarray(measured, dtype=np.float64)
+    if p.size != y.size or p.size == 0:
+        raise ValueError("predicted and measured must be non-empty and matching")
+    denom = float(p @ p)
+    if denom == 0:
+        raise ValueError("all predictions are zero")
+    c = float(p @ y) / denom
+    if c <= 0:
+        raise ValueError("fitted constant is non-positive; shapes are incompatible")
+    rel = np.abs(c * p - y) / np.maximum(np.abs(y), 1e-300)
+    return ConstantFit(
+        constant=c,
+        max_rel_error=float(rel.max()),
+        mean_rel_error=float(rel.mean()),
+    )
+
+
+def find_crossover(
+    xs: Sequence[float], ys_a: Sequence[float], ys_b: Sequence[float]
+) -> float | None:
+    """Smallest x (log-interpolated) where curve A stops exceeding curve B.
+
+    Returns None when the order never flips over the sampled range.
+    Intended reading: A is the eventually-slower algorithm, B the
+    eventually-faster one; the crossover is where B starts winning.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    a = np.asarray(ys_a, dtype=np.float64)
+    b = np.asarray(ys_b, dtype=np.float64)
+    if not (x.size == a.size == b.size) or x.size < 2:
+        raise ValueError("need matching series of length >= 2")
+    diff = a - b
+    for i in range(1, x.size):
+        if diff[i - 1] > 0 >= diff[i] or diff[i - 1] < 0 <= diff[i]:
+            # linear interpolation in log x for the sign change
+            t = diff[i - 1] / (diff[i - 1] - diff[i])
+            lx = np.log(x[i - 1]) + t * (np.log(x[i]) - np.log(x[i - 1]))
+            return float(np.exp(lx))
+    return None
+
+
+def geometric_sweep(start: int, stop: int, factor: int = 2) -> list[int]:
+    """``[start, start*factor, ...]`` up to and including <= stop."""
+    if start < 1 or factor < 2:
+        raise ValueError("start >= 1 and factor >= 2 required")
+    out = []
+    v = start
+    while v <= stop:
+        out.append(v)
+        v *= factor
+    return out

@@ -1,0 +1,103 @@
+"""Compile the per-experiment result tables into one markdown report.
+
+`pytest benchmarks/ --benchmark-only` leaves every experiment's
+rendered table under ``benchmarks/results/<experiment>.txt``; this
+module stitches them into a single document so a fresh clone can do
+
+    pytest benchmarks/ --benchmark-only
+    python -m repro.analysis.report benchmarks/results report.md
+
+and get the full paper-vs-measured appendix in one file.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+__all__ = ["compile_report", "main"]
+
+_SECTION_ORDER = [
+    ("e1_", "Figure 1 / Section 2.2 — systolic array"),
+    ("e2_", "Theorem 2 — dense matrix multiplication"),
+    ("e3_", "Theorem 1 — Strassen-like multiplication"),
+    ("e4_", "Corollary 1 — rectangular multiplication"),
+    ("e5_", "Theorem 3 — sparse multiplication"),
+    ("e6_", "Theorem 4 — Gaussian elimination"),
+    ("e7_", "Theorem 5 — transitive closure"),
+    ("e8_", "Theorem 6 — all-pairs shortest distances"),
+    ("e9_", "Theorem 7 — DFT"),
+    ("e10_", "Theorem 8 — stencil computations"),
+    ("e11_", "Theorem 9 — integer multiplication"),
+    ("e12_", "Theorem 10 — Karatsuba"),
+    ("e13_", "Theorem 11 — polynomial evaluation"),
+    ("e14_", "Theorem 12 / Section 5 — external-memory bridge"),
+    ("e15_", "Section 3.1 — hardware presets"),
+    ("e16_", "Extension — parallel tensor units"),
+    ("e17_", "Extension — limited precision"),
+    ("e18_", "Extension — scan / reduction / triangles"),
+]
+
+
+def compile_report(results_dir: Path) -> str:
+    """Return the combined markdown report for a results directory."""
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    files = sorted(results_dir.glob("*.txt"))
+    if not files:
+        raise FileNotFoundError(
+            f"no result tables in {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` first"
+        )
+    by_prefix: dict[str, list[Path]] = {}
+    for path in files:
+        for prefix, _ in _SECTION_ORDER:
+            if path.name.startswith(prefix):
+                by_prefix.setdefault(prefix, []).append(path)
+                break
+        else:
+            by_prefix.setdefault("other", []).append(path)
+
+    lines = [
+        "# tcu-model — measured experiment report",
+        "",
+        "Generated from the tables under "
+        f"`{results_dir}` (regenerate with `pytest benchmarks/ --benchmark-only`).",
+        "",
+    ]
+    for prefix, title in _SECTION_ORDER:
+        paths = by_prefix.get(prefix)
+        if not paths:
+            continue
+        lines.append(f"## {title}")
+        lines.append("")
+        for path in paths:
+            lines.append("```")
+            lines.append(path.read_text().rstrip("\n"))
+            lines.append("```")
+            lines.append("")
+    for path in by_prefix.get("other", []):
+        lines.append("## (uncategorised)")
+        lines.append("```")
+        lines.append(path.read_text().rstrip("\n"))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    results = Path(args[0]) if args else Path("benchmarks/results")
+    out = Path(args[1]) if len(args) > 1 else None
+    report = compile_report(results)
+    if out is None:
+        print(report)
+    else:
+        out.write_text(report)
+        print(f"wrote {out} ({len(report.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""ASCII rendering shared by the benches and EXPERIMENTS.md.
+
+Every bench prints the paper-style table it reproduces through these
+helpers so the console output, the test assertions and the experiment
+log all read the same numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_number", "render_kv"]
+
+
+def format_number(value) -> str:
+    """Compact numeric formatting: ints verbatim, floats to 4 significant
+    digits, scientific notation past 1e6."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) < 10**15 else f"{value:.3e}"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], *, title: str | None = None
+) -> str:
+    """Monospace table with a header rule, right-aligned numerics."""
+    str_rows = [[format_number(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: dict, *, title: str | None = None) -> str:
+    """Key/value block for summary statistics."""
+    width = max((len(str(k)) for k in pairs), default=0)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)} : {format_number(value)}")
+    return "\n".join(lines)

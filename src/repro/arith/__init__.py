@@ -1,0 +1,14 @@
+"""Integer and polynomial arithmetic on the (m, l)-TCU (Sections 4.7-4.8)."""
+
+from .intmul import coefficients_via_tcu, int_multiply
+from .karatsuba import KaratsubaStats, karatsuba_multiply, karatsuba_threshold
+from .polyeval import batch_polyeval
+
+__all__ = [
+    "int_multiply",
+    "coefficients_via_tcu",
+    "karatsuba_multiply",
+    "karatsuba_threshold",
+    "KaratsubaStats",
+    "batch_polyeval",
+]

@@ -1,0 +1,87 @@
+"""Karatsuba multiplication with a TCU base case (Theorem 10).
+
+Karatsuba splits n-bit operands in half and recurses on three products;
+the paper stops the recursion once the operands are short enough that
+the Theorem 9 schoolbook-on-TCU algorithm multiplies them within one
+pass over the unit — at ``n <= kappa * sqrt(m)`` bits — giving
+
+    T(n) = O( (n / (kappa sqrt(m)))^{log 3} * (sqrt(m) + l / sqrt(m)) ).
+
+The crossover against plain Theorem 9 (quadratic, but with a
+``1/sqrt(m)`` constant) is one of the experiments: for small n the
+tensor-friendly schoolbook wins, for large n the better exponent does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.machine import TCUMachine
+from .intmul import int_multiply
+
+__all__ = ["karatsuba_multiply", "karatsuba_threshold", "KaratsubaStats"]
+
+
+@dataclass
+class KaratsubaStats:
+    """Recursion diagnostics for the Theorem 10 experiments."""
+
+    depth: int = 0
+    base_calls: int = 0
+    recursive_calls: int = 0
+
+
+def karatsuba_threshold(tcu: TCUMachine, factor: float = 1.0) -> int:
+    """The paper's base-case size ``n <= kappa * sqrt(m)`` bits (at which
+    the Theorem 9 base costs exactly ``O(sqrt(m) + l/sqrt(m))``), scaled
+    by ``factor`` for the cutoff ablation."""
+    return max(8, int(factor * tcu.kappa * tcu.sqrt_m))
+
+
+def karatsuba_multiply(
+    tcu: TCUMachine,
+    a: int,
+    b: int,
+    *,
+    threshold: int | None = None,
+    stats: KaratsubaStats | None = None,
+) -> int:
+    """``a * b`` via Karatsuba recursion with the Theorem 9 base case."""
+    if a == 0 or b == 0:
+        return 0
+    sign = -1 if (a < 0) != (b < 0) else 1
+    if threshold is None:
+        threshold = karatsuba_threshold(tcu)
+    result = _karatsuba(tcu, abs(a), abs(b), threshold, stats, 0)
+    return sign * result
+
+
+def _karatsuba(
+    tcu: TCUMachine,
+    a: int,
+    b: int,
+    threshold: int,
+    stats: KaratsubaStats | None,
+    depth: int,
+) -> int:
+    n = max(a.bit_length(), b.bit_length())
+    if stats is not None:
+        stats.depth = max(stats.depth, depth)
+    if n <= threshold:
+        if stats is not None:
+            stats.base_calls += 1
+        return int_multiply(tcu, a, b)
+    if stats is not None:
+        stats.recursive_calls += 1
+    half = n // 2
+    mask = (1 << half) - 1
+    a0, a1 = a & mask, a >> half
+    b0, b1 = b & mask, b >> half
+    # O(n / kappa) word operations for the splits, shifts and additions.
+    tcu.charge_cpu(max(1, n // tcu.kappa) * 6)
+    low = _karatsuba(tcu, a0, b0, threshold, stats, depth + 1)
+    high = _karatsuba(tcu, a1, b1, threshold, stats, depth + 1)
+    cross = _karatsuba(tcu, a0 + a1, b0 + b1, threshold, stats, depth + 1)
+    mid = cross - low - high
+    tcu.charge_cpu(max(1, n // tcu.kappa) * 4)
+    return (high << (2 * half)) + (mid << half) + low

@@ -1,0 +1,76 @@
+"""Batch polynomial evaluation on the TCU (Theorem 11, Section 4.8).
+
+Evaluate ``A(x) = sum_{i<n} a_i x^i`` at p points: for each point x_t
+precompute the low powers ``x_t^0 .. x_t^{sqrt(m)-1}`` (rows of a
+``p x sqrt(m)`` matrix X) and the stride powers ``x_t^{j sqrt(m)}``;
+lay the coefficients out column-major in a ``sqrt(m) x n/sqrt(m)``
+matrix A.  Then ``C = X @ A`` — computed on the unit as ``n/m`` products
+with tall left operand X — contains the partial Horner sums
+
+    C[t, j] = sum_{i < sqrt(m)} x_t^i a_{i + j sqrt(m)},
+
+and ``A(x_t) = sum_j C[t, j] * x_t^{j sqrt(m)}`` finishes CPU-side.
+
+Model time (Theorem 11):
+
+    T(n, p) = O( p n / sqrt(m)  +  p sqrt(m)  +  (n/m) l ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.machine import TCUMachine
+from ..matmul.dense import matmul
+from ..matmul.schedule import ceil_to_multiple
+
+__all__ = ["batch_polyeval"]
+
+
+def batch_polyeval(
+    tcu: TCUMachine, coefficients: np.ndarray, points: np.ndarray
+) -> np.ndarray:
+    """Evaluate the polynomial with the given coefficients (ascending
+    degree order, length n) at every point; returns a length-p vector.
+
+    Works for real or complex data.  Numerical caution: the algorithm
+    forms explicit powers up to ``x^{n - sqrt(m)}``, so points with
+    ``|x| >> 1`` overflow float range for large n exactly as the
+    monomial basis does; Horner (the RAM baseline) shares the
+    magnitude of the final value but not of the intermediates.
+    """
+    coeffs = np.asarray(coefficients)
+    pts = np.asarray(points)
+    if coeffs.ndim != 1 or pts.ndim != 1:
+        raise ValueError("coefficients and points must be 1-D")
+    n = coeffs.size
+    p = pts.size
+    if n == 0:
+        return np.zeros(p, dtype=np.result_type(coeffs.dtype, pts.dtype, np.float64))
+    s = tcu.sqrt_m
+    n_pad = ceil_to_multiple(n, s)
+    dtype = np.result_type(coeffs.dtype, pts.dtype, np.float64)
+
+    # Low powers: X[t, i] = x_t^i for i < sqrt(m)  (p * sqrt(m) RAM ops).
+    X = np.vander(pts.astype(dtype), N=s, increasing=True)
+    tcu.charge_cpu(p * s)
+
+    # Coefficient matrix: column-major blocks of sqrt(m) coefficients.
+    A = np.zeros(n_pad, dtype=dtype)
+    A[:n] = coeffs
+    A = A.reshape(n_pad // s, s).T.copy()
+    tcu.charge_cpu(n_pad)
+
+    C = matmul(tcu, X, A)
+
+    # Stride powers q_t^j = x_t^{j sqrt(m)} and the final summation:
+    # evaluated Horner-style in the stride variable to avoid forming
+    # all powers at once  (p * n/sqrt(m) RAM ops).
+    q = pts.astype(dtype) ** s
+    tcu.charge_cpu(p)
+    blocks = n_pad // s
+    result = C[:, blocks - 1].copy()
+    for j in range(blocks - 2, -1, -1):
+        result = result * q + C[:, j]
+        tcu.charge_cpu(2 * p)
+    return result

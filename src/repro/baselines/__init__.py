@@ -1,0 +1,27 @@
+"""Pure RAM-model baselines (correctness oracles + cost comparators)."""
+
+from .ram import (
+    RAMMachine,
+    ram_apsd_bfs,
+    ram_dft_naive,
+    ram_fft,
+    ram_ge_forward,
+    ram_horner,
+    ram_matmul,
+    ram_schoolbook_intmul,
+    ram_stencil_sweeps,
+    ram_transitive_closure,
+)
+
+__all__ = [
+    "RAMMachine",
+    "ram_matmul",
+    "ram_ge_forward",
+    "ram_transitive_closure",
+    "ram_apsd_bfs",
+    "ram_dft_naive",
+    "ram_fft",
+    "ram_stencil_sweeps",
+    "ram_schoolbook_intmul",
+    "ram_horner",
+]

@@ -1,0 +1,50 @@
+"""Core of the reproduction: the simulated (m, l)-TCU machine.
+
+* :mod:`repro.core.ledger`   -- model-time accounting
+* :mod:`repro.core.machine`  -- the (m, l)-TCU and the weak model of §5
+* :mod:`repro.core.systolic` -- cycle-level systolic array (Figure 1)
+* :mod:`repro.core.words`    -- kappa-bit word discipline (§4.7)
+* :mod:`repro.core.presets`  -- TPUv1 / Volta-TC parameterisations (§3.1)
+"""
+
+from .ledger import CostLedger, LedgerError, TensorCall
+from .machine import TCUMachine, TensorShapeError, WeakTCUMachine
+from .parallel import BatchStats, ParallelTCUMachine
+from .presets import PRESETS, TEST_UNIT, TPU_V1, VOLTA_TC, MachineSpec
+from .quantize import QuantizationErrorStats, QuantizedTCUMachine, quantize_array
+from .systolic import SystolicArray, SystolicRunStats
+from .words import (
+    OverflowError_,
+    WordSpec,
+    check_no_overflow,
+    int_to_limbs,
+    limbs_to_int,
+    safe_limb_bits,
+)
+
+__all__ = [
+    "CostLedger",
+    "LedgerError",
+    "TensorCall",
+    "TCUMachine",
+    "WeakTCUMachine",
+    "TensorShapeError",
+    "ParallelTCUMachine",
+    "BatchStats",
+    "QuantizedTCUMachine",
+    "QuantizationErrorStats",
+    "quantize_array",
+    "SystolicArray",
+    "SystolicRunStats",
+    "WordSpec",
+    "OverflowError_",
+    "safe_limb_bits",
+    "int_to_limbs",
+    "limbs_to_int",
+    "check_no_overflow",
+    "MachineSpec",
+    "TPU_V1",
+    "VOLTA_TC",
+    "TEST_UNIT",
+    "PRESETS",
+]

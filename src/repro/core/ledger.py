@@ -1,0 +1,202 @@
+"""Model-time accounting for the (m, l)-TCU machine.
+
+The paper's running time is "the total cost of all operations performed
+by the CPU, including all calls to the tensor unit" (Section 3), with no
+concurrency between CPU, memory and tensor unit.  The :class:`CostLedger`
+is that clock: algorithms charge model-time units to it and the total is
+the TCU-model running time of the execution.
+
+Three charge categories are tracked separately so experiments can
+decompose the totals the way the theorems do:
+
+* ``tensor`` -- the ``n * sqrt(m)`` throughput term of each tensor call,
+* ``latency`` -- the ``l`` term of each tensor call,
+* ``cpu``    -- every other RAM-model operation (one unit per word op).
+
+The ledger also keeps an optional trace of tensor calls; the external
+memory simulation of Theorem 12 replays that trace.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["TensorCall", "CostLedger", "LedgerError"]
+
+
+class LedgerError(RuntimeError):
+    """Raised on invalid accounting operations (e.g. negative charges)."""
+
+
+@dataclass(frozen=True)
+class TensorCall:
+    """One invocation of the tensor unit.
+
+    Attributes
+    ----------
+    n:
+        Number of rows of the (tall) left operand streamed through the
+        unit.  The model requires ``n >= sqrt(m)``.
+    sqrt_m:
+        Side of the right operand (and width of the left operand).
+    time:
+        Model time charged for the call, ``n * sqrt_m + latency``.
+    latency:
+        The ``l`` component included in ``time``.
+    section:
+        Name of the innermost ledger section active at call time
+        (empty string when none), useful for attributing cost.
+    """
+
+    n: int
+    sqrt_m: int
+    time: float
+    latency: float
+    section: str = ""
+
+    @property
+    def words_moved(self) -> int:
+        """Words read+written by the call: both operands and the output.
+
+        The external-memory simulation (Theorem 12) charges Theta(m)
+        I/Os per sqrt(m) x sqrt(m) call; for a tall call the left
+        operand and output dominate with ``n * sqrt_m`` words each.
+        """
+        return self.n * self.sqrt_m * 2 + self.sqrt_m * self.sqrt_m
+
+
+@dataclass
+class CostLedger:
+    """Accumulates TCU-model time.
+
+    Parameters
+    ----------
+    trace_calls:
+        When true (default) every tensor call is recorded in
+        :attr:`calls` so it can be replayed, e.g. by
+        :mod:`repro.extmem.simulate`.  Disable for very long runs where
+        only the totals matter.
+    """
+
+    trace_calls: bool = True
+    tensor_time: float = 0.0
+    latency_time: float = 0.0
+    cpu_time: float = 0.0
+    tensor_calls: int = 0
+    calls: list[TensorCall] = field(default_factory=list)
+    _section_stack: list[str] = field(default_factory=list)
+    _section_totals: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def charge_tensor(self, n: int, sqrt_m: int, latency: float) -> float:
+        """Charge one tensor call on an ``n x sqrt_m @ sqrt_m x sqrt_m`` product.
+
+        Returns the model time charged (``n * sqrt_m + latency``).
+        """
+        if n < sqrt_m:
+            raise LedgerError(
+                f"tensor call requires n >= sqrt(m); got n={n}, sqrt(m)={sqrt_m}"
+            )
+        if latency < 0:
+            raise LedgerError(f"negative latency {latency!r}")
+        throughput = float(n) * float(sqrt_m)
+        self.tensor_time += throughput
+        self.latency_time += float(latency)
+        self.tensor_calls += 1
+        total = throughput + float(latency)
+        self._bump_sections(total)
+        if self.trace_calls:
+            section = self._section_stack[-1] if self._section_stack else ""
+            self.calls.append(
+                TensorCall(
+                    n=int(n),
+                    sqrt_m=int(sqrt_m),
+                    time=total,
+                    latency=float(latency),
+                    section=section,
+                )
+            )
+        return total
+
+    def charge_cpu(self, ops: float) -> float:
+        """Charge ``ops`` units of RAM-model work (one unit per word op)."""
+        if ops < 0:
+            raise LedgerError(f"negative cpu charge {ops!r}")
+        if not math.isfinite(ops):
+            raise LedgerError(f"non-finite cpu charge {ops!r}")
+        self.cpu_time += float(ops)
+        self._bump_sections(float(ops))
+        return float(ops)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def total_time(self) -> float:
+        """Model running time: the paper's single sequential clock."""
+        return self.tensor_time + self.latency_time + self.cpu_time
+
+    @property
+    def tensor_total(self) -> float:
+        """Tensor-unit time including latency (sum of all call costs)."""
+        return self.tensor_time + self.latency_time
+
+    def section_time(self, name: str) -> float:
+        """Total model time charged while section ``name`` was open."""
+        return self._section_totals.get(name, 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        """Totals as a plain dict (stable keys, for tables and tests)."""
+        return {
+            "tensor_time": self.tensor_time,
+            "latency_time": self.latency_time,
+            "cpu_time": self.cpu_time,
+            "tensor_calls": float(self.tensor_calls),
+            "total_time": self.total_time,
+        }
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        """Attribute all charges inside the block to ``name`` (nestable)."""
+        self._section_stack.append(name)
+        try:
+            yield
+        finally:
+            self._section_stack.pop()
+
+    def _bump_sections(self, amount: float) -> None:
+        for name in self._section_stack:
+            self._section_totals[name] = self._section_totals.get(name, 0.0) + amount
+
+    def reset(self) -> None:
+        """Zero every counter and drop the trace (sections stay closed)."""
+        if self._section_stack:
+            raise LedgerError("cannot reset a ledger while sections are open")
+        self.tensor_time = 0.0
+        self.latency_time = 0.0
+        self.cpu_time = 0.0
+        self.tensor_calls = 0
+        self.calls.clear()
+        self._section_totals.clear()
+
+    def merged_with(self, other: "CostLedger") -> "CostLedger":
+        """Return a new ledger whose totals are the sum of both (traces concatenated)."""
+        out = CostLedger(trace_calls=self.trace_calls and other.trace_calls)
+        out.tensor_time = self.tensor_time + other.tensor_time
+        out.latency_time = self.latency_time + other.latency_time
+        out.cpu_time = self.cpu_time + other.cpu_time
+        out.tensor_calls = self.tensor_calls + other.tensor_calls
+        if out.trace_calls:
+            out.calls = list(self.calls) + list(other.calls)
+        for src in (self._section_totals, other._section_totals):
+            for key, val in src.items():
+                out._section_totals[key] = out._section_totals.get(key, 0.0) + val
+        return out

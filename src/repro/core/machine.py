@@ -1,0 +1,276 @@
+"""The (m, l)-TCU machine.
+
+Section 3 of the paper defines the model: a standard RAM whose CPU
+contains a *tensor unit* that multiplies an ``n x sqrt(m)`` matrix A by
+a ``sqrt(m) x sqrt(m)`` matrix B in time ``O(n*sqrt(m) + l)``, where
+``n >= sqrt(m)`` is chosen by the algorithm.  :class:`TCUMachine`
+realises the model in software: :meth:`TCUMachine.mm` executes the
+product numerically (so algorithms can be verified end to end) and
+charges the model cost, with the constant fixed to 1, to a
+:class:`~repro.core.ledger.CostLedger`.
+
+:class:`WeakTCUMachine` is the restricted model of Section 5 (only
+``sqrt(m) x sqrt(m)`` products; no tall left operands), used by the
+external-memory lower-bound machinery of Theorem 12.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+import numpy as np
+
+from .ledger import CostLedger
+from .systolic import SystolicArray
+from .words import WordSpec, check_no_overflow
+
+__all__ = ["TCUMachine", "WeakTCUMachine", "TensorShapeError"]
+
+
+class TensorShapeError(ValueError):
+    """Operand shapes violate the tensor-unit interface of Section 3."""
+
+
+class TCUMachine:
+    """A simulated (m, l)-TCU.
+
+    Parameters
+    ----------
+    m:
+        Tensor-unit capacity; the unit multiplies ``sqrt(m) x sqrt(m)``
+        matrices.  Must be a perfect square (m = sqrt(m)**2 >= 1).
+    ell:
+        Per-call latency ``l >= 0`` (Section 3, property 2).
+    kappa:
+        Word size in bits (Section 3).  Integer algorithms use it for
+        overflow discipline via :class:`~repro.core.words.WordSpec`.
+    max_rows:
+        Optional hardware bound on the streamed row count ``n`` (the
+        Google TPUv1 caps it at 96K, Section 3.1).  Longer streams are
+        split into ceil(n / max_rows) calls, each paying latency.
+    complex_cost_factor:
+        Tensor calls on complex operands are charged this many real
+        calls.  The paper assumes 1 ("can be easily removed with a
+        constant slow down"); 4 models the four real products of a
+        complex multiply.
+    backend:
+        ``"numpy"`` executes tensor calls with ``@``; ``"systolic"``
+        executes them cycle-by-cycle on :class:`SystolicArray` (slow,
+        used to validate that the primitive matches Figure 1).
+    check_overflow:
+        When true, integer tensor-call outputs are checked against the
+        kappa-bit accumulator bound.
+    ledger:
+        Attach an existing ledger (e.g. shared across machines);
+        otherwise a fresh one is created.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        ell: float = 0.0,
+        *,
+        kappa: int = 64,
+        max_rows: int | None = None,
+        complex_cost_factor: int = 1,
+        backend: Literal["numpy", "systolic"] = "numpy",
+        check_overflow: bool = False,
+        ledger: CostLedger | None = None,
+        trace_calls: bool = True,
+    ) -> None:
+        if m < 1:
+            raise ValueError(f"m must be >= 1, got {m}")
+        sqrt_m = math.isqrt(m)
+        if sqrt_m * sqrt_m != m:
+            raise ValueError(f"m must be a perfect square, got {m}")
+        if ell < 0:
+            raise ValueError(f"ell must be >= 0, got {ell}")
+        if max_rows is not None and max_rows < sqrt_m:
+            raise ValueError(
+                f"max_rows must be >= sqrt(m)={sqrt_m}, got {max_rows}"
+            )
+        if complex_cost_factor < 1:
+            raise ValueError("complex_cost_factor must be >= 1")
+        if backend not in ("numpy", "systolic"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.m = int(m)
+        self.sqrt_m = sqrt_m
+        self.ell = float(ell)
+        self.kappa = int(kappa)
+        self.max_rows = max_rows
+        self.complex_cost_factor = int(complex_cost_factor)
+        self.backend = backend
+        self.check_overflow = bool(check_overflow)
+        self.ledger = ledger if ledger is not None else CostLedger(trace_calls=trace_calls)
+        self._words: WordSpec | None = None
+        self._systolic: SystolicArray | None = None
+
+    @property
+    def words(self) -> WordSpec:
+        """kappa-bit word spec for the Section 4.7 integer algorithms.
+
+        Computed lazily: some hardware points (e.g. TPUv1's kappa=8
+        with sqrt(m)=256) have no safe limb width — the real chip uses
+        a wider accumulator — and only the integer algorithms need one,
+        so the error surfaces there, not at machine construction.
+        """
+        if self._words is None:
+            self._words = WordSpec.for_machine(self.kappa, self.m)
+        return self._words
+
+    # ------------------------------------------------------------------
+    # the model primitive
+    # ------------------------------------------------------------------
+    def mm(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """One tensor-unit invocation: ``C = A @ B``.
+
+        ``A`` must be ``n x sqrt(m)`` with ``n >= sqrt(m)``; ``B`` must
+        be ``sqrt(m) x sqrt(m)``.  Charges ``n*sqrt(m) + l`` model time
+        (times :attr:`complex_cost_factor` for complex operands, plus
+        the two real additions a 4-product complex multiply needs).
+        Use :func:`repro.matmul.dense.matmul` for arbitrary shapes.
+        """
+        A = np.asarray(A)
+        B = np.asarray(B)
+        s = self.sqrt_m
+        if A.ndim != 2 or B.ndim != 2:
+            raise TensorShapeError(
+                f"operands must be 2-D, got {A.ndim}-D and {B.ndim}-D"
+            )
+        n = A.shape[0]
+        if A.shape[1] != s:
+            raise TensorShapeError(
+                f"left operand must have sqrt(m)={s} columns, got {A.shape[1]}"
+            )
+        if B.shape != (s, s):
+            raise TensorShapeError(
+                f"right operand must be {s}x{s}, got {B.shape[0]}x{B.shape[1]}"
+            )
+        if n < s:
+            raise TensorShapeError(
+                f"left operand must have n >= sqrt(m)={s} rows, got {n}"
+            )
+        if self.max_rows is not None and n > self.max_rows:
+            return self._mm_split(A, B)
+        return self._mm_single(A, B)
+
+    def _mm_single(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        n = A.shape[0]
+        s = self.sqrt_m
+        is_complex = np.iscomplexobj(A) or np.iscomplexobj(B)
+        calls = self.complex_cost_factor if is_complex else 1
+        for _ in range(calls):
+            self.ledger.charge_tensor(n, s, self.ell)
+        if is_complex and calls >= 4:
+            # two extra real additions of n x sqrt(m) partial products
+            self.ledger.charge_cpu(2 * n * s)
+        if self.backend == "systolic":
+            C = self._systolic_mm(A, B)
+        else:
+            C = A @ B
+        if self.check_overflow and np.issubdtype(C.dtype, np.integer):
+            check_no_overflow(C, self.words)
+        return C
+
+    def _mm_split(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Split a stream longer than the hardware row bound (TPU-style)."""
+        assert self.max_rows is not None
+        n = A.shape[0]
+        pieces = []
+        for start in range(0, n, self.max_rows):
+            chunk = A[start : start + self.max_rows]
+            if chunk.shape[0] < self.sqrt_m:
+                # pad the final short chunk up to the sqrt(m) minimum
+                pad = np.zeros(
+                    (self.sqrt_m - chunk.shape[0], self.sqrt_m), dtype=chunk.dtype
+                )
+                out = self._mm_single(np.vstack([chunk, pad]), B)
+                pieces.append(out[: chunk.shape[0]])
+            else:
+                pieces.append(self._mm_single(chunk, B))
+        return np.vstack(pieces)
+
+    def _systolic_mm(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        if self._systolic is None or self._systolic.sqrt_m != self.sqrt_m:
+            self._systolic = SystolicArray(self.sqrt_m)
+        self._systolic.load_weights(B)
+        C, _ = self._systolic.multiply(A)
+        return C
+
+    # ------------------------------------------------------------------
+    # RAM-side accounting helpers
+    # ------------------------------------------------------------------
+    def charge_cpu(self, ops: float) -> float:
+        """Charge RAM-model work (one unit per word operation)."""
+        return self.ledger.charge_cpu(ops)
+
+    def section(self, name: str):
+        """Attribute charges to a named section (see :class:`CostLedger`)."""
+        return self.ledger.section(name)
+
+    @property
+    def time(self) -> float:
+        """Total model time accumulated so far."""
+        return self.ledger.total_time
+
+    def reset(self) -> None:
+        """Zero the ledger (the machine parameters are untouched)."""
+        self.ledger.reset()
+
+    def fork(self) -> "TCUMachine":
+        """A machine with identical parameters and a fresh ledger."""
+        return type(self)(
+            self.m,
+            self.ell,
+            kappa=self.kappa,
+            max_rows=self.max_rows,
+            complex_cost_factor=self.complex_cost_factor,
+            backend=self.backend,
+            check_overflow=self.check_overflow,
+            trace_calls=self.ledger.trace_calls,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(m={self.m}, ell={self.ell}, "
+            f"kappa={self.kappa}, backend={self.backend!r})"
+        )
+
+
+class WeakTCUMachine(TCUMachine):
+    """The weak TCU model of Section 5: only square ``sqrt(m) x sqrt(m)``
+    products are allowed, so tall left operands must be split by the
+    caller (costing one latency per square call).
+
+    Any (m, l)-TCU algorithm runs on the weak model with constant
+    slowdown when ``l = O(m)`` (Section 5); :meth:`mm` enforces the
+    restriction so that violation is an error rather than silent.
+    """
+
+    def mm(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.asarray(A)
+        if A.ndim == 2 and A.shape[0] != self.sqrt_m:
+            raise TensorShapeError(
+                "weak TCU model multiplies only sqrt(m) x sqrt(m) matrices; "
+                f"got a left operand with {A.shape[0]} rows "
+                f"(sqrt(m)={self.sqrt_m}); split the stream explicitly"
+            )
+        return super().mm(A, B)
+
+    def mm_tall(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """The Section 5 simulation of a tall call: split ``A`` into
+        ``n / sqrt(m)`` square blocks and issue one square call each."""
+        A = np.asarray(A)
+        s = self.sqrt_m
+        n = A.shape[0]
+        pieces = []
+        for start in range(0, n, s):
+            chunk = A[start : start + s]
+            if chunk.shape[0] < s:
+                pad = np.zeros((s - chunk.shape[0], s), dtype=chunk.dtype)
+                out = self.mm(np.vstack([chunk, pad]), B)
+                pieces.append(out[: chunk.shape[0]])
+            else:
+                pieces.append(self.mm(chunk, B))
+        return np.vstack(pieces)

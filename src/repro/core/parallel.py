@@ -1,0 +1,178 @@
+"""Parallel tensor units — the paper's first §6 open question.
+
+Section 3.1 concedes that modelling a *single* tensor unit is the
+model's major simplification (a Titan RTX carries >500 tensor cores).
+:class:`ParallelTCUMachine` extends the (m, l)-TCU with ``p`` identical
+units: *independent* tensor calls issued through :meth:`mm_batch` may
+run concurrently, and the model time charged for the batch is the
+**makespan** of a longest-processing-time (LPT) schedule rather than
+the serial sum.  Everything else — the CPU, memory, the cost of one
+call — is unchanged, so every single-unit algorithm still runs and the
+p = 1 machine is exactly the paper's model.
+
+Scheduling background: LPT on identical machines is a classical
+(4/3 - 1/(3p))-approximation of the optimal makespan, which is good
+enough for cost *accounting*; the guarantee is recorded on the batch
+stats so experiments can reason about it.
+
+The obvious consequences the benches measure:
+
+* a batch of k equal calls speeds up by ``min(p, k)``;
+* latency does not parallelise away *within* a call, so
+  latency-dominated workloads gain little;
+* Theorem 2's schedule parallelises perfectly across its independent
+  ``C_{i,j}`` products, giving ``~ n^{3/2}/(p sqrt(m))`` throughput time
+  until the call count drops below p.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from .machine import TCUMachine, TensorShapeError
+
+__all__ = ["ParallelTCUMachine", "BatchStats"]
+
+
+@dataclass(frozen=True)
+class BatchStats:
+    """Accounting record of one :meth:`ParallelTCUMachine.mm_batch`.
+
+    Attributes
+    ----------
+    calls:
+        Number of tensor calls in the batch.
+    serial_time:
+        Sum of the individual call costs (what a single unit would pay).
+    makespan:
+        The batch's charged model time under the LPT schedule.
+    units_used:
+        Distinct units that received at least one call.
+    """
+
+    calls: int
+    serial_time: float
+    makespan: float
+    units_used: int
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_time / self.makespan if self.makespan else 1.0
+
+
+class ParallelTCUMachine(TCUMachine):
+    """An (m, l)-TCU with ``units`` identical tensor units.
+
+    Single calls through :meth:`mm` behave exactly like the sequential
+    model (one unit active, full cost).  Independent calls batched
+    through :meth:`mm_batch` are LPT-scheduled across the units and the
+    ledger is charged the makespan: the throughput and latency columns
+    are scaled so that ``ledger.total_time`` advances by the makespan
+    while per-call counters (``tensor_calls``) stay exact.
+    """
+
+    def __init__(self, m: int, ell: float = 0.0, *, units: int = 2, **kwargs) -> None:
+        if units < 1:
+            raise ValueError(f"units must be >= 1, got {units}")
+        super().__init__(m, ell, **kwargs)
+        self.units = int(units)
+        self.last_batch: BatchStats | None = None
+
+    # ------------------------------------------------------------------
+    def mm_batch(self, pairs: list[tuple[np.ndarray, np.ndarray]]) -> list[np.ndarray]:
+        """Execute independent products concurrently; returns their results.
+
+        Each pair must satisfy the single-call interface (``n x sqrt(m)``
+        by ``sqrt(m) x sqrt(m)``, ``n >= sqrt(m)``).  The caller asserts
+        independence (no result feeds another operand) — exactly the
+        guarantee the Theorem 2 grid and the DFT levels provide.
+        """
+        if not pairs:
+            self.last_batch = BatchStats(0, 0.0, 0.0, 0)
+            return []
+        s = self.sqrt_m
+        costs = []
+        for A, B in pairs:
+            A = np.asarray(A)
+            B = np.asarray(B)
+            if A.ndim != 2 or A.shape[1] != s or B.shape != (s, s):
+                raise TensorShapeError(
+                    f"batch operand shapes {A.shape} @ {B.shape} violate the "
+                    f"(n x {s}) @ ({s} x {s}) interface"
+                )
+            if A.shape[0] < s:
+                raise TensorShapeError(
+                    f"batch left operand has {A.shape[0]} rows < sqrt(m)={s}"
+                )
+            costs.append(float(A.shape[0]) * s + self.ell)
+
+        # LPT: sort decreasing, assign to the earliest-free unit.
+        order = sorted(range(len(costs)), key=lambda i: -costs[i])
+        heap = [(0.0, u) for u in range(min(self.units, len(costs)))]
+        heapq.heapify(heap)
+        finish = [0.0] * len(costs)
+        used = set()
+        for idx in order:
+            free_at, unit = heapq.heappop(heap)
+            finish[idx] = free_at + costs[idx]
+            used.add(unit)
+            heapq.heappush(heap, (finish[idx], unit))
+        makespan = max(finish)
+        serial = sum(costs)
+
+        # Charge the makespan, split between throughput and latency in
+        # the same proportion as the serial costs, keeping call counts
+        # exact for trace-based consumers.
+        scale = makespan / serial if serial else 0.0
+        throughput_total = sum(c - self.ell for c in costs)
+        self.ledger.tensor_time += throughput_total * scale
+        self.ledger.latency_time += self.ell * len(costs) * scale
+        self.ledger.tensor_calls += len(costs)
+        self.ledger._bump_sections(makespan)
+        if self.ledger.trace_calls:
+            from .ledger import TensorCall
+
+            section = (
+                self.ledger._section_stack[-1] if self.ledger._section_stack else ""
+            )
+            for (A, B), cost in zip(pairs, costs):
+                self.ledger.calls.append(
+                    TensorCall(
+                        n=int(np.asarray(A).shape[0]),
+                        sqrt_m=s,
+                        time=cost * scale,
+                        latency=self.ell * scale,
+                        section=section,
+                    )
+                )
+
+        self.last_batch = BatchStats(
+            calls=len(costs),
+            serial_time=serial,
+            makespan=makespan,
+            units_used=len(used),
+        )
+        return [np.asarray(A) @ np.asarray(B) for A, B in pairs]
+
+    def fork(self) -> "ParallelTCUMachine":
+        """A machine with identical parameters (including the unit
+        count) and a fresh ledger."""
+        return ParallelTCUMachine(
+            self.m,
+            self.ell,
+            units=self.units,
+            kappa=self.kappa,
+            max_rows=self.max_rows,
+            complex_cost_factor=self.complex_cost_factor,
+            backend=self.backend,
+            check_overflow=self.check_overflow,
+            trace_calls=self.ledger.trace_calls,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ParallelTCUMachine(m={self.m}, ell={self.ell}, units={self.units})"
+        )

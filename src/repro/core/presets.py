@@ -1,0 +1,101 @@
+"""Hardware presets from Section 3.1 of the paper.
+
+The paper grounds the abstract (m, l)-TCU in two real accelerators:
+
+* **Google TPUv1** — the right operand B is 256 x 256 words
+  (m = 65536); the unified buffer holds a left operand of up to
+  96K x 256 words, so the streamed row count is hardware-bounded;
+  words are kappa = 8 bits; the per-call latency is *high* because B
+  must be encoded through TensorFlow before it can be loaded.
+* **NVIDIA Volta Tensor Cores** — the programming interface exposes
+  16 x 16 products (m = 256) over kappa = 16-bit words; operands live
+  in HBM shared with the GPU, so latency is *low*.
+
+The latency numbers below are nominal model values chosen to respect
+the qualitative ordering the paper describes (TPU latency >> TC
+latency); every bench that uses them sweeps ell as well, so no claim
+depends on the exact constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .machine import TCUMachine
+
+__all__ = ["MachineSpec", "TPU_V1", "VOLTA_TC", "TEST_UNIT", "PRESETS"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A named (m, l)-TCU parameterisation.
+
+    ``create()`` builds a fresh :class:`TCUMachine` with these
+    parameters; keyword overrides are forwarded (e.g. ``ell=0`` to
+    study the latency-free limit of the same unit).
+    """
+
+    name: str
+    m: int
+    ell: float
+    kappa: int
+    max_rows: int | None = None
+    notes: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def sqrt_m(self) -> int:
+        import math
+
+        return math.isqrt(self.m)
+
+    def create(self, **overrides) -> TCUMachine:
+        kwargs = dict(
+            m=self.m,
+            ell=self.ell,
+            kappa=self.kappa,
+            max_rows=self.max_rows,
+        )
+        kwargs.update(self.extra)
+        kwargs.update(overrides)
+        m = kwargs.pop("m")
+        ell = kwargs.pop("ell")
+        return TCUMachine(m, ell, **kwargs)
+
+
+TPU_V1 = MachineSpec(
+    name="tpu-v1",
+    m=256 * 256,
+    ell=131072.0,  # ~2m: the TensorFlow-encoded weight load dominates (§3.1)
+    kappa=8,
+    max_rows=96 * 1024,
+    notes=(
+        "Google TPUv1 (Jouppi et al. 2017): 256x256 systolic MMU, 8-bit "
+        "words, 96K-row unified buffer, high activation latency."
+    ),
+)
+
+VOLTA_TC = MachineSpec(
+    name="volta-tc",
+    m=16 * 16,
+    ell=32.0,  # low: operands come from on-die shared memory (§3.1)
+    kappa=16,
+    max_rows=None,
+    notes=(
+        "NVIDIA Volta tensor core at the CUDA warp level: 16x16 "
+        "half-precision products, low latency."
+    ),
+)
+
+TEST_UNIT = MachineSpec(
+    name="test-unit",
+    m=16,
+    ell=4.0,
+    kappa=64,
+    max_rows=None,
+    notes="Tiny 4x4 unit for fast test-suite runs.",
+)
+
+PRESETS: dict[str, MachineSpec] = {
+    spec.name: spec for spec in (TPU_V1, VOLTA_TC, TEST_UNIT)
+}

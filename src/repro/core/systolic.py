@@ -1,0 +1,179 @@
+"""Cycle-level simulator for the systolic matrix-multiplication array.
+
+Section 2.2 (and Figure 1) of the paper formalises the weight-stationary
+systolic algorithm used by the Google TPU:
+
+* a 2-D grid of ``m`` processing elements (PEs) ``p[i][j]``,
+  ``0 <= i, j < sqrt(m)``;
+* in the first ``sqrt(m)`` steps matrix B is pushed into the grid so
+  that ``p[i][j]`` holds ``b[i][j]``;
+* then, in each compute step ``k``, PE ``p[i][j]`` receives an entry
+  ``a`` of A from its left neighbour (or the skewed input ``a[k-i][i]``
+  when ``j = 0``) and a partial sum ``c`` from its top neighbour (0 when
+  ``i = 0``), computes ``c <- c + a * b[i][j]``, and forwards ``a``
+  right and ``c`` down;
+* the bottom PE of column ``j`` emits output entry ``c[r][j]``.
+
+With 0-indexed compute steps this simulator reproduces the paper's
+timing claims (stated there with the load phase folded in):
+
+* ``c[r][j]`` is emitted at compute step ``r + j + sqrt(m) - 1``;
+* a square multiply drains after ``3*(sqrt(m)-1) + 1`` compute steps;
+* an ``n``-row left operand (the §3 "asymmetric" tall stream) drains
+  after ``n + 2*(sqrt(m)-1)`` compute steps — the per-row marginal cost
+  is one step, which is what justifies streaming A instead of splitting
+  it into square tiles.
+
+The simulator is synchronous and exact: every cycle updates the ``a``
+and ``c`` pipeline registers of all PEs at once, and the emitted matrix
+is checked against the mathematical product by the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SystolicArray", "SystolicRunStats"]
+
+
+@dataclass(frozen=True)
+class SystolicRunStats:
+    """Timing record of one streamed multiplication.
+
+    Attributes
+    ----------
+    n:
+        Rows of the left operand streamed through the array.
+    sqrt_m:
+        Array side.
+    load_steps:
+        Steps spent loading B (always ``sqrt_m``).
+    compute_steps:
+        Synchronous compute cycles until the last output drained.
+    emit_step:
+        ``emit_step[r, j]`` is the 0-indexed compute step at which
+        output entry ``C[r][j]`` left the bottom row of the array.
+    mac_count:
+        Total multiply-accumulate operations performed (``n * m``).
+    """
+
+    n: int
+    sqrt_m: int
+    load_steps: int
+    compute_steps: int
+    emit_step: np.ndarray
+    mac_count: int
+
+    @property
+    def total_steps(self) -> int:
+        return self.load_steps + self.compute_steps
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of PE-cycles that performed a useful MAC."""
+        cycles = self.compute_steps * self.sqrt_m * self.sqrt_m
+        return self.mac_count / cycles if cycles else 0.0
+
+
+class SystolicArray:
+    """A ``sqrt_m x sqrt_m`` weight-stationary systolic array."""
+
+    def __init__(self, sqrt_m: int) -> None:
+        if sqrt_m < 1:
+            raise ValueError(f"sqrt_m must be >= 1, got {sqrt_m}")
+        self.sqrt_m = int(sqrt_m)
+        self._weights: np.ndarray | None = None
+        self._load_steps = 0
+
+    # ------------------------------------------------------------------
+    def load_weights(self, B: np.ndarray) -> int:
+        """Push matrix B into the PE grid; returns the steps spent (sqrt_m).
+
+        The load phase percolates one row of B per step, top to bottom,
+        exactly as in Figure 1; after ``sqrt_m`` steps PE ``p[i][j]``
+        holds ``b[i][j]``.
+        """
+        B = np.asarray(B)
+        s = self.sqrt_m
+        if B.shape != (s, s):
+            raise ValueError(f"weights must be {s}x{s}, got {B.shape}")
+        # One row of B percolates into the grid per step (Figure 1):
+        # row B[s-1] enters first and sinks to depth s-1, row B[0] enters
+        # last and rests at depth 0, so the phase takes exactly s steps.
+        self._weights = B.copy()
+        self._load_steps = s
+        return s
+
+    # ------------------------------------------------------------------
+    def multiply(self, A: np.ndarray) -> tuple[np.ndarray, SystolicRunStats]:
+        """Stream the rows of ``A`` through the array; return (C, stats).
+
+        ``A`` is ``n x sqrt_m`` with any ``n >= 1`` (the machine-level
+        ``n >= sqrt(m)`` constraint is enforced by
+        :class:`~repro.core.machine.TCUMachine`, not here, so the
+        simulator can also exercise short streams in isolation).
+        """
+        if self._weights is None:
+            raise RuntimeError("load_weights must be called before multiply")
+        A = np.asarray(A)
+        s = self.sqrt_m
+        if A.ndim != 2 or A.shape[1] != s:
+            raise ValueError(f"left operand must be n x {s}, got {A.shape}")
+        n = A.shape[0]
+        B = self._weights
+        out_dtype = np.result_type(A.dtype, B.dtype)
+
+        C = np.zeros((n, s), dtype=out_dtype)
+        emit_step = np.full((n, s), -1, dtype=np.int64)
+
+        # Pipeline registers: a_reg[i, j] is the A-value PE (i, j)
+        # processed this cycle; c_reg[i, j] the partial sum it produced.
+        a_reg = np.zeros((s, s), dtype=out_dtype)
+        c_reg = np.zeros((s, s), dtype=out_dtype)
+        a_valid = np.zeros((s, s), dtype=bool)
+
+        total_compute = n + 2 * (s - 1)
+        mac_count = 0
+        for k in range(total_compute):
+            # Values move synchronously: shift a right, c down, then
+            # inject the skewed column inputs a[k-i][i] at j = 0.
+            new_a = np.zeros_like(a_reg)
+            new_valid = np.zeros_like(a_valid)
+            new_a[:, 1:] = a_reg[:, :-1]
+            new_valid[:, 1:] = a_valid[:, :-1]
+            for i in range(s):
+                r = k - i
+                if 0 <= r < n:
+                    new_a[i, 0] = A[r, i]
+                    new_valid[i, 0] = True
+            new_c = np.zeros_like(c_reg)
+            new_c[1:, :] = c_reg[:-1, :]
+            # MAC in every PE holding a valid a-value.
+            new_c = new_c + np.where(new_valid, new_a * B, 0)
+            mac_count += int(new_valid.sum())
+            # Bottom row emits: PE (s-1, j) processed the value for
+            # output row r = k - (s-1) - j this cycle.
+            for j in range(s):
+                r = k - (s - 1) - j
+                if 0 <= r < n:
+                    C[r, j] = new_c[s - 1, j]
+                    emit_step[r, j] = k
+            a_reg, c_reg, a_valid = new_a, new_c, new_valid
+
+        stats = SystolicRunStats(
+            n=n,
+            sqrt_m=s,
+            load_steps=self._load_steps,
+            compute_steps=total_compute,
+            emit_step=emit_step,
+            mac_count=mac_count,
+        )
+        return C, stats
+
+    # ------------------------------------------------------------------
+    def matmul(self, A: np.ndarray, B: np.ndarray) -> tuple[np.ndarray, SystolicRunStats]:
+        """Convenience: load ``B`` then stream ``A``."""
+        self.load_weights(B)
+        return self.multiply(A)

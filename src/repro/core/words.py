@@ -1,0 +1,156 @@
+"""kappa-bit word semantics for the (m, l)-TCU model.
+
+Section 3 of the paper fixes a word size of kappa bits (kappa =
+Omega(log n)).  Section 4.7 relies on a finer discipline: when long
+integers are multiplied through the tensor unit, each operand is split
+into limbs of kappa' = kappa/4 bits so that the largest value produced
+by a sqrt(m)-wide inner product,
+
+    2^(2 kappa') * sqrt(m),
+
+still fits in a kappa-bit accumulator without overflow (the paper notes
+kappa' = kappa/2 - 1 also suffices when n >> m).  This module provides
+that discipline: limb split/join, overflow guards, and the safe limb
+width for a given (kappa, m).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WordSpec",
+    "OverflowError_",
+    "safe_limb_bits",
+    "int_to_limbs",
+    "limbs_to_int",
+    "check_no_overflow",
+]
+
+
+class OverflowError_(ArithmeticError):
+    """A value exceeded the machine's kappa-bit accumulator."""
+
+
+def safe_limb_bits(kappa: int, m: int) -> int:
+    """Largest limb width (bits) safe for sqrt(m)-wide inner products.
+
+    Requires ``2 * limb_bits + ceil(log2(sqrt(m))) <= kappa`` so the sum
+    of sqrt(m) limb products fits in a kappa-bit word, mirroring the
+    paper's kappa' = kappa/4 argument but tight for the given m.
+    """
+    if kappa < 4:
+        raise ValueError(f"kappa must be >= 4, got {kappa}")
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    sqrt_m = math.isqrt(m)
+    if sqrt_m * sqrt_m != m:
+        raise ValueError(f"m must be a perfect square, got {m}")
+    guard = max(1, sqrt_m).bit_length()  # ceil(log2 sqrt(m)) + 1 margin
+    limb = (kappa - guard) // 2
+    if limb < 1:
+        raise OverflowError_(
+            f"no safe limb width exists for kappa={kappa}, m={m}"
+        )
+    return limb
+
+
+@dataclass(frozen=True)
+class WordSpec:
+    """Machine word description: kappa bits, and the limb width used
+    by the integer-multiplication algorithms of Section 4.7."""
+
+    kappa: int
+    limb_bits: int
+
+    def __post_init__(self) -> None:
+        if self.kappa < 4:
+            raise ValueError(f"kappa must be >= 4, got {self.kappa}")
+        if not (1 <= self.limb_bits <= self.kappa):
+            raise ValueError(
+                f"limb_bits must be in [1, kappa], got {self.limb_bits}"
+            )
+
+    @classmethod
+    def for_machine(cls, kappa: int, m: int) -> "WordSpec":
+        """Word spec with the paper's conservative kappa' = kappa/4 limbs,
+        tightened only if kappa/4 would overflow for this m."""
+        quarter = max(1, kappa // 4)
+        limb = min(quarter, safe_limb_bits(kappa, m))
+        return cls(kappa=kappa, limb_bits=limb)
+
+    @property
+    def limb_base(self) -> int:
+        return 1 << self.limb_bits
+
+    @property
+    def max_word(self) -> int:
+        return (1 << self.kappa) - 1
+
+
+def int_to_limbs(value: int, limb_bits: int, count: int | None = None) -> np.ndarray:
+    """Split a non-negative integer into little-endian limbs.
+
+    Parameters
+    ----------
+    value:
+        The integer ``a``; must be >= 0.
+    limb_bits:
+        Bits per limb (the paper's kappa').
+    count:
+        Pad/validate to exactly this many limbs when given.
+
+    Returns an int64 array ``A`` with ``a = sum_i A[i] * 2**(i*limb_bits)``.
+    """
+    if value < 0:
+        raise ValueError("int_to_limbs requires a non-negative integer")
+    if limb_bits < 1:
+        raise ValueError(f"limb_bits must be >= 1, got {limb_bits}")
+    if limb_bits > 62:
+        raise ValueError("limb_bits > 62 would overflow int64 limbs")
+    mask = (1 << limb_bits) - 1
+    limbs: list[int] = []
+    v = int(value)
+    while v:
+        limbs.append(v & mask)
+        v >>= limb_bits
+    if not limbs:
+        limbs = [0]
+    if count is not None:
+        if len(limbs) > count:
+            raise ValueError(
+                f"value needs {len(limbs)} limbs, more than count={count}"
+            )
+        limbs.extend([0] * (count - len(limbs)))
+    return np.asarray(limbs, dtype=np.int64)
+
+
+def limbs_to_int(limbs: np.ndarray, limb_bits: int) -> int:
+    """Evaluate little-endian limbs at base 2**limb_bits (exact bigint).
+
+    Limbs may exceed the base (the un-normalised convolution output of
+    Theorem 9); carries are resolved by plain integer arithmetic.
+    """
+    arr = np.asarray(limbs)
+    total = 0
+    for i, limb in enumerate(arr.tolist()):
+        total += int(limb) << (i * limb_bits)
+    return total
+
+
+def check_no_overflow(array: np.ndarray, spec: WordSpec) -> None:
+    """Raise :class:`OverflowError_` if any entry exceeds kappa bits."""
+    arr = np.asarray(array)
+    if arr.size == 0:
+        return
+    hi = int(arr.max())
+    lo = int(arr.min())
+    if lo < 0:
+        raise OverflowError_(f"negative accumulator value {lo}")
+    if hi > spec.max_word:
+        raise OverflowError_(
+            f"accumulator value {hi} exceeds kappa={spec.kappa}-bit word"
+        )

@@ -1,0 +1,28 @@
+"""External-memory model and the Theorem 12 correspondence (Section 5)."""
+
+from .algorithms import em_blocked_matmul_io, em_naive_matmul_io
+from .bounds import (
+    dense_mm_semiring_lower_bound,
+    fft_io_lower_bound,
+    matmul_io_lower_bound,
+    sorting_io_lower_bound,
+    tcu_matmul_time_lower_bound,
+    tcu_time_lower_bound,
+)
+from .memory import ExternalMemory, IOStats
+from .simulate import TCUSimulationIO, simulate_ledger_io
+
+__all__ = [
+    "ExternalMemory",
+    "IOStats",
+    "em_blocked_matmul_io",
+    "em_naive_matmul_io",
+    "matmul_io_lower_bound",
+    "sorting_io_lower_bound",
+    "fft_io_lower_bound",
+    "tcu_matmul_time_lower_bound",
+    "tcu_time_lower_bound",
+    "dense_mm_semiring_lower_bound",
+    "simulate_ledger_io",
+    "TCUSimulationIO",
+]

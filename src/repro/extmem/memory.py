@@ -1,0 +1,102 @@
+"""The external-memory (I/O) model machine of Section 5.
+
+An internal memory of ``M`` words, an unbounded external memory, and
+transfers of blocks of ``B`` contiguous words; the I/O complexity of an
+algorithm is the number of block transfers (Vitter's survey is the
+paper's reference).  :class:`ExternalMemory` is an address-trace cache
+simulator: algorithms *touch* word addresses, the simulator keeps the
+set of resident blocks under LRU and counts fetches and (dirty)
+writebacks.
+
+The paper's Theorem 12 uses this machine with ``M = 3m + O(1)`` and
+``B = 1`` to simulate a weak-TCU execution; :mod:`repro.extmem.simulate`
+drives that simulation off a recorded :class:`~repro.core.ledger.CostLedger`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["ExternalMemory", "IOStats"]
+
+
+@dataclass
+class IOStats:
+    """I/O counters: block fetches, dirty writebacks, and total transfers."""
+
+    fetches: int = 0
+    writebacks: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.fetches + self.writebacks
+
+
+class ExternalMemory:
+    """LRU cache simulator over a word-addressed external memory.
+
+    Parameters
+    ----------
+    M:
+        Internal-memory capacity in words (must allow at least one block).
+    B:
+        Block length in words (default 1, as in the Theorem 12 setting).
+    """
+
+    def __init__(self, M: int, B: int = 1) -> None:
+        if B < 1:
+            raise ValueError(f"B must be >= 1, got {B}")
+        if M < B:
+            raise ValueError(f"M={M} must hold at least one block of B={B}")
+        self.M = int(M)
+        self.B = int(B)
+        self.capacity_blocks = self.M // self.B
+        self.stats = IOStats()
+        # block id -> dirty flag; insertion order tracks LRU recency.
+        self._resident: OrderedDict[int, bool] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def touch(self, addr: int, *, write: bool = False) -> None:
+        """Access one word; faults and evicts as needed."""
+        if addr < 0:
+            raise ValueError(f"negative address {addr}")
+        block = addr // self.B
+        if block in self._resident:
+            self._resident.move_to_end(block)
+            if write:
+                self._resident[block] = True
+            return
+        self.stats.fetches += 1
+        if len(self._resident) >= self.capacity_blocks:
+            _, dirty = self._resident.popitem(last=False)
+            if dirty:
+                self.stats.writebacks += 1
+        self._resident[block] = write
+
+    def touch_range(self, start: int, count: int, *, write: bool = False) -> None:
+        """Access ``count`` consecutive words starting at ``start``."""
+        if count < 0:
+            raise ValueError(f"negative count {count}")
+        if count == 0:
+            return
+        first = start // self.B
+        last = (start + count - 1) // self.B
+        for block in range(first, last + 1):
+            self.touch(block * self.B, write=write)
+
+    def flush(self) -> None:
+        """Write back every dirty resident block (end-of-run accounting)."""
+        for block, dirty in self._resident.items():
+            if dirty:
+                self.stats.writebacks += 1
+                self._resident[block] = False
+
+    @property
+    def io_count(self) -> int:
+        """Total block transfers so far (fetches + writebacks)."""
+        return self.stats.total
+
+    def reset(self) -> None:
+        self.stats = IOStats()
+        self._resident.clear()

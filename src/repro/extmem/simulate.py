@@ -1,0 +1,79 @@
+"""Theorem 12: simulating a (weak) TCU execution in external memory.
+
+The proof of Theorem 12 converts a weak-TCU run of time ``T = T_t + T_o``
+into an EM execution with ``M = 3m + O(1)``, ``B = 1``:
+
+* each square tensor call loads its two ``sqrt(m) x sqrt(m)`` operands
+  (2m words), computes internally for free, and writes the m output
+  words back — Theta(m) I/Os against a Theta(m) model-time charge;
+* every other CPU operation is simulated with O(1) words of internal
+  memory and O(1) I/Os.
+
+:func:`simulate_ledger_io` replays a recorded
+:class:`~repro.core.ledger.CostLedger` under exactly that accounting,
+so the bench can verify ``I/Os = Theta(model time)`` — the bridge that
+turns EM lower bounds into weak-TCU time lower bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ledger import CostLedger
+
+__all__ = ["simulate_ledger_io", "TCUSimulationIO"]
+
+
+@dataclass(frozen=True)
+class TCUSimulationIO:
+    """I/O cost of the EM simulation of one TCU run."""
+
+    tensor_ios: int
+    cpu_ios: int
+    tensor_calls: int
+    model_time: float
+
+    @property
+    def total_ios(self) -> int:
+        return self.tensor_ios + self.cpu_ios
+
+    @property
+    def io_per_time(self) -> float:
+        """The Theta(1) ratio Theorem 12's argument relies on."""
+        return self.total_ios / self.model_time if self.model_time else 0.0
+
+
+def simulate_ledger_io(ledger: CostLedger, *, weak: bool = True) -> TCUSimulationIO:
+    """Replay a traced ledger under the Theorem 12 I/O accounting.
+
+    Parameters
+    ----------
+    ledger:
+        A ledger recorded with ``trace_calls=True``.
+    weak:
+        When true (the Theorem 12 setting) every tall call of ``n`` rows
+        is first split into ``ceil(n / sqrt(m))`` square calls, each
+        paying the full 3m transfer; when false, tall calls stream and
+        pay ``2 n sqrt(m) + m`` words (operands + output, B resident).
+
+    Returns the I/O breakdown; CPU work costs one I/O per model-time
+    unit (O(1) internal memory for the scalar state).
+    """
+    if not ledger.trace_calls:
+        raise ValueError("ledger was created with trace_calls=False; nothing to replay")
+    tensor_ios = 0
+    for call in ledger.calls:
+        s = call.sqrt_m
+        m = s * s
+        if weak:
+            squares = -(-call.n // s)  # ceil
+            tensor_ios += squares * 3 * m
+        else:
+            tensor_ios += 2 * call.n * s + m
+    cpu_ios = int(ledger.cpu_time)
+    return TCUSimulationIO(
+        tensor_ios=tensor_ios,
+        cpu_ios=cpu_ios,
+        tensor_calls=ledger.tensor_calls,
+        model_time=ledger.total_time,
+    )

@@ -1,0 +1,14 @@
+"""Graph algorithms on the (m, l)-TCU (Sections 4.3-4.4 + extensions)."""
+
+from .apsd import SeidelStats, apsd, seidel
+from .closure import transitive_closure
+from .triangles import count_triangles, triangles_per_vertex
+
+__all__ = [
+    "transitive_closure",
+    "apsd",
+    "seidel",
+    "SeidelStats",
+    "count_triangles",
+    "triangles_per_vertex",
+]

@@ -1,0 +1,121 @@
+"""Graph transitive closure on the TCU (Theorem 5, Figure 7).
+
+The iterative closure algorithm (Figure 5) is the Floyd-Warshall loop
+over the boolean semiring: ``d[i,j] |= d[i,k] & d[k,j]``.  Figure 7
+blocks it into ``sqrt(m) x sqrt(m)`` tiles with four kernels:
+
+* ``A(X)``    -- closure step within the diagonal block ``X_kk``;
+* ``B(X, Y)`` -- pivot-row block, ``X |= Y & X`` column-wise;
+* ``C(X, Y)`` -- pivot-column block, ``X |= X & Y``;
+* ``D(X, Y, Z)`` -- trailing blocks.  The paper's key observation: D
+  touches blocks *disjoint* from the pivot row/column, so boolean
+  (OR/AND) can be replaced by integer (+/x) followed by clamping
+  ``X[i,j] <- min(X[i,j], 1)`` — which makes D a plain matrix product
+  the tensor unit can run.
+
+For each ``j != k`` the block ``X_kj`` is the resident weight matrix
+and the ``X_ik`` blocks for all ``i != k`` stream through as (at most
+two) tall calls — rows above and rows below the pivot block row.
+Total model time (Theorem 5):
+
+    T(n) = Theta( n^3 / sqrt(m) + (n^2/m) l + n^2 sqrt(m) ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.machine import TCUMachine
+from ..matmul.schedule import ceil_to_multiple
+
+__all__ = ["transitive_closure"]
+
+
+def _closure_block(tcu: TCUMachine, X: np.ndarray) -> None:
+    """Kernel A: in-place closure of the diagonal block (Figure 7)."""
+    s = X.shape[0]
+    for k in range(s):
+        X |= np.outer(X[:, k], X[k, :])
+        tcu.charge_cpu(s * s * 2)
+
+
+def _row_block(tcu: TCUMachine, X: np.ndarray, Y: np.ndarray) -> None:
+    """Kernel B: ``X_kj |= X_kk-paths``, in place."""
+    s = X.shape[0]
+    for k in range(s):
+        X |= np.outer(Y[:, k], X[k, :])
+        tcu.charge_cpu(s * s * 2)
+
+
+def _col_block(tcu: TCUMachine, X: np.ndarray, Y: np.ndarray) -> None:
+    """Kernel C: ``X_ik |= paths-through-X_kk``, in place."""
+    s = X.shape[0]
+    for k in range(s):
+        X |= np.outer(X[:, k], Y[k, :])
+        tcu.charge_cpu(s * s * 2)
+
+
+def transitive_closure(tcu: TCUMachine, adjacency: np.ndarray) -> np.ndarray:
+    """Transitive closure of a directed graph (Figure 7).
+
+    Parameters
+    ----------
+    adjacency:
+        ``n x n`` 0/1 matrix, ``adjacency[i, j] = 1`` iff edge i -> j.
+
+    Returns
+    -------
+    0/1 int64 matrix ``c`` with ``c[i, j] = 1`` iff a non-empty directed
+    path from i to j exists (so ``c[i, i] = 1`` exactly when i lies on a
+    cycle, matching the Figure 5 iteration).
+
+    The vertex count need not divide by ``sqrt(m)``; padding vertices
+    are isolated and cropped from the result.
+    """
+    A = np.asarray(adjacency)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError(f"adjacency must be square, got {A.shape}")
+    if not np.isin(np.unique(A), (0, 1)).all():
+        raise ValueError("adjacency entries must be 0/1")
+    n = A.shape[0]
+    s = tcu.sqrt_m
+    padded = ceil_to_multiple(n, s)
+    work = np.zeros((padded, padded), dtype=np.int64)
+    work[:n, :n] = A
+    tcu.charge_cpu(padded * padded)
+    nb = padded // s
+
+    for k in range(nb):
+        kk = slice(k * s, (k + 1) * s)
+        Xkk = work[kk, kk]
+        _closure_block(tcu, Xkk)
+        for j in range(nb):
+            if j != k:
+                jj = slice(j * s, (j + 1) * s)
+                _row_block(tcu, work[kk, jj], Xkk)
+        for i in range(nb):
+            if i != k:
+                ii = slice(i * s, (i + 1) * s)
+                _col_block(tcu, work[ii, kk], Xkk)
+        # Trailing update D on the tensor unit: for each j != k the
+        # weight block X_kj stays resident while every X_ik (i != k)
+        # streams through; the i != k rows form two contiguous runs.
+        segments = []
+        if k > 0:
+            segments.append(slice(0, k * s))
+        if k + 1 < nb:
+            segments.append(slice((k + 1) * s, padded))
+        for j in range(nb):
+            if j == k:
+                continue
+            jj = slice(j * s, (j + 1) * s)
+            Z = work[kk, jj].copy()  # weight must not alias the updated strip
+            tcu.charge_cpu(s * s)
+            for seg in segments:
+                tall = work[seg, kk]
+                prod = tcu.mm(tall, Z)
+                strip = work[seg, jj]
+                # X <- min(X + Y*Z, 1): integer product + clamp
+                np.minimum(strip + prod, 1, out=strip)
+                tcu.charge_cpu(2 * (seg.stop - seg.start) * s)
+    return work[:n, :n]

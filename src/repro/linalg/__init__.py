@@ -1,0 +1,5 @@
+"""Linear-system algorithms on the (m, l)-TCU (Section 4.2)."""
+
+from .gaussian import back_substitute, ge_forward, ge_solve
+
+__all__ = ["ge_forward", "ge_solve", "back_substitute"]

@@ -1,0 +1,42 @@
+"""Matrix multiplication on the (m, l)-TCU.
+
+* :mod:`repro.matmul.dense`    -- Theorem 2 blocked schedule, Corollary 1
+* :mod:`repro.matmul.strassen` -- Theorem 1 Strassen-like recursion
+* :mod:`repro.matmul.sparse`   -- Theorem 3 output-sensitive product
+* :mod:`repro.matmul.schedule` -- tiling/padding helpers
+"""
+
+from .dense import matmul, rectangular_mm, square_mm, tensor_call_count
+from .parallel_dense import parallel_matmul, predicted_parallel_time
+from .schedule import block_view, ceil_to_multiple, pad_matrix, strip_view
+from .sparse import SparseProductStats, SparseRecoveryError, sparse_mm
+from .strassen import (
+    CLASSICAL_2X2,
+    STRASSEN_2X2,
+    BilinearAlgorithm,
+    default_cutoff,
+    recursion_depth,
+    strassen_like_mm,
+)
+
+__all__ = [
+    "matmul",
+    "square_mm",
+    "rectangular_mm",
+    "tensor_call_count",
+    "parallel_matmul",
+    "predicted_parallel_time",
+    "sparse_mm",
+    "SparseProductStats",
+    "SparseRecoveryError",
+    "BilinearAlgorithm",
+    "CLASSICAL_2X2",
+    "STRASSEN_2X2",
+    "strassen_like_mm",
+    "default_cutoff",
+    "recursion_depth",
+    "pad_matrix",
+    "ceil_to_multiple",
+    "block_view",
+    "strip_view",
+]

@@ -1,0 +1,160 @@
+"""Dense matrix multiplication on the (m, l)-TCU (Theorem 2, Corollary 1).
+
+Theorem 2's algorithm: split the left matrix A into ``sqrt(m)``-wide
+*tall* vertical strips ``A_i`` and the right matrix B into
+``sqrt(m) x sqrt(m)`` blocks ``B_{i,j}``.  Each ``C_{i,j} = A_i B_{i,j}``
+is one tensor call on a tall operand (cost ``p * sqrt(m) + l``), and the
+output strip ``C_j = sum_i C_{i,j}`` needs only additions.  For square
+``sqrt(n) x sqrt(n)`` inputs this gives the semiring-optimal
+
+    Theta( n^{3/2} / sqrt(m)  +  (n/m) * l )
+
+model time; :func:`matmul` generalises the same schedule to arbitrary
+``p x q`` times ``q x r`` shapes, which also yields Corollary 1's bound
+``Theta(rn/sqrt(m) + (r*sqrt(n)/m) l)`` for ``sqrt(n) x r`` by
+``r x sqrt(n)`` products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.machine import TCUMachine
+from .schedule import ceil_to_multiple, pad_matrix, padded_copy_cost
+
+__all__ = [
+    "matmul",
+    "square_mm",
+    "rectangular_mm",
+    "tensor_call_count",
+]
+
+
+def matmul(
+    tcu: TCUMachine,
+    A: np.ndarray,
+    B: np.ndarray,
+    *,
+    charge_padding: bool = True,
+) -> np.ndarray:
+    """``C = A @ B`` for arbitrary 2-D shapes via the Theorem 2 schedule.
+
+    Parameters
+    ----------
+    tcu:
+        The machine executing (and billing) the computation.
+    A, B:
+        ``p x q`` and ``q x r`` arrays over a common dtype family.
+    charge_padding:
+        Charge the RAM-model cost of materialising padded copies (on by
+        default; disable only inside algorithms that pre-pad).
+
+    Notes
+    -----
+    The right operand block ``B_{i,j}`` is loaded once per tensor call
+    while the *whole* height-``p`` strip of A streams through — the
+    asymmetric behaviour of Section 3 (property 3).  Output additions
+    are charged one RAM unit per word.
+    """
+    A = np.asarray(A)
+    B = np.asarray(B)
+    if A.ndim != 2 or B.ndim != 2:
+        raise ValueError("matmul expects 2-D operands")
+    p, q = A.shape
+    q2, r = B.shape
+    if q != q2:
+        raise ValueError(f"inner dimensions disagree: {A.shape} @ {B.shape}")
+    s = tcu.sqrt_m
+    if p == 0 or q == 0 or r == 0:
+        return np.zeros((p, r), dtype=np.result_type(A.dtype, B.dtype))
+
+    p_pad = max(p, s)
+    q_pad = ceil_to_multiple(q, s)
+    r_pad = ceil_to_multiple(r, s)
+    if charge_padding:
+        tcu.charge_cpu(
+            padded_copy_cost(A, p_pad, q_pad) + padded_copy_cost(B, q_pad, r_pad)
+        )
+    Ap = pad_matrix(A, p_pad, q_pad)
+    Bp = pad_matrix(B, q_pad, r_pad)
+
+    out_dtype = np.result_type(Ap.dtype, Bp.dtype)
+    C = np.zeros((p_pad, r_pad), dtype=out_dtype)
+    for j in range(r_pad // s):
+        col = slice(j * s, (j + 1) * s)
+        for i in range(q_pad // s):
+            row = slice(i * s, (i + 1) * s)
+            # One tall tensor call: the full-height strip A_i against
+            # the resident block B_{i,j}.
+            partial = tcu.mm(Ap[:, row], Bp[row, col])
+            C[:, col] += partial
+            tcu.charge_cpu(p_pad * s)  # the C_{i,j} accumulation
+    return C[:p, :r]
+
+
+def square_mm(tcu: TCUMachine, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Theorem 2 specialised to square operands (shape-checked)."""
+    A = np.asarray(A)
+    B = np.asarray(B)
+    if A.shape != B.shape or A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError(
+            f"square_mm expects equal square operands, got {A.shape} and {B.shape}"
+        )
+    return matmul(tcu, A, B)
+
+
+def rectangular_mm(
+    tcu: TCUMachine,
+    A: np.ndarray,
+    B: np.ndarray,
+    *,
+    algorithm=None,
+) -> np.ndarray:
+    """Corollary 1: multiply ``sqrt(n) x r`` by ``r x sqrt(n)``.
+
+    With ``algorithm=None`` this is the Theorem 2 schedule (semiring
+    cost ``rn/sqrt(m) + (r sqrt(n)/m) l``).  Passing a
+    :class:`~repro.matmul.strassen.BilinearAlgorithm` instead decomposes
+    the product into ``t x t`` squares with ``t = min(sqrt(n), r)`` and
+    runs the Strassen-like recursion of Theorem 1 on each square, as the
+    corollary's proof prescribes.
+    """
+    A = np.asarray(A)
+    B = np.asarray(B)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise ValueError(f"incompatible shapes {A.shape} @ {B.shape}")
+    if algorithm is None:
+        return matmul(tcu, A, B)
+
+    from .strassen import strassen_like_mm
+
+    p, q = A.shape
+    _, r = B.shape
+    t = min(p, q, r)
+    t_pad = max(t, 1)
+    p_pad = ceil_to_multiple(p, t_pad)
+    q_pad = ceil_to_multiple(q, t_pad)
+    r_pad = ceil_to_multiple(r, t_pad)
+    tcu.charge_cpu(
+        padded_copy_cost(A, p_pad, q_pad) + padded_copy_cost(B, q_pad, r_pad)
+    )
+    Ap = pad_matrix(A, p_pad, q_pad)
+    Bp = pad_matrix(B, q_pad, r_pad)
+    C = np.zeros((p_pad, r_pad), dtype=np.result_type(Ap.dtype, Bp.dtype))
+    for bi in range(p_pad // t_pad):
+        for bj in range(r_pad // t_pad):
+            acc = C[bi * t_pad : (bi + 1) * t_pad, bj * t_pad : (bj + 1) * t_pad]
+            for bk in range(q_pad // t_pad):
+                blockA = Ap[bi * t_pad : (bi + 1) * t_pad, bk * t_pad : (bk + 1) * t_pad]
+                blockB = Bp[bk * t_pad : (bk + 1) * t_pad, bj * t_pad : (bj + 1) * t_pad]
+                acc += strassen_like_mm(tcu, blockA, blockB, algorithm=algorithm)
+                tcu.charge_cpu(t_pad * t_pad)
+    return C[:p, :r]
+
+
+def tensor_call_count(p: int, q: int, r: int, sqrt_m: int) -> int:
+    """Number of tensor calls the Theorem 2 schedule issues for
+    ``p x q @ q x r`` (used by tests to pin the accounting down)."""
+    q_pad = ceil_to_multiple(q, sqrt_m)
+    r_pad = ceil_to_multiple(r, sqrt_m)
+    return (q_pad // sqrt_m) * (r_pad // sqrt_m)

@@ -1,0 +1,76 @@
+"""Dense MM on parallel tensor units (extension of Theorem 2).
+
+The Theorem 2 schedule's ``C_{i,j} = A_i B_{i,j}`` products are
+pairwise independent, so on a p-unit machine (§6 open question) they
+can be batched: expected model time
+
+    T(n, p) ~ n^{3/2} / (p sqrt(m))  +  (n / (p m)) l
+
+until the call count ``n/m`` drops below p, after which extra units are
+idle.  The reduction ``C_j = sum_i C_{i,j}`` stays CPU work, exactly as
+in the sequential schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.parallel import ParallelTCUMachine
+from .schedule import ceil_to_multiple, pad_matrix, padded_copy_cost
+
+__all__ = ["parallel_matmul", "predicted_parallel_time"]
+
+
+def predicted_parallel_time(n: float, m: float, ell: float, p: int) -> float:
+    """The parallel extension's cost shape (calls floor at 1 per unit)."""
+    import math
+
+    calls = max(n / m, 1.0)
+    waves = max(calls / p, 1.0)
+    per_call = math.sqrt(n) * math.sqrt(m) + ell
+    return waves * per_call
+
+
+def parallel_matmul(
+    ptcu: ParallelTCUMachine,
+    A: np.ndarray,
+    B: np.ndarray,
+    *,
+    charge_padding: bool = True,
+) -> np.ndarray:
+    """``C = A @ B`` with all Theorem 2 grid products issued as one batch."""
+    A = np.asarray(A)
+    B = np.asarray(B)
+    if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
+        raise ValueError(f"incompatible shapes {A.shape} @ {B.shape}")
+    p_rows, q = A.shape
+    _, r = B.shape
+    s = ptcu.sqrt_m
+    if p_rows == 0 or q == 0 or r == 0:
+        return np.zeros((p_rows, r), dtype=np.result_type(A.dtype, B.dtype))
+
+    p_pad = max(p_rows, s)
+    q_pad = ceil_to_multiple(q, s)
+    r_pad = ceil_to_multiple(r, s)
+    if charge_padding:
+        ptcu.charge_cpu(
+            padded_copy_cost(A, p_pad, q_pad) + padded_copy_cost(B, q_pad, r_pad)
+        )
+    Ap = pad_matrix(A, p_pad, q_pad)
+    Bp = pad_matrix(B, q_pad, r_pad)
+
+    jobs = []
+    coords = []
+    for j in range(r_pad // s):
+        for i in range(q_pad // s):
+            jobs.append(
+                (Ap[:, i * s : (i + 1) * s], Bp[i * s : (i + 1) * s, j * s : (j + 1) * s])
+            )
+            coords.append(j)
+    results = ptcu.mm_batch(jobs)
+
+    C = np.zeros((p_pad, r_pad), dtype=np.result_type(Ap.dtype, Bp.dtype))
+    for j, partial in zip(coords, results):
+        C[:, j * s : (j + 1) * s] += partial
+        ptcu.charge_cpu(p_pad * s)
+    return C[:p_rows, :r]

@@ -1,0 +1,279 @@
+"""Output-sensitive sparse matrix multiplication on the TCU (Theorem 3).
+
+The paper adapts Jacob-Stoeckel fast output-sensitive multiplication:
+compress the rows of A and the columns of B from ``sqrt(n)`` down to
+``O(sqrt(Z))`` with hashing, multiply the compressed *dense* matrices
+(a ``sqrt(Z) x sqrt(n)`` by ``sqrt(n) x sqrt(Z)`` product) with the
+Strassen-like TCU algorithm of Theorem 1, and recover the at most ``Z``
+non-zero output entries.  With a balanced output this runs in
+
+    T(n, Z, I) = O( sqrt(n/Z) * (Z/m)^{omega0} * (m + l) + I ).
+
+This module implements the compression as a count-sketch with index
+weightings (Pagh-style): each round draws fresh row/column hash
+functions into ``R = Theta(sqrt(Z))`` buckets and computes four
+compressed products (plain, row-index-weighted, column-index-weighted,
+and randomly-weighted for verification).  Singleton buckets yield an
+output entry whose indices are read off the weighted/plain ratios and
+validated against the verification sketch; recovered entries are
+subtracted and the procedure *peels* until the residual sketch is zero.
+When ``Z`` is not supplied the bucket count doubles on stall, so the
+algorithm is output-sensitive without being told Z.
+
+Model-cost accounting matches the paper's algorithm (sparse
+scatter-adds cost O(I); the dense compressed products are charged by
+the Theorem 1/2 machinery); the NumPy realisation also materialises
+dense R x sqrt(n) operands, which is an artefact of the simulation, not
+of the model algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..core.machine import TCUMachine
+from .dense import matmul as dense_matmul
+from .schedule import ceil_to_multiple, pad_matrix
+from .strassen import STRASSEN_2X2, BilinearAlgorithm, strassen_like_mm
+
+__all__ = ["sparse_mm", "SparseProductStats", "SparseRecoveryError"]
+
+
+class SparseRecoveryError(RuntimeError):
+    """Peeling failed to drain the residual sketch within the round budget."""
+
+
+@dataclass
+class SparseProductStats:
+    """Diagnostics of one :func:`sparse_mm` run."""
+
+    rounds: int = 0
+    final_buckets: int = 0
+    recovered: int = 0
+    input_nnz: int = 0
+    used_dense_fallback: bool = False
+
+
+def _to_coo(M) -> sp.coo_matrix:
+    if sp.issparse(M):
+        return M.tocoo()
+    arr = np.asarray(M)
+    if arr.ndim != 2:
+        raise ValueError("operands must be 2-D")
+    return sp.coo_matrix(arr)
+
+
+def _compressed_product(
+    tcu: TCUMachine,
+    L: np.ndarray,
+    Rm: np.ndarray,
+    algorithm: BilinearAlgorithm,
+) -> np.ndarray:
+    """Dense ``R x n`` by ``n x R`` product as sqrt(n)/R square
+    Strassen-like products of side R (the Theorem 3 decomposition).
+
+    When R is close to the Strassen recursion's own base-case boundary
+    the recursion would only add combination overhead, so small
+    compressed products go straight to the Theorem 2 blocked schedule —
+    the asymptotics of Theorem 3 concern large Z (R = Theta(sqrt(Z))).
+    """
+    from .strassen import default_cutoff
+
+    R = L.shape[0]
+    n = L.shape[1]
+    if R <= 4 * default_cutoff(tcu, algorithm):
+        return dense_matmul(tcu, L, Rm)
+    n_pad = ceil_to_multiple(n, R)
+    if n_pad != n:
+        tcu.charge_cpu(2 * R * n_pad)
+        L = pad_matrix(L, R, n_pad)
+        Rm = pad_matrix(Rm, n_pad, R)
+    out = np.zeros((R, R), dtype=np.result_type(L.dtype, Rm.dtype))
+    for k in range(n_pad // R):
+        blockL = L[:, k * R : (k + 1) * R]
+        blockR = Rm[k * R : (k + 1) * R, :]
+        out += strassen_like_mm(tcu, blockL, blockR, algorithm=algorithm)
+        tcu.charge_cpu(R * R)
+    return out
+
+
+def sparse_mm(
+    tcu: TCUMachine,
+    A,
+    B,
+    *,
+    z_bound: int | None = None,
+    seed: int = 0,
+    algorithm: BilinearAlgorithm = STRASSEN_2X2,
+    max_rounds: int = 48,
+    return_stats: bool = False,
+    fallback_dense: bool = True,
+):
+    """Sparse ``C = A @ B`` with the Theorem 3 compressed algorithm.
+
+    Parameters
+    ----------
+    tcu:
+        The executing machine.
+    A, B:
+        Square ``sqrt(n) x sqrt(n)`` operands (NumPy arrays or SciPy
+        sparse matrices) with matching sides.
+    z_bound:
+        Optional upper bound on the output non-zeros Z; when omitted the
+        bucket count starts at ``Theta(sqrt(max(m, I)))`` and doubles on
+        stall (output sensitivity without knowing Z).
+    seed:
+        Seed for the hash functions and verification weights.
+    algorithm:
+        The Strassen-like scheme used for the compressed dense core.
+    max_rounds:
+        Peeling-round budget before declaring failure.
+    return_stats:
+        Also return a :class:`SparseProductStats`.
+    fallback_dense:
+        On peeling failure fall back to the dense Theorem 2 product
+        (charged to the same ledger) instead of raising.
+
+    Returns
+    -------
+    ``scipy.sparse.csr_matrix`` (and optionally the stats record).
+    """
+    Ac = _to_coo(A)
+    Bc = _to_coo(B)
+    if Ac.shape[0] != Ac.shape[1] or Ac.shape != Bc.shape:
+        raise ValueError(
+            f"sparse_mm expects equal square operands, got {Ac.shape} and {Bc.shape}"
+        )
+    side = Ac.shape[0]
+    stats = SparseProductStats(input_nnz=int(Ac.nnz + Bc.nnz))
+    rng = np.random.default_rng(seed)
+
+    if Ac.nnz == 0 or Bc.nnz == 0:
+        empty = sp.csr_matrix((side, side))
+        return (empty, stats) if return_stats else empty
+
+    is_integer = np.issubdtype(Ac.dtype, np.integer) and np.issubdtype(
+        Bc.dtype, np.integer
+    )
+    Ad = Ac.astype(np.float64)
+    Bd = Bc.astype(np.float64)
+    # scale for float tolerance checks
+    scale = max(
+        1.0,
+        float(np.abs(Ad.data).max(initial=0.0))
+        * float(np.abs(Bd.data).max(initial=0.0))
+        * side,
+    )
+    tol = 1e-9 * scale
+
+    if z_bound is not None:
+        buckets = max(4, 2 * math.isqrt(max(z_bound, 1)) + 2)
+    else:
+        guess = max(tcu.m, stats.input_nnz, 16)
+        buckets = max(4, 2 * math.isqrt(guess) + 2)
+
+    recovered: dict[tuple[int, int], float] = {}
+    stalls = 0
+    for round_no in range(max_rounds):
+        stats.rounds = round_no + 1
+        stats.final_buckets = buckets
+        hr = rng.integers(0, buckets, size=side)
+        hc = rng.integers(0, buckets, size=side)
+        vr = rng.integers(1, 1 << 20, size=side).astype(np.float64)
+        vc = rng.integers(1, 1 << 20, size=side).astype(np.float64)
+        wr = np.arange(1, side + 1, dtype=np.float64)
+        wc = np.arange(1, side + 1, dtype=np.float64)
+
+        # Compressed left/right operands (O(I) scatter-adds in the model).
+        L0 = np.zeros((buckets, side))
+        np.add.at(L0, (hr[Ad.row], Ad.col), Ad.data)
+        R0 = np.zeros((side, buckets))
+        np.add.at(R0, (Bd.row, hc[Bd.col]), Bd.data)
+        tcu.charge_cpu(Ad.nnz + Bd.nnz)
+
+        # Plain sketch first: if the residual is already empty this
+        # round needs no index-recovery products at all.
+        P0 = _compressed_product(tcu, L0, R0, algorithm)
+        for (i, j), val in recovered.items():
+            P0[hr[i], hc[j]] -= val
+        tcu.charge_cpu(len(recovered))
+        nz = np.argwhere(np.abs(P0) > tol)
+        tcu.charge_cpu(buckets * buckets)
+        if nz.size == 0:
+            break  # residual drained: recovery complete
+
+        # Index-weighted and verification sketches.
+        Lw = np.zeros((buckets, side))
+        Lv = np.zeros((buckets, side))
+        np.add.at(Lw, (hr[Ad.row], Ad.col), Ad.data * wr[Ad.row])
+        np.add.at(Lv, (hr[Ad.row], Ad.col), Ad.data * vr[Ad.row])
+        Rw = np.zeros((side, buckets))
+        Rv = np.zeros((side, buckets))
+        np.add.at(Rw, (Bd.row, hc[Bd.col]), Bd.data * wc[Bd.col])
+        np.add.at(Rv, (Bd.row, hc[Bd.col]), Bd.data * vc[Bd.col])
+        tcu.charge_cpu(2 * (Ad.nnz + Bd.nnz))
+
+        Pr = _compressed_product(tcu, Lw, R0, algorithm)
+        Pc = _compressed_product(tcu, L0, Rw, algorithm)
+        Pv = _compressed_product(tcu, Lv, Rv, algorithm)
+        for (i, j), val in recovered.items():
+            br, bc = hr[i], hc[j]
+            Pr[br, bc] -= val * wr[i]
+            Pc[br, bc] -= val * wc[j]
+            Pv[br, bc] -= val * vr[i] * vc[j]
+        tcu.charge_cpu(3 * len(recovered))
+
+        progressed = False
+        for br, bc in nz:
+            v = P0[br, bc]
+            fi = Pr[br, bc] / v - 1.0
+            fj = Pc[br, bc] / v - 1.0
+            i = int(round(fi))
+            j = int(round(fj))
+            if abs(fi - i) > 1e-6 or abs(fj - j) > 1e-6:
+                continue  # bucket collision: ratios are not indices
+            if not (0 <= i < side and 0 <= j < side):
+                continue
+            if hr[i] != br or hc[j] != bc:
+                continue
+            if abs(Pv[br, bc] - v * vr[i] * vc[j]) > max(tol, 1e-6 * abs(v) * vr[i] * vc[j]):
+                continue  # verification sketch disagrees: collision
+            recovered[(i, j)] = recovered.get((i, j), 0.0) + v
+            if abs(recovered[(i, j)]) <= tol:
+                del recovered[(i, j)]
+            progressed = True
+        tcu.charge_cpu(len(nz))
+
+        if not progressed:
+            stalls += 1
+            if stalls >= 2:
+                buckets *= 2
+                stalls = 0
+    else:
+        if not fallback_dense:
+            raise SparseRecoveryError(
+                f"failed to recover the product within {max_rounds} rounds"
+            )
+        stats.used_dense_fallback = True
+        dense = dense_matmul(tcu, Ad.toarray(), Bd.toarray())
+        tcu.charge_cpu(side * side)
+        out = sp.csr_matrix(dense)
+        if is_integer:
+            out = sp.csr_matrix(np.rint(dense).astype(np.int64))
+        stats.recovered = int(out.nnz)
+        return (out, stats) if return_stats else out
+
+    stats.recovered = len(recovered)
+    if recovered:
+        rows, cols, vals = zip(*((i, j, v) for (i, j), v in recovered.items()))
+        data = np.asarray(vals)
+        if is_integer:
+            data = np.rint(data).astype(np.int64)
+        out = sp.csr_matrix((data, (rows, cols)), shape=(side, side))
+    else:
+        out = sp.csr_matrix((side, side))
+    return (out, stats) if return_stats else out

@@ -1,0 +1,5 @@
+"""Scan/reduction primitives on the TCU (the [9]/[7] related work)."""
+
+from .scan import tcu_prefix_sum, tcu_reduce
+
+__all__ = ["tcu_reduce", "tcu_prefix_sum"]

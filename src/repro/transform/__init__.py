@@ -1,0 +1,51 @@
+"""Spectral algorithms on the (m, l)-TCU (Sections 4.5-4.6)."""
+
+from .convolution import (
+    batched_circular_convolve2d,
+    circular_convolve,
+    dft2,
+    embed_centered_kernel_1d,
+    embed_centered_kernel_2d,
+    idft2,
+)
+from .dft import (
+    batched_dft,
+    batched_idft,
+    dft,
+    dft_matrix,
+    dft_recursion_depth,
+    idft,
+)
+from .stencil import (
+    HEAT_3X3,
+    heat_equation_weights,
+    stencil_direct,
+    stencil_tcu,
+    unrolled_weights,
+    unrolled_weights_direct,
+)
+from .stencil1d import stencil1d_direct, stencil1d_tcu, unrolled_weights_1d
+
+__all__ = [
+    "dft",
+    "idft",
+    "batched_dft",
+    "batched_idft",
+    "dft_matrix",
+    "dft_recursion_depth",
+    "circular_convolve",
+    "batched_circular_convolve2d",
+    "dft2",
+    "idft2",
+    "embed_centered_kernel_1d",
+    "embed_centered_kernel_2d",
+    "stencil_direct",
+    "stencil_tcu",
+    "unrolled_weights",
+    "unrolled_weights_direct",
+    "heat_equation_weights",
+    "HEAT_3X3",
+    "stencil1d_direct",
+    "stencil1d_tcu",
+    "unrolled_weights_1d",
+]

@@ -1,0 +1,159 @@
+"""One-dimensional linear stencils — the paper's d = O(1) generality.
+
+Section 4.6 states that all its stencil techniques "extend to any
+d = O(1)"; this module is that claim exercised at d = 1.  A linear
+(n, k)-stencil over a length-n vector evolves each cell from its
+{-1, 0, +1} neighbourhood for k sweeps; unrolling gives a (2k+1)-tap
+kernel (Lemma 2, via 1-D polynomial powering on the TCU DFT), and the
+evolution is Theta(n/k) batched circular convolutions of windows of
+FFT size S with payload t = S - 2k (Lemma 1), for
+
+    T(n, k) = O( n log_m k + l log k )
+
+model time — the same shape as the 2-D Theorem 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.machine import TCUMachine
+from .convolution import embed_centered_kernel_1d
+from .dft import batched_dft, batched_idft
+from .stencil import _next_fft_size
+
+__all__ = ["stencil1d_direct", "stencil1d_tcu", "unrolled_weights_1d"]
+
+
+def _check_kernel(weights: np.ndarray) -> np.ndarray:
+    W = np.asarray(weights, dtype=np.float64)
+    if W.shape != (3,):
+        raise ValueError(f"one-step 1-D stencil kernel must have 3 taps, got {W.shape}")
+    return W
+
+
+def stencil1d_direct(
+    tcu: TCUMachine, x: np.ndarray, weights: np.ndarray, k: int
+) -> np.ndarray:
+    """k explicit sweeps over the zero-extended line; Theta(nk) RAM time."""
+    W = _check_kernel(weights)
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"stencil input must be 1-D, got {x.ndim}-D")
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k == 0:
+        return x.copy()
+    n = x.size
+    cur = np.zeros(n + 2 * k)
+    cur[k : k + n] = x
+    tcu.charge_cpu(cur.size)
+    for _ in range(k):
+        nxt = W[1] * cur
+        nxt[:-1] += W[2] * cur[1:]  # right neighbour feeds the left cell
+        nxt[1:] += W[0] * cur[:-1]
+        tcu.charge_cpu(3 * cur.size)
+        cur = nxt
+    return cur[k : k + n]
+
+
+def unrolled_weights_1d(tcu: TCUMachine, weights: np.ndarray, k: int) -> np.ndarray:
+    """Lemma 2 at d = 1: the (2k+1)-tap unrolled kernel, by squaring
+    with 1-D TCU convolutions (linear convolution at FFT size)."""
+    W = _check_kernel(weights)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+    def poly_mul(P: np.ndarray, Q: np.ndarray) -> np.ndarray:
+        out_len = P.size + Q.size - 1
+        # direct convolution wins below the transform constant
+        if P.size * Q.size <= 32 * out_len:
+            out = np.zeros(out_len)
+            for i, v in enumerate(P):
+                if v != 0.0:
+                    out[i : i + Q.size] += v * Q
+            tcu.charge_cpu(P.size * Q.size)
+            return out
+        S = _next_fft_size(out_len, tcu.sqrt_m)
+        Pg = np.zeros((1, S), dtype=np.complex128)
+        Qg = np.zeros((1, S), dtype=np.complex128)
+        Pg[0, : P.size] = P
+        Qg[0, : Q.size] = Q
+        tcu.charge_cpu(2 * S)
+        prod = batched_dft(tcu, Pg) * batched_dft(tcu, Qg)
+        tcu.charge_cpu(S)
+        return batched_idft(tcu, prod)[0].real[:out_len].copy()
+
+    result: np.ndarray | None = None
+    base = W.copy()
+    e = k
+    while e > 0:
+        if e & 1:
+            result = base.copy() if result is None else poly_mul(result, base)
+        e >>= 1
+        if e:
+            base = poly_mul(base, base)
+    assert result is not None and result.size == 2 * k + 1
+    return result
+
+
+def stencil1d_tcu(
+    tcu: TCUMachine,
+    x: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    *,
+    precomputed_W: np.ndarray | None = None,
+) -> np.ndarray:
+    """Theorem 8 at d = 1: evolve k sweeps in O(n log_m k + l log k)."""
+    Wstep = _check_kernel(weights)
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"stencil input must be 1-D, got {x.ndim}-D")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    W = precomputed_W if precomputed_W is not None else unrolled_weights_1d(tcu, Wstep, k)
+    if W.shape != (2 * k + 1,):
+        raise ValueError(f"unrolled kernel must have {2*k+1} taps, got {W.shape}")
+    n = x.size
+
+    # window geometry: FFT size S, payload t = S - 2k per window
+    cap = _next_fft_size(n + 2 * k, tcu.sqrt_m)
+    best = None
+    S = _next_fft_size(2 * k + 1, tcu.sqrt_m)
+    while True:
+        t_cand = S - 2 * k
+        if t_cand >= 1:
+            cost = (-(-n // t_cand)) * S
+            if best is None or cost < best[0]:
+                best = (cost, S, t_cand)
+        if S >= cap:
+            break
+        S = _next_fft_size(S + 1, tcu.sqrt_m)
+    assert best is not None
+    _, S, t = best
+    blocks = -(-n // t)
+    padded = blocks * t
+    grid = np.zeros(padded)
+    grid[:n] = x
+    tcu.charge_cpu(padded)
+
+    windows = np.zeros((blocks, S))
+    for b in range(blocks):
+        lo = max(0, b * t - k)
+        hi = min(padded, b * t + t + k)
+        windows[b, lo - (b * t - k) : lo - (b * t - k) + (hi - lo)] = grid[lo:hi]
+    tcu.charge_cpu(blocks * S)
+
+    # correlation with the centred kernel: out[i] = sum_t in[i+t] W[k+t]
+    embedded = embed_centered_kernel_1d(W, S)
+    reversed_ker = embedded[(-np.arange(S)) % S]
+    tcu.charge_cpu(2 * S)
+    f_win = batched_dft(tcu, windows.astype(np.complex128))
+    f_ker = batched_dft(tcu, reversed_ker[None, :].astype(np.complex128))[0]
+    conv = batched_idft(tcu, f_win * f_ker[None, :]).real
+    tcu.charge_cpu(windows.size)
+
+    out = conv[:, k : k + t].reshape(-1)[:n]
+    tcu.charge_cpu(n)
+    return np.ascontiguousarray(out)

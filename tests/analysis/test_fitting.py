@@ -1,0 +1,112 @@
+"""Fitting utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    find_crossover,
+    fit_constant,
+    geometric_sweep,
+    loglog_slope,
+    power_law_fit,
+)
+
+
+class TestSlope:
+    def test_exact_power_law(self):
+        xs = [2, 4, 8, 16]
+        ys = [x**2.5 for x in xs]
+        assert np.isclose(loglog_slope(xs, ys), 2.5)
+
+    def test_constant_series(self):
+        assert np.isclose(loglog_slope([1, 2, 4], [5, 5, 5]), 0.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1, 2], [0, 1])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+
+    def test_power_law_fit_recovers_both(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [7 * x**1.5 for x in xs]
+        e, c = power_law_fit(xs, ys)
+        assert np.isclose(e, 1.5)
+        assert np.isclose(c, 7.0)
+
+
+class TestFitConstant:
+    def test_exact_fit(self):
+        pred = [1.0, 2.0, 4.0]
+        meas = [3.0, 6.0, 12.0]
+        fit = fit_constant(pred, meas)
+        assert np.isclose(fit.constant, 3.0)
+        assert fit.max_rel_error < 1e-12
+        assert fit.within(0.01)
+
+    def test_noisy_fit_bounded_error(self):
+        rng = np.random.default_rng(0)
+        pred = np.linspace(1, 10, 20)
+        meas = 2.0 * pred * (1 + 0.05 * rng.standard_normal(20))
+        fit = fit_constant(pred, meas)
+        assert 1.8 < fit.constant < 2.2
+        assert fit.max_rel_error < 0.2
+        assert fit.mean_rel_error <= fit.max_rel_error
+
+    def test_shape_mismatch_detected(self):
+        """A wrong-exponent prediction shows large relative error."""
+        xs = np.array([1.0, 4.0, 16.0, 64.0])
+        meas = xs**2
+        fit = fit_constant(xs, meas)  # linear prediction vs quadratic truth
+        assert not fit.within(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fit_constant([], [])
+
+    def test_zero_predictions_rejected(self):
+        with pytest.raises(ValueError):
+            fit_constant([0.0, 0.0], [1.0, 2.0])
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            fit_constant([1.0, 2.0], [-1.0, -2.0])
+
+
+class TestCrossover:
+    def test_simple_crossover(self):
+        xs = [1, 2, 4, 8]
+        a = [10, 9, 8, 7]
+        b = [5, 7, 8.5, 10]
+        cx = find_crossover(xs, a, b)
+        assert cx is not None and 2 < cx < 4
+
+    def test_no_crossover(self):
+        xs = [1, 2, 4]
+        assert find_crossover(xs, [1, 2, 3], [10, 20, 30]) is None
+
+    def test_crossover_at_sample_point(self):
+        xs = [1, 2, 4]
+        cx = find_crossover(xs, [3, 2, 1], [1, 2, 3])
+        assert cx is not None and 1 < cx < 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            find_crossover([1, 2], [1], [1, 2])
+
+
+class TestSweep:
+    def test_basic(self):
+        assert geometric_sweep(4, 64) == [4, 8, 16, 32, 64]
+
+    def test_factor(self):
+        assert geometric_sweep(1, 100, factor=10) == [1, 10, 100]
+
+    def test_stop_exclusive_behaviour(self):
+        assert geometric_sweep(4, 63) == [4, 8, 16, 32]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_sweep(0, 8)

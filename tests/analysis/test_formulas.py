@@ -1,0 +1,136 @@
+"""Theorem formula sanity tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.formulas import (
+    OMEGA0_CLASSICAL,
+    OMEGA0_STRASSEN,
+    THEOREM_FORMULAS,
+    cor1_rectangular_mm,
+    thm1_strassen_like_mm,
+    thm2_dense_mm,
+    thm3_sparse_mm,
+    thm4_gaussian_elimination,
+    thm5_transitive_closure,
+    thm6_apsd,
+    thm7_dft,
+    thm8_stencil,
+    thm9_integer_mul,
+    thm10_karatsuba,
+    thm11_polyeval,
+)
+
+
+class TestExponents:
+    def test_omega0_values(self):
+        assert OMEGA0_CLASSICAL == 1.5
+        assert math.isclose(OMEGA0_STRASSEN, math.log(7) / math.log(4))
+        assert OMEGA0_STRASSEN < OMEGA0_CLASSICAL
+
+
+class TestSpecialisations:
+    def test_thm1_with_classical_matches_thm2_shape(self):
+        """At omega0 = 3/2 and l = 0: (n/m)^1.5 * m = n^1.5/sqrt(m)."""
+        n, m = 4096, 64
+        assert math.isclose(
+            thm1_strassen_like_mm(n, m, 0.0, 1.5), thm2_dense_mm(n, m, 0.0)
+        )
+
+    def test_thm2_latency_term(self):
+        n, m = 1024, 16
+        assert thm2_dense_mm(n, m, 100.0) - thm2_dense_mm(n, m, 0.0) == (n / m) * 100.0
+
+    def test_cor1_reduces_to_thm2_at_r_sqrt_n(self):
+        """r = sqrt(n) makes the rectangular product square."""
+        n, m, ell = 4096, 16, 8.0
+        r = math.isqrt(n)
+        assert math.isclose(cor1_rectangular_mm(n, r, m, ell), thm2_dense_mm(n, m, ell))
+
+    def test_thm3_reduces_toward_thm1_at_z_n(self):
+        """Dense output (Z = n, I = n): the sqrt(n/Z) prefix vanishes."""
+        n, m = 4096, 16
+        t3 = thm3_sparse_mm(n, n, n, m, 0.0, 1.5)
+        t1 = thm1_strassen_like_mm(n, m, 0.0, 1.5)
+        assert math.isclose(t3, t1 + n)
+
+    def test_thm4_extra_term(self):
+        n, m = 256, 16
+        assert thm4_gaussian_elimination(n, m, 0.0) == thm2_dense_mm(n, m, 0.0) + n * 4
+
+    def test_thm5_is_n_vertices(self):
+        n, m = 64, 16
+        # n^3/sqrt(m) + n^2 l/m + n^2 sqrt(m)
+        assert thm5_transitive_closure(n, m, 0.0) == n**3 / 4 + n * n * 4
+
+    def test_thm6_log_factor(self):
+        n, m = 64, 16
+        base = (n * n / m) ** 1.5 * m
+        assert math.isclose(thm6_apsd(n, m, 0.0, 1.5), base * math.log2(n))
+
+    def test_thm7_depth_clamps_to_one(self):
+        assert thm7_dft(4, 256, 0.0) == 4.0  # n < m: single level
+
+    def test_thm8_monotone_in_k(self):
+        n, m = 4096, 16
+        assert thm8_stencil(n, 64, m, 0.0) > thm8_stencil(n, 4, m, 0.0)
+
+    def test_thm9_quadratic(self):
+        m, kappa = 16, 32
+        assert thm9_integer_mul(2048, m, 0.0, kappa) == 4 * thm9_integer_mul(
+            1024, m, 0.0, kappa
+        )
+
+    def test_thm10_exponent(self):
+        m, kappa = 16, 32
+        ratio = thm10_karatsuba(4096, m, 0.0, kappa) / thm10_karatsuba(
+            2048, m, 0.0, kappa
+        )
+        assert math.isclose(ratio, 3.0)  # doubling n triples Karatsuba work
+
+    def test_thm10_below_base_clamps(self):
+        m, kappa = 16, 32
+        # n below one base-case: cost is the flat base cost
+        assert thm10_karatsuba(8, m, 4.0, kappa) == math.sqrt(m) + 4.0 / math.sqrt(m)
+
+    def test_thm11_terms(self):
+        n, p, m = 256, 32, 16
+        assert thm11_polyeval(n, p, m, 0.0) == p * n / 4 + p * 4
+
+
+class TestRegistry:
+    def test_all_theorems_present(self):
+        assert set(THEOREM_FORMULAS) == {
+            "thm1",
+            "thm2",
+            "cor1",
+            "thm3",
+            "thm4",
+            "thm5",
+            "thm6",
+            "thm7",
+            "thm8",
+            "thm9",
+            "thm10",
+            "thm11",
+        }
+
+    @pytest.mark.parametrize("name", sorted(THEOREM_FORMULAS))
+    def test_formulas_positive(self, name):
+        fn = THEOREM_FORMULAS[name]
+        args_by_name = {
+            "thm1": (1024, 16, 8.0, 1.5),
+            "thm2": (1024, 16, 8.0),
+            "cor1": (1024, 8, 16, 8.0),
+            "thm3": (1024, 256, 128, 16, 8.0, 1.5),
+            "thm4": (1024, 16, 8.0),
+            "thm5": (32, 16, 8.0),
+            "thm6": (32, 16, 8.0, 1.5),
+            "thm7": (1024, 16, 8.0),
+            "thm8": (1024, 8, 16, 8.0),
+            "thm9": (1024, 16, 8.0, 32),
+            "thm10": (1024, 16, 8.0, 32),
+            "thm11": (256, 16, 16, 8.0),
+        }
+        assert fn(*args_by_name[name]) > 0

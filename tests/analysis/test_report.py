@@ -1,0 +1,58 @@
+"""Report compiler tests."""
+
+import pytest
+
+from repro.analysis.report import compile_report, main
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "e2_thm2_size_sweep.txt").write_text("table two\n")
+    (d / "e9_thm7_length_sweep.txt").write_text("table nine\n")
+    (d / "zz_custom.txt").write_text("custom table\n")
+    return d
+
+
+class TestCompile:
+    def test_contains_all_tables(self, results_dir):
+        report = compile_report(results_dir)
+        assert "table two" in report
+        assert "table nine" in report
+        assert "custom table" in report
+
+    def test_section_titles(self, results_dir):
+        report = compile_report(results_dir)
+        assert "Theorem 2" in report
+        assert "Theorem 7 — DFT" in report
+
+    def test_ordering_follows_experiments(self, results_dir):
+        report = compile_report(results_dir)
+        assert report.index("table two") < report.index("table nine")
+
+    def test_uncategorised_collected(self, results_dir):
+        report = compile_report(results_dir)
+        assert "(uncategorised)" in report
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            compile_report(tmp_path / "nope")
+
+    def test_empty_dir_raises(self, tmp_path):
+        d = tmp_path / "empty"
+        d.mkdir()
+        with pytest.raises(FileNotFoundError, match="benchmark"):
+            compile_report(d)
+
+
+class TestMain:
+    def test_writes_output_file(self, results_dir, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main([str(results_dir), str(out)]) == 0
+        assert "table two" in out.read_text()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_prints_to_stdout(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "table nine" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Table rendering tests."""
+
+import pytest
+
+from repro.analysis.tables import format_number, render_kv, render_table
+
+
+class TestFormatNumber:
+    def test_int_thousands(self):
+        assert format_number(1234567) == "1,234,567"
+
+    def test_small_float(self):
+        assert format_number(0.12345) == "0.1235"
+
+    def test_tiny_float_scientific(self):
+        assert format_number(1e-7) == "1.000e-07"
+
+    def test_huge_float_scientific(self):
+        assert format_number(1e9) == "1.000e+09"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_nan(self):
+        assert format_number(float("nan")) == "nan"
+
+    def test_bool_passthrough(self):
+        assert format_number(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_number("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "-" in lines[1]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_alignment_width(self):
+        out = render_table(["col"], [[123456]])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[1]) == len(lines[2])
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestRenderKV:
+    def test_basic(self):
+        out = render_kv({"alpha": 1, "b": 2.5})
+        assert "alpha : 1" in out
+        assert "b     : 2.5" in out
+
+    def test_title(self):
+        out = render_kv({"k": 1}, title="Stats")
+        assert out.splitlines()[0] == "Stats"
+
+    def test_empty(self):
+        assert render_kv({}) == ""

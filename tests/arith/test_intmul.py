@@ -1,0 +1,129 @@
+"""Theorem 9 integer multiplication tests."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import loglog_slope
+from repro.arith.intmul import coefficients_via_tcu, int_multiply
+from repro.baselines.ram import RAMMachine, ram_schoolbook_intmul
+
+
+class TestCoefficients:
+    def test_single_limb(self, tcu_int):
+        coeffs = coefficients_via_tcu(tcu_int, np.array([3]), np.array([5]))
+        assert list(coeffs) == [15]
+
+    def test_two_limbs(self, tcu_int):
+        # (3 + 2x)(1 + 4x) = 3 + 14x + 8x^2
+        coeffs = coefficients_via_tcu(
+            tcu_int, np.array([3, 2]), np.array([1, 4])
+        )
+        assert list(coeffs) == [3, 14, 8]
+
+    def test_matches_numpy_polymul(self, tcu_int, rng):
+        a = rng.integers(0, 256, 13).astype(np.int64)
+        b = rng.integers(0, 256, 9).astype(np.int64)
+        got = coefficients_via_tcu(tcu_int, a, b)
+        want = np.polymul(a[::-1], b[::-1])[::-1]
+        n_prime = max(len(a), len(b))
+        assert len(got) == 2 * n_prime - 1
+        assert np.array_equal(got[: len(want)], want)
+        assert (got[len(want):] == 0).all()
+
+    def test_uneven_lengths_padded(self, tcu_int):
+        coeffs = coefficients_via_tcu(tcu_int, np.array([1, 1, 1, 1, 1]), np.array([1]))
+        assert list(coeffs[:5]) == [1, 1, 1, 1, 1]
+
+    def test_rejects_2d(self, tcu_int):
+        with pytest.raises(ValueError):
+            coefficients_via_tcu(tcu_int, np.ones((2, 2)), np.ones(2))
+
+
+class TestIntMultiply:
+    @pytest.mark.parametrize("bits", [1, 4, 8, 17, 63, 128, 511, 2048])
+    def test_random_operands(self, tcu_int, bits):
+        random.seed(bits)
+        a = random.getrandbits(bits) | (1 << max(0, bits - 1))
+        b = random.getrandbits(bits) | 1
+        assert int_multiply(tcu_int, a, b) == a * b
+
+    def test_zero(self, tcu_int):
+        assert int_multiply(tcu_int, 0, 10**50) == 0
+        assert int_multiply(tcu_int, 10**50, 0) == 0
+
+    def test_one(self, tcu_int):
+        v = 2**300 + 12345
+        assert int_multiply(tcu_int, 1, v) == v
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [(-5, 7), (5, -7), (-5, -7), (-(2**100), 2**100 + 1)],
+    )
+    def test_signs(self, tcu_int, a, b):
+        assert int_multiply(tcu_int, a, b) == a * b
+
+    def test_powers_of_two(self, tcu_int):
+        assert int_multiply(tcu_int, 2**500, 2**300) == 2**800
+
+    def test_asymmetric_sizes(self, tcu_int):
+        a = 2**1000 + 17
+        b = 3
+        assert int_multiply(tcu_int, a, b) == a * b
+
+    def test_all_ones_patterns(self, tcu_int):
+        """Maximal limbs stress the no-overflow guarantee."""
+        a = (1 << 512) - 1
+        assert int_multiply(tcu_int, a, a) == a * a
+
+    def test_matches_ram_baseline(self, tcu_int):
+        ram = RAMMachine()
+        a, b = 2**200 - 3, 2**199 + 71
+        assert int_multiply(tcu_int, a, b) == ram_schoolbook_intmul(ram, a, b)
+
+    def test_no_tensor_overflow_with_checks_on(self):
+        """kappa=32 limbs through a sqrt(m)=8 unit stay within word."""
+        machine = TCUMachine(m=64, ell=0, kappa=32, check_overflow=True)
+        a = (1 << 4096) - 1
+        assert int_multiply(machine, a, a) == a * a
+
+
+class TestCostShape:
+    def test_quadratic_scaling(self):
+        """Theorem 9: model time ~ n^2 for fixed kappa, m."""
+        random.seed(7)
+        bits_list = [512, 1024, 2048, 4096]
+        times = []
+        for bits in bits_list:
+            tcu = TCUMachine(m=16, kappa=32)
+            a = random.getrandbits(bits) | (1 << (bits - 1))
+            b = random.getrandbits(bits) | (1 << (bits - 1))
+            int_multiply(tcu, a, b)
+            times.append(tcu.time)
+        slope = loglog_slope(bits_list, times)
+        assert 1.8 < slope < 2.2
+
+    def test_bigger_unit_is_faster(self):
+        random.seed(8)
+        bits = 2048
+        a = random.getrandbits(bits) | (1 << (bits - 1))
+        b = random.getrandbits(bits) | (1 << (bits - 1))
+        small = TCUMachine(m=16, kappa=32)
+        big = TCUMachine(m=256, kappa=32)
+        int_multiply(small, a, b)
+        int_multiply(big, a, b)
+        assert big.time < small.time
+
+    def test_latency_term_linear_in_n(self):
+        """The l term enters n/(kappa m) times."""
+        random.seed(9)
+        bits = 2048
+        a = random.getrandbits(bits) | (1 << (bits - 1))
+        t0 = TCUMachine(m=16, kappa=32, ell=0.0)
+        t1 = TCUMachine(m=16, kappa=32, ell=50.0)
+        int_multiply(t0, a, a)
+        int_multiply(t1, a, a)
+        assert t1.ledger.latency_time == 50.0 * t1.ledger.tensor_calls
+        assert t0.ledger.tensor_time == t1.ledger.tensor_time

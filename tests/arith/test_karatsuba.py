@@ -1,0 +1,119 @@
+"""Theorem 10 Karatsuba tests."""
+
+import random
+
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import loglog_slope
+from repro.arith.karatsuba import (
+    KaratsubaStats,
+    karatsuba_multiply,
+    karatsuba_threshold,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("bits", [8, 64, 300, 1000, 4000])
+    def test_random_operands(self, tcu_int, bits):
+        random.seed(bits)
+        a = random.getrandbits(bits) | (1 << (bits - 1))
+        b = random.getrandbits(bits) | 1
+        assert karatsuba_multiply(tcu_int, a, b) == a * b
+
+    def test_zero(self, tcu_int):
+        assert karatsuba_multiply(tcu_int, 0, 5) == 0
+
+    @pytest.mark.parametrize("a,b", [(-3, 9), (3, -9), (-3, -9)])
+    def test_signs(self, tcu_int, a, b):
+        assert karatsuba_multiply(tcu_int, a, b) == a * b
+
+    def test_below_threshold_is_single_base_call(self, tcu_int):
+        stats = KaratsubaStats()
+        karatsuba_multiply(tcu_int, 7, 9, stats=stats)
+        assert stats.base_calls == 1
+        assert stats.recursive_calls == 0
+
+    def test_explicit_threshold(self, tcu_int):
+        stats = KaratsubaStats()
+        a = (1 << 256) - 1
+        karatsuba_multiply(tcu_int, a, a, threshold=64, stats=stats)
+        assert stats.recursive_calls > 0
+        assert karatsuba_multiply(tcu_int, a, a, threshold=64) == a * a
+
+    def test_asymmetric_operands(self, tcu_int):
+        a = (1 << 2000) - 1
+        b = (1 << 100) + 7
+        assert karatsuba_multiply(tcu_int, a, b) == a * b
+
+
+class TestStructure:
+    def test_threshold_formula(self):
+        tcu = TCUMachine(m=16, kappa=32)
+        # kappa = 32, sqrt(m) = 4 -> 128 bits
+        assert karatsuba_threshold(tcu) == 128
+        assert karatsuba_threshold(tcu, factor=2.0) == 256
+
+    def test_three_recursive_calls_per_level(self, tcu_int):
+        """One split produces three subproducts; the carry of the cross
+        term (a0+a1)(b0+b1) may push it one bit over the threshold and
+        recurse once more, so 3 or 5 base calls are both correct."""
+        stats = KaratsubaStats()
+        thr = karatsuba_threshold(tcu_int)
+        a = (1 << (2 * thr)) - 1
+        karatsuba_multiply(tcu_int, a, a, stats=stats)
+        assert stats.recursive_calls in (1, 2)
+        assert stats.base_calls in (3, 5)
+
+    def test_depth_logarithmic(self, tcu_int):
+        stats = KaratsubaStats()
+        bits = 4096
+        a = (1 << bits) - 1
+        karatsuba_multiply(tcu_int, a, a, stats=stats)
+        # depth ~ log2(bits / threshold); generous upper bound
+        assert stats.depth <= 12
+
+
+class TestCostShape:
+    def test_karatsuba_exponent(self):
+        """Theorem 10: slope ~ log2(3) = 1.585."""
+        random.seed(3)
+        bits_list = [1024, 2048, 4096, 8192]
+        times = []
+        for bits in bits_list:
+            tcu = TCUMachine(m=16, kappa=32)
+            a = random.getrandbits(bits) | (1 << (bits - 1))
+            b = random.getrandbits(bits) | (1 << (bits - 1))
+            karatsuba_multiply(tcu, a, b)
+            times.append(tcu.time)
+        slope = loglog_slope(bits_list, times)
+        assert 1.45 < slope < 1.75
+
+    def test_beats_schoolbook_for_large_n(self):
+        """Theorem 10 vs Theorem 9 crossover exists."""
+        from repro.arith.intmul import int_multiply
+
+        random.seed(4)
+        bits = 16384
+        a = random.getrandbits(bits) | (1 << (bits - 1))
+        b = random.getrandbits(bits) | (1 << (bits - 1))
+        t_school = TCUMachine(m=16, kappa=32)
+        t_kara = TCUMachine(m=16, kappa=32)
+        int_multiply(t_school, a, b)
+        karatsuba_multiply(t_kara, a, b)
+        assert t_kara.time < t_school.time
+
+    def test_schoolbook_wins_small_n(self):
+        """Below the threshold region Karatsuba adds only overhead, so
+        the two coincide (base case *is* Theorem 9)."""
+        from repro.arith.intmul import int_multiply
+
+        random.seed(5)
+        bits = 24
+        a = random.getrandbits(bits) | (1 << (bits - 1))
+        b = random.getrandbits(bits) | 1
+        t_school = TCUMachine(m=16, kappa=32)
+        t_kara = TCUMachine(m=16, kappa=32)
+        int_multiply(t_school, a, b)
+        karatsuba_multiply(t_kara, a, b)
+        assert t_kara.time == pytest.approx(t_school.time)

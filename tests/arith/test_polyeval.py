@@ -1,0 +1,106 @@
+"""Theorem 11 batch polynomial evaluation tests."""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.arith.polyeval import batch_polyeval
+from repro.baselines.ram import RAMMachine, ram_horner
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,p", [(4, 1), (5, 3), (16, 8), (33, 10), (64, 25), (100, 7)])
+    def test_matches_horner(self, tcu, rng, n, p):
+        coeffs = rng.standard_normal(n)
+        pts = rng.uniform(-1, 1, p)
+        want = np.polyval(coeffs[::-1], pts)
+        got = batch_polyeval(tcu, coeffs, pts)
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_constant_polynomial(self, tcu, rng):
+        pts = rng.uniform(-1, 1, 5)
+        got = batch_polyeval(tcu, np.array([7.0]), pts)
+        assert np.allclose(got, 7.0)
+
+    def test_linear_polynomial(self, tcu, rng):
+        pts = rng.uniform(-2, 2, 6)
+        got = batch_polyeval(tcu, np.array([1.0, 2.0]), pts)
+        assert np.allclose(got, 1 + 2 * pts)
+
+    def test_at_zero_and_one(self, tcu, rng):
+        coeffs = rng.standard_normal(20)
+        got = batch_polyeval(tcu, coeffs, np.array([0.0, 1.0]))
+        assert np.isclose(got[0], coeffs[0])
+        assert np.isclose(got[1], coeffs.sum())
+
+    def test_complex_roots_of_unity(self, tcu, rng):
+        """Evaluating at the n-th roots of unity = DFT of coefficients."""
+        n = 16
+        coeffs = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        pts = np.exp(-2j * np.pi * np.arange(n) / n)
+        got = batch_polyeval(tcu, coeffs, pts)
+        assert np.allclose(got, np.fft.fft(coeffs))
+
+    def test_integer_coefficients_exact(self, tcu, rng):
+        coeffs = rng.integers(-5, 5, 12).astype(np.int64)
+        pts = np.array([2.0, -1.0, 3.0])
+        want = np.polyval(coeffs[::-1].astype(float), pts)
+        assert np.allclose(batch_polyeval(tcu, coeffs, pts), want)
+
+    def test_matches_ram_horner(self, tcu, rng):
+        coeffs = rng.standard_normal(30)
+        pts = rng.uniform(-1, 1, 9)
+        ram = RAMMachine()
+        assert np.allclose(
+            batch_polyeval(tcu, coeffs, pts), ram_horner(ram, coeffs, pts), atol=1e-9
+        )
+
+    def test_empty_coefficients(self, tcu):
+        got = batch_polyeval(tcu, np.array([]), np.array([1.0, 2.0]))
+        assert np.array_equal(got, np.zeros(2))
+
+    def test_2d_rejected(self, tcu, rng):
+        with pytest.raises(ValueError):
+            batch_polyeval(tcu, rng.random((2, 2)), rng.random(3))
+
+
+class TestCostShape:
+    def test_time_linear_in_p(self, rng):
+        coeffs = rng.standard_normal(256)
+        times = []
+        for p in (16, 32, 64):
+            tcu = TCUMachine(m=16)
+            batch_polyeval(tcu, coeffs, rng.uniform(-1, 1, p))
+            times.append(tcu.time)
+        assert 1.8 < times[1] / times[0] < 2.2
+        assert 1.8 < times[2] / times[1] < 2.2
+
+    def test_time_linear_in_n(self, rng):
+        pts = rng.uniform(-1, 1, 32)
+        times = []
+        for n in (64, 128, 256):
+            tcu = TCUMachine(m=16)
+            batch_polyeval(tcu, rng.standard_normal(n), pts)
+            times.append(tcu.time)
+        assert 1.6 < times[1] / times[0] < 2.4
+        assert 1.6 < times[2] / times[1] < 2.4
+
+    def test_beats_ram_horner_for_many_points(self, rng):
+        """Theorem 11's pn/sqrt(m) vs Horner's pn."""
+        coeffs = rng.standard_normal(256)
+        pts = rng.uniform(-1, 1, 64)
+        tcu = TCUMachine(m=64)
+        ram = RAMMachine()
+        batch_polyeval(tcu, coeffs, pts)
+        ram_horner(ram, coeffs, pts)
+        assert tcu.time < ram.time
+
+    def test_latency_independent_of_p(self, rng):
+        """The l term is (n/m) l: latency count fixed as p grows."""
+        coeffs = rng.standard_normal(128)
+        calls = []
+        for p in (8, 64):
+            tcu = TCUMachine(m=16, ell=10.0)
+            batch_polyeval(tcu, coeffs, rng.uniform(-1, 1, p))
+            calls.append(tcu.ledger.tensor_calls)
+        assert calls[0] == calls[1]

@@ -1,0 +1,142 @@
+"""RAM baseline tests (these are the oracles, so test them carefully)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.baselines.ram import (
+    RAMMachine,
+    ram_apsd_bfs,
+    ram_dft_naive,
+    ram_fft,
+    ram_ge_forward,
+    ram_horner,
+    ram_matmul,
+    ram_schoolbook_intmul,
+    ram_stencil_sweeps,
+    ram_transitive_closure,
+)
+from repro.transform.stencil import HEAT_3X3
+
+
+class TestMatmul:
+    def test_correct(self, rng):
+        ram = RAMMachine()
+        A = rng.random((5, 7))
+        B = rng.random((7, 3))
+        assert np.allclose(ram_matmul(ram, A, B), A @ B)
+
+    def test_cost_is_2pqr(self, rng):
+        ram = RAMMachine()
+        ram_matmul(ram, rng.random((5, 7)), rng.random((7, 3)))
+        assert ram.time == 2 * 5 * 7 * 3
+
+    def test_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            ram_matmul(RAMMachine(), rng.random((2, 3)), rng.random((4, 2)))
+
+
+class TestGE:
+    def test_upper_triangular_result(self, rng):
+        ram = RAMMachine()
+        X = rng.random((6, 6)) + 6 * np.eye(6)
+        U = np.triu(ram_ge_forward(ram, X))
+        # U must satisfy: solving U against the transformed rhs works.
+        assert np.allclose(np.tril(U, -1), 0)
+
+    def test_zero_pivot(self):
+        with pytest.raises(ZeroDivisionError):
+            ram_ge_forward(RAMMachine(), np.zeros((3, 3)))
+
+    def test_cubic_cost(self, rng):
+        ram = RAMMachine()
+        ram_ge_forward(ram, rng.random((8, 8)) + 8 * np.eye(8))
+        assert 3 * (7 * 7 + 6 * 6) < ram.time < 3 * 8**3
+
+
+class TestClosureAndAPSD:
+    def test_closure_matches_networkx(self, rng):
+        n = 10
+        A = (rng.random((n, n)) < 0.2).astype(np.int64)
+        np.fill_diagonal(A, 0)
+        ram = RAMMachine()
+        got = ram_transitive_closure(ram, A)
+        G = nx.from_numpy_array(A, create_using=nx.DiGraph)
+        want = nx.to_numpy_array(
+            nx.transitive_closure(G, reflexive=False), dtype=np.int64, nodelist=range(n)
+        )
+        assert np.array_equal(got, want)
+
+    def test_apsd_matches_networkx(self, rng):
+        n = 12
+        G = nx.gnp_random_graph(n, 0.25, seed=5)
+        A = nx.to_numpy_array(G, dtype=np.int64)
+        ram = RAMMachine()
+        D = ram_apsd_bfs(ram, A)
+        for u, lengths in nx.all_pairs_shortest_path_length(G):
+            for v in range(n):
+                assert D[u, v] == lengths.get(v, np.inf)
+
+    def test_apsd_disconnected_inf(self):
+        A = np.zeros((4, 4), dtype=np.int64)
+        ram = RAMMachine()
+        D = ram_apsd_bfs(ram, A)
+        assert np.isinf(D[0, 1])
+        assert D[2, 2] == 0
+
+
+class TestTransforms:
+    @pytest.mark.parametrize("n", [1, 2, 8, 64, 256])
+    def test_fft_matches_numpy(self, rng, n):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(ram_fft(RAMMachine(), x), np.fft.fft(x))
+
+    def test_fft_requires_power_of_two(self, rng):
+        with pytest.raises(ValueError):
+            ram_fft(RAMMachine(), rng.standard_normal(12))
+
+    def test_naive_dft_matches_numpy(self, rng):
+        x = rng.standard_normal(16)
+        assert np.allclose(ram_dft_naive(RAMMachine(), x), np.fft.fft(x))
+
+    def test_fft_cheaper_than_naive(self, rng):
+        x = rng.standard_normal(256)
+        fast, slow = RAMMachine(), RAMMachine()
+        ram_fft(fast, x)
+        ram_dft_naive(slow, x)
+        assert fast.time < slow.time
+
+    def test_stencil_sweeps_match_tcu_direct(self, rng):
+        from repro import TCUMachine
+        from repro.transform.stencil import stencil_direct
+
+        A = rng.standard_normal((8, 8))
+        ram = RAMMachine()
+        got = ram_stencil_sweeps(ram, A, HEAT_3X3, 3)
+        want = stencil_direct(TCUMachine(m=16), A, HEAT_3X3, 3)
+        assert np.allclose(got, want)
+        assert ram.time > 0
+
+
+class TestArith:
+    @pytest.mark.parametrize("kappa", [8, 16, 64])
+    def test_schoolbook_exact(self, kappa):
+        a, b = 2**77 - 1, 2**93 + 5
+        assert ram_schoolbook_intmul(RAMMachine(), a, b, kappa) == a * b
+
+    def test_schoolbook_signs(self):
+        assert ram_schoolbook_intmul(RAMMachine(), -7, 8) == -56
+
+    def test_schoolbook_zero(self):
+        assert ram_schoolbook_intmul(RAMMachine(), 0, 5) == 0
+
+    def test_horner_matches_polyval(self, rng):
+        coeffs = rng.standard_normal(12)
+        pts = rng.uniform(-2, 2, 5)
+        got = ram_horner(RAMMachine(), coeffs, pts)
+        assert np.allclose(got, np.polyval(coeffs[::-1], pts))
+
+    def test_horner_cost(self, rng):
+        ram = RAMMachine()
+        ram_horner(ram, rng.standard_normal(12), rng.uniform(-1, 1, 5))
+        assert ram.time == 2 * 5 * 12

@@ -1,0 +1,37 @@
+"""Shared fixtures: machines of a few sizes and a seeded RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20200709)  # the paper's arXiv v2 date
+
+
+@pytest.fixture
+def tcu() -> TCUMachine:
+    """Small unit (sqrt(m)=4) with a visible latency."""
+    return TCUMachine(m=16, ell=4.0)
+
+
+@pytest.fixture
+def tcu_free() -> TCUMachine:
+    """Latency-free small unit."""
+    return TCUMachine(m=16, ell=0.0)
+
+
+@pytest.fixture
+def tcu_big() -> TCUMachine:
+    """A larger unit (sqrt(m)=8) for crossover-style tests."""
+    return TCUMachine(m=64, ell=16.0)
+
+
+@pytest.fixture
+def tcu_int() -> TCUMachine:
+    """Integer-flavoured machine with kappa=32 words and overflow checks."""
+    return TCUMachine(m=16, ell=4.0, kappa=32, check_overflow=True)

@@ -1,0 +1,138 @@
+"""Parallel tensor units (the §6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import BatchStats, ParallelTCUMachine
+from repro.core.machine import TensorShapeError
+from repro.matmul.parallel_dense import parallel_matmul, predicted_parallel_time
+from repro import TCUMachine, matmul
+
+
+def jobs(rng, count, n_rows=8, s=4):
+    return [(rng.random((n_rows, s)), rng.random((s, s))) for _ in range(count)]
+
+
+class TestMachine:
+    def test_single_unit_equals_sequential(self, rng):
+        p1 = ParallelTCUMachine(m=16, ell=8.0, units=1)
+        seq = TCUMachine(m=16, ell=8.0)
+        batch = jobs(rng, 5)
+        results = p1.mm_batch(batch)
+        for (A, B), C in zip(batch, results):
+            assert np.allclose(C, A @ B)
+            seq.mm(A, B)
+        assert np.isclose(p1.time, seq.time)
+
+    def test_equal_jobs_speed_up_by_p(self, rng):
+        for p in (2, 4, 8):
+            machine = ParallelTCUMachine(m=16, ell=8.0, units=p)
+            machine.mm_batch(jobs(rng, 8))
+            assert machine.last_batch is not None
+            assert np.isclose(machine.last_batch.speedup, min(p, 8))
+
+    def test_excess_units_idle(self, rng):
+        machine = ParallelTCUMachine(m=16, units=16)
+        machine.mm_batch(jobs(rng, 3))
+        assert machine.last_batch.units_used == 3
+        assert np.isclose(machine.last_batch.speedup, 3.0)
+
+    def test_unbalanced_jobs_lpt(self, rng):
+        """One giant job bounds the makespan regardless of p."""
+        machine = ParallelTCUMachine(m=16, ell=0.0, units=4)
+        batch = [(rng.random((400, 4)), rng.random((4, 4)))] + jobs(rng, 3, n_rows=4)
+        machine.mm_batch(batch)
+        assert machine.last_batch.makespan == 400 * 4
+
+    def test_empty_batch(self):
+        machine = ParallelTCUMachine(m=16, units=4)
+        assert machine.mm_batch([]) == []
+        assert machine.last_batch == BatchStats(0, 0.0, 0.0, 0)
+
+    def test_results_correct(self, rng):
+        machine = ParallelTCUMachine(m=16, units=3)
+        batch = jobs(rng, 7, n_rows=12)
+        for (A, B), C in zip(batch, machine.mm_batch(batch)):
+            assert np.allclose(C, A @ B)
+
+    def test_bad_shape_rejected(self, rng):
+        machine = ParallelTCUMachine(m=16, units=2)
+        with pytest.raises(TensorShapeError):
+            machine.mm_batch([(rng.random((8, 5)), rng.random((4, 4)))])
+        with pytest.raises(TensorShapeError):
+            machine.mm_batch([(rng.random((2, 4)), rng.random((4, 4)))])
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            ParallelTCUMachine(m=16, units=0)
+
+    def test_call_count_exact(self, rng):
+        machine = ParallelTCUMachine(m=16, units=4)
+        machine.mm_batch(jobs(rng, 6))
+        assert machine.ledger.tensor_calls == 6
+
+    def test_sequential_mm_unchanged(self, rng):
+        machine = ParallelTCUMachine(m=16, ell=4.0, units=4)
+        A, B = rng.random((8, 4)), rng.random((4, 4))
+        machine.mm(A, B)
+        assert machine.time == 8 * 4 + 4.0
+
+    def test_trace_records_scaled_calls(self, rng):
+        machine = ParallelTCUMachine(m=16, ell=0.0, units=2)
+        machine.mm_batch(jobs(rng, 4))
+        assert len(machine.ledger.calls) == 4
+        assert np.isclose(
+            sum(c.time for c in machine.ledger.calls), machine.last_batch.makespan
+        )
+
+
+class TestParallelMatmul:
+    @pytest.mark.parametrize("shape", [(16, 16), (20, 13), (64, 64)])
+    def test_correct(self, rng, shape):
+        machine = ParallelTCUMachine(m=16, units=4)
+        A = rng.random(shape)
+        B = rng.random((shape[1], shape[0]))
+        assert np.allclose(parallel_matmul(machine, A, B), A @ B)
+
+    def test_tensor_time_scales_down(self, rng):
+        A = rng.random((64, 64))
+        B = rng.random((64, 64))
+        times = []
+        for p in (1, 4, 16):
+            machine = ParallelTCUMachine(m=16, ell=16.0, units=p)
+            parallel_matmul(machine, A, B)
+            times.append(machine.ledger.tensor_total)
+        assert times[0] > times[1] > times[2]
+        # ideal scaling on the tensor part (calls are equal-sized)
+        assert np.isclose(times[0] / times[1], 4.0, rtol=0.05)
+
+    def test_saturation_below_call_count(self, rng):
+        """More units than grid products gain nothing further."""
+        A = rng.random((16, 16))  # 16 calls at m=16
+        B = rng.random((16, 16))
+        t16 = ParallelTCUMachine(m=16, units=16)
+        t64 = ParallelTCUMachine(m=16, units=64)
+        parallel_matmul(t16, A, B)
+        parallel_matmul(t64, A, B)
+        assert np.isclose(t16.time, t64.time)
+
+    def test_predicted_shape(self):
+        n, m, ell = 4096, 16, 8.0
+        assert predicted_parallel_time(n, m, ell, 1) == pytest.approx(
+            (n / m) * (np.sqrt(n) * 4 + ell)
+        )
+        # doubling p halves the wave count while calls > p
+        assert predicted_parallel_time(n, m, ell, 2) == pytest.approx(
+            predicted_parallel_time(n, m, ell, 1) / 2
+        )
+        # floor at one wave
+        assert predicted_parallel_time(n, m, ell, 10**6) == pytest.approx(
+            np.sqrt(n) * 4 + ell
+        )
+
+    def test_matches_sequential_result(self, rng):
+        seq = TCUMachine(m=16)
+        par = ParallelTCUMachine(m=16, units=4)
+        A = rng.random((24, 18))
+        B = rng.random((18, 9))
+        assert np.allclose(matmul(seq, A, B), parallel_matmul(par, A, B))

@@ -1,0 +1,61 @@
+"""Hardware presets from Section 3.1."""
+
+import numpy as np
+import pytest
+
+from repro.core.presets import PRESETS, TEST_UNIT, TPU_V1, VOLTA_TC
+
+
+class TestSpecs:
+    def test_tpu_matches_section_3_1(self):
+        assert TPU_V1.sqrt_m == 256
+        assert TPU_V1.m == 65536
+        assert TPU_V1.kappa == 8
+        assert TPU_V1.max_rows == 96 * 1024
+
+    def test_volta_matches_section_3_1(self):
+        assert VOLTA_TC.sqrt_m == 16
+        assert VOLTA_TC.m == 256
+        assert VOLTA_TC.kappa == 16
+        assert VOLTA_TC.max_rows is None
+
+    def test_latency_ordering(self):
+        """The paper's qualitative claim: TPU latency >> TC latency."""
+        assert TPU_V1.ell > 100 * VOLTA_TC.ell
+
+    def test_registry_complete(self):
+        assert {"tpu-v1", "volta-tc", "test-unit"} <= set(PRESETS)
+        for name, spec in PRESETS.items():
+            assert spec.name == name
+
+
+class TestCreation:
+    def test_create_builds_machine(self):
+        machine = TEST_UNIT.create()
+        assert machine.m == TEST_UNIT.m
+        assert machine.ell == TEST_UNIT.ell
+
+    def test_create_with_override(self):
+        machine = TEST_UNIT.create(ell=0.0)
+        assert machine.ell == 0.0
+        assert machine.m == TEST_UNIT.m
+
+    def test_tpu_machine_splits_long_streams(self, rng):
+        machine = TPU_V1.create(ell=1.0)
+        n = 2 * machine.max_rows
+        A = np.ones((n, machine.sqrt_m), dtype=np.float32)
+        B = np.eye(machine.sqrt_m, dtype=np.float32)
+        C = machine.mm(A, B)
+        assert C.shape == (n, machine.sqrt_m)
+        assert machine.ledger.tensor_calls == 2
+
+    def test_volta_machine_runs(self, rng):
+        machine = VOLTA_TC.create()
+        A = rng.random((16, 16))
+        B = rng.random((16, 16))
+        assert np.allclose(machine.mm(A, B), A @ B)
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_all_presets_instantiate(self, name):
+        machine = PRESETS[name].create()
+        assert machine.sqrt_m >= 1

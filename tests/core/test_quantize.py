@@ -1,0 +1,118 @@
+"""Low-precision tensor units (the §6 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantize import (
+    QuantizedTCUMachine,
+    quantize_array,
+)
+from repro.transform.dft import dft
+
+
+class TestQuantizeArray:
+    def test_fp16_roundtrip_of_representable(self):
+        x = np.array([1.0, 0.5, -2.0, 1024.0])
+        assert np.array_equal(quantize_array(x, "fp16"), x)
+
+    def test_fp16_rounds(self):
+        x = np.array([1.0 + 2**-13])
+        assert quantize_array(x, "fp16")[0] != x[0]
+
+    def test_bf16_truncates_mantissa(self):
+        x = np.array([1.0 + 2**-9])
+        q = quantize_array(x, "bf16")
+        assert q[0] == 1.0  # 8-bit mantissa cannot hold 2^-9
+
+    def test_bf16_keeps_range(self):
+        x = np.array([1e30, -1e-30])
+        q = quantize_array(x, "bf16")
+        assert np.all(np.isfinite(q))
+        assert np.allclose(q, x, rtol=0.01)
+
+    def test_int8_levels(self):
+        x = np.linspace(-1, 1, 11)
+        q = quantize_array(x, "int8")
+        scale = 1.0 / 127.0
+        assert np.allclose(q / scale, np.rint(q / scale))
+
+    def test_int8_zero_array(self):
+        assert np.array_equal(quantize_array(np.zeros(4), "int8"), np.zeros(4))
+
+    def test_unknown_format(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.ones(2), "fp8")
+
+
+class TestQuantizedMachine:
+    def test_costs_equal_exact_machine(self, rng):
+        from repro import TCUMachine
+
+        exact = TCUMachine(m=16, ell=8.0)
+        quant = QuantizedTCUMachine(m=16, ell=8.0, precision="fp16")
+        A, B = rng.random((8, 4)), rng.random((4, 4))
+        exact.mm(A, B)
+        quant.mm(A, B)
+        assert exact.time == quant.time
+
+    def test_fp16_error_small_but_nonzero(self, rng):
+        machine = QuantizedTCUMachine(m=16, precision="fp16")
+        A, B = rng.random((8, 4)), rng.random((4, 4))
+        C = machine.mm(A, B)
+        rel = np.linalg.norm(C - A @ B) / np.linalg.norm(A @ B)
+        assert 0 < rel < 1e-2
+        assert machine.error_stats.max_error > 0
+
+    def test_precision_ordering(self, rng):
+        """fp16 (10-bit mantissa) beats bf16 (8-bit) on well-scaled data."""
+        A, B = rng.random((16, 4)), rng.random((4, 4))
+        errors = {}
+        for fmt in ("fp16", "bf16"):
+            machine = QuantizedTCUMachine(m=16, precision=fmt)
+            machine.mm(A, B)
+            errors[fmt] = machine.error_stats.max_error
+        assert errors["fp16"] < errors["bf16"]
+
+    def test_integer_inputs_exact(self, rng):
+        machine = QuantizedTCUMachine(m=16, precision="int8")
+        A = rng.integers(0, 7, (4, 4))
+        B = rng.integers(0, 7, (4, 4))
+        assert np.array_equal(machine.mm(A, B), A @ B)
+        assert machine.error_stats.errors == []
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            QuantizedTCUMachine(m=16, precision="fp64")
+
+    def test_error_stats_accumulate(self, rng):
+        machine = QuantizedTCUMachine(m=16, precision="fp16")
+        for _ in range(3):
+            machine.mm(rng.random((4, 4)), rng.random((4, 4)))
+        assert len(machine.error_stats.errors) == 3
+        assert machine.error_stats.mean_error <= machine.error_stats.max_error
+
+    def test_complex_operands(self, rng):
+        machine = QuantizedTCUMachine(m=16, precision="fp16")
+        A = rng.random((4, 4)) + 1j * rng.random((4, 4))
+        B = rng.random((4, 4))
+        C = machine.mm(A, B)
+        assert np.allclose(C, A @ B, rtol=1e-2)
+
+    def test_dft_error_grows_with_length(self, rng):
+        """The [28]-style experiment: fp16 DFT error rises with n."""
+        errors = []
+        for n in (16, 256, 4096):
+            machine = QuantizedTCUMachine(m=16, precision="fp16")
+            x = rng.standard_normal(n)
+            y = dft(machine, x)
+            ref = np.fft.fft(x)
+            errors.append(np.linalg.norm(y - ref) / np.linalg.norm(ref))
+        assert errors[0] < errors[-1]
+        assert errors[-1] < 0.05  # still usable, as [28] reports
+
+    def test_exact_machine_has_no_error(self, rng):
+        from repro import TCUMachine
+
+        machine = TCUMachine(m=16)
+        x = rng.standard_normal(256)
+        assert np.allclose(dft(machine, x), np.fft.fft(x), atol=1e-9)

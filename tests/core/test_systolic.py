@@ -1,0 +1,110 @@
+"""Cycle-level checks of the Figure 1 systolic array claims."""
+
+import numpy as np
+import pytest
+
+from repro.core.systolic import SystolicArray
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("s", [1, 2, 3, 4, 8])
+    def test_square_product(self, s, rng):
+        arr = SystolicArray(s)
+        A = rng.integers(-5, 5, (s, s))
+        B = rng.integers(-5, 5, (s, s))
+        C, _ = arr.matmul(A, B)
+        assert np.array_equal(C, A @ B)
+
+    @pytest.mark.parametrize("n", [1, 4, 7, 16])
+    def test_tall_stream(self, n, rng):
+        arr = SystolicArray(4)
+        A = rng.integers(-5, 5, (n, 4))
+        B = rng.integers(-5, 5, (4, 4))
+        C, _ = arr.matmul(A, B)
+        assert np.array_equal(C, A @ B)
+
+    def test_float_product(self, rng):
+        arr = SystolicArray(3)
+        A = rng.random((5, 3))
+        B = rng.random((3, 3))
+        C, _ = arr.matmul(A, B)
+        assert np.allclose(C, A @ B)
+
+    def test_weight_reuse_across_streams(self, rng):
+        """Loading B once and streaming twice is the TPU workflow."""
+        arr = SystolicArray(4)
+        B = rng.integers(-3, 3, (4, 4))
+        arr.load_weights(B)
+        A1 = rng.integers(-3, 3, (6, 4))
+        A2 = rng.integers(-3, 3, (9, 4))
+        C1, _ = arr.multiply(A1)
+        C2, _ = arr.multiply(A2)
+        assert np.array_equal(C1, A1 @ B)
+        assert np.array_equal(C2, A2 @ B)
+
+    def test_multiply_before_load_rejected(self, rng):
+        arr = SystolicArray(4)
+        with pytest.raises(RuntimeError, match="load_weights"):
+            arr.multiply(rng.random((4, 4)))
+
+    def test_wrong_shapes_rejected(self, rng):
+        arr = SystolicArray(4)
+        with pytest.raises(ValueError):
+            arr.load_weights(rng.random((3, 4)))
+        arr.load_weights(rng.random((4, 4)))
+        with pytest.raises(ValueError):
+            arr.multiply(rng.random((4, 5)))
+
+
+class TestTimingClaims:
+    """Section 2.2: output c[i,j] leaves the array at step sqrt(m)+i+j
+    (0-indexed compute steps: i + j + sqrt(m) - 1)."""
+
+    @pytest.mark.parametrize("s", [2, 3, 4, 6])
+    def test_emit_schedule(self, s, rng):
+        arr = SystolicArray(s)
+        _, stats = arr.matmul(rng.random((s, s)), rng.random((s, s)))
+        for r in range(s):
+            for j in range(s):
+                assert stats.emit_step[r, j] == r + j + s - 1
+
+    @pytest.mark.parametrize("s", [2, 4])
+    def test_emit_schedule_tall(self, s, rng):
+        n = 3 * s
+        arr = SystolicArray(s)
+        _, stats = arr.matmul(rng.random((n, s)), rng.random((s, s)))
+        for r in range(n):
+            for j in range(s):
+                assert stats.emit_step[r, j] == r + j + s - 1
+
+    def test_load_phase_takes_sqrt_m_steps(self, rng):
+        arr = SystolicArray(5)
+        assert arr.load_weights(rng.random((5, 5))) == 5
+
+    @pytest.mark.parametrize("s,n", [(2, 2), (4, 4), (4, 12), (3, 9)])
+    def test_total_compute_steps(self, s, n, rng):
+        """An n-row stream drains after n + 2(sqrt(m)-1) compute steps —
+        the marginal cost per extra row is one step (the asymmetric
+        streaming feature of Section 3)."""
+        arr = SystolicArray(s)
+        _, stats = arr.matmul(rng.random((n, s)), rng.random((s, s)))
+        assert stats.compute_steps == n + 2 * (s - 1)
+
+    def test_mac_count_equals_n_times_m(self, rng):
+        s, n = 4, 10
+        arr = SystolicArray(s)
+        _, stats = arr.matmul(rng.random((n, s)), rng.random((s, s)))
+        assert stats.mac_count == n * s * s
+
+    def test_utilization_improves_with_taller_streams(self, rng):
+        """Streaming amortises the pipeline fill/drain bubbles."""
+        arr = SystolicArray(4)
+        _, short = arr.matmul(rng.random((4, 4)), rng.random((4, 4)))
+        _, tall = arr.matmul(rng.random((64, 4)), rng.random((4, 4)))
+        assert tall.utilization > short.utilization
+        assert tall.utilization > 0.9
+
+    def test_total_steps_includes_load(self, rng):
+        arr = SystolicArray(4)
+        _, stats = arr.matmul(rng.random((4, 4)), rng.random((4, 4)))
+        assert stats.total_steps == stats.load_steps + stats.compute_steps

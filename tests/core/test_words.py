@@ -1,0 +1,107 @@
+"""kappa-bit word discipline tests (Section 4.7's limb rules)."""
+
+import numpy as np
+import pytest
+
+from repro.core.words import (
+    OverflowError_,
+    WordSpec,
+    check_no_overflow,
+    int_to_limbs,
+    limbs_to_int,
+    safe_limb_bits,
+)
+
+
+class TestSafeLimbBits:
+    def test_paper_discipline_holds(self):
+        """2*limb + log2(sqrt(m)) must fit in kappa."""
+        for kappa in (16, 32, 64):
+            for m in (16, 256, 65536):
+                limb = safe_limb_bits(kappa, m)
+                sqrt_m = int(np.sqrt(m))
+                assert 2 * limb + sqrt_m.bit_length() <= kappa
+
+    def test_rejects_non_square_m(self):
+        with pytest.raises(ValueError, match="perfect square"):
+            safe_limb_bits(32, 15)
+
+    def test_rejects_tiny_kappa(self):
+        with pytest.raises(ValueError):
+            safe_limb_bits(2, 16)
+
+    def test_impossible_combination(self):
+        with pytest.raises(OverflowError_):
+            safe_limb_bits(4, 256)
+
+
+class TestWordSpec:
+    def test_for_machine_uses_quarter_kappa(self):
+        spec = WordSpec.for_machine(kappa=32, m=16)
+        assert spec.limb_bits == 8  # kappa/4
+
+    def test_for_machine_tightens_when_needed(self):
+        spec = WordSpec.for_machine(kappa=8, m=256)
+        assert spec.limb_bits < 8 // 2
+        assert 2 * spec.limb_bits + 5 <= 8
+
+    def test_limb_base(self):
+        assert WordSpec(kappa=32, limb_bits=8).limb_base == 256
+
+    def test_max_word(self):
+        assert WordSpec(kappa=8, limb_bits=2).max_word == 255
+
+    def test_invalid_limb_bits(self):
+        with pytest.raises(ValueError):
+            WordSpec(kappa=16, limb_bits=0)
+        with pytest.raises(ValueError):
+            WordSpec(kappa=16, limb_bits=17)
+
+
+class TestLimbs:
+    @pytest.mark.parametrize("value", [0, 1, 255, 256, 2**40 + 17, 3**50])
+    @pytest.mark.parametrize("bits", [4, 8, 16])
+    def test_roundtrip(self, value, bits):
+        assert limbs_to_int(int_to_limbs(value, bits), bits) == value
+
+    def test_zero_is_single_limb(self):
+        assert list(int_to_limbs(0, 8)) == [0]
+
+    def test_explicit_count_pads(self):
+        limbs = int_to_limbs(5, 8, count=4)
+        assert list(limbs) == [5, 0, 0, 0]
+
+    def test_count_too_small_rejected(self):
+        with pytest.raises(ValueError, match="more than count"):
+            int_to_limbs(2**32, 8, count=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_limbs(-1, 8)
+
+    def test_unnormalised_limbs_evaluate(self):
+        """Convolution outputs exceed the base; evaluation must carry."""
+        assert limbs_to_int(np.array([300, 2]), 8) == 300 + 2 * 256
+
+    def test_limb_bits_cap(self):
+        with pytest.raises(ValueError, match="int64"):
+            int_to_limbs(5, 63)
+
+
+class TestOverflowCheck:
+    def test_passes_in_range(self):
+        spec = WordSpec(kappa=16, limb_bits=4)
+        check_no_overflow(np.array([[0, 65535]]), spec)
+
+    def test_detects_overflow(self):
+        spec = WordSpec(kappa=16, limb_bits=4)
+        with pytest.raises(OverflowError_, match="exceeds"):
+            check_no_overflow(np.array([65536]), spec)
+
+    def test_detects_negative(self):
+        spec = WordSpec(kappa=16, limb_bits=4)
+        with pytest.raises(OverflowError_, match="negative"):
+            check_no_overflow(np.array([-1]), spec)
+
+    def test_empty_ok(self):
+        check_no_overflow(np.array([]), WordSpec(kappa=16, limb_bits=4))

@@ -1,0 +1,59 @@
+"""External-memory matmul I/O trace tests."""
+
+import pytest
+
+from repro.extmem.algorithms import em_blocked_matmul_io, em_naive_matmul_io
+from repro.extmem.bounds import matmul_io_lower_bound
+
+
+class TestBlockedMatmul:
+    def test_blocked_beats_naive(self):
+        for side in (8, 16, 32):
+            M = 3 * 16
+            assert em_blocked_matmul_io(side, M) < em_naive_matmul_io(side, M)
+
+    def test_blocked_respects_lower_bound(self):
+        for side in (8, 16, 32):
+            M = 3 * 16
+            n = side * side
+            assert em_blocked_matmul_io(side, M) >= matmul_io_lower_bound(n, M)
+
+    def test_blocked_within_constant_of_lower_bound(self):
+        """The tiled schedule is I/O-optimal up to a small constant."""
+        side, M = 32, 3 * 64
+        n = side * side
+        ratio = em_blocked_matmul_io(side, M) / matmul_io_lower_bound(n, M)
+        assert ratio < 16
+
+    def test_more_memory_fewer_ios(self):
+        side = 32
+        ios = [em_blocked_matmul_io(side, M) for M in (3 * 16, 3 * 64, 3 * 256)]
+        assert ios[0] > ios[1] > ios[2]
+
+    def test_io_grows_cubically(self):
+        """With fixed M, blocked MM I/O ~ side^3."""
+        M = 3 * 16
+        a = em_blocked_matmul_io(16, M)
+        b = em_blocked_matmul_io(32, M)
+        assert 6 < b / a < 10
+
+    def test_tiny_matrix_fits_in_memory(self):
+        """A matrix that fits entirely needs ~one read + one write."""
+        side = 4
+        ios = em_blocked_matmul_io(side, M=3 * side * side)
+        assert ios <= 4 * side * side
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            em_blocked_matmul_io(0, 48)
+        with pytest.raises(ValueError):
+            em_naive_matmul_io(0, 48)
+
+
+class TestNaiveMatmul:
+    def test_naive_io_near_cubic(self):
+        side = 16
+        M = 3 * 8  # tiny cache
+        ios = em_naive_matmul_io(side, M)
+        # B-column sweeps miss almost every access
+        assert ios > side**3 / 2

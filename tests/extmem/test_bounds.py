@@ -1,0 +1,70 @@
+"""Lower-bound formula tests (Section 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.extmem.bounds import (
+    dense_mm_semiring_lower_bound,
+    fft_io_lower_bound,
+    matmul_io_lower_bound,
+    sorting_io_lower_bound,
+    tcu_matmul_time_lower_bound,
+    tcu_time_lower_bound,
+)
+from repro.matmul.dense import matmul
+
+
+class TestFormulas:
+    def test_matmul_bound_value(self):
+        assert matmul_io_lower_bound(256, 64) == 256**1.5 / 8
+
+    def test_matmul_bound_decreases_with_memory(self):
+        assert matmul_io_lower_bound(1024, 16) > matmul_io_lower_bound(1024, 256)
+
+    def test_matmul_bound_blocks_help(self):
+        assert matmul_io_lower_bound(1024, 64, B=4) == matmul_io_lower_bound(1024, 64) / 4
+
+    def test_matmul_bound_invalid(self):
+        with pytest.raises(ValueError):
+            matmul_io_lower_bound(0, 64)
+
+    def test_sorting_bound_positive(self):
+        assert sorting_io_lower_bound(1 << 20, 1 << 10, 8) > 0
+
+    def test_sorting_bound_degenerate(self):
+        assert sorting_io_lower_bound(1, 16) == 0.0
+
+    def test_fft_equals_sorting(self):
+        assert fft_io_lower_bound(4096, 64, 2) == sorting_io_lower_bound(4096, 64, 2)
+
+    def test_tcu_transfer_identity(self):
+        assert tcu_time_lower_bound(123.0) == 123.0
+
+    def test_tcu_matmul_bound_uses_3m(self):
+        n, m = 4096, 64
+        assert math.isclose(
+            tcu_matmul_time_lower_bound(n, m), n**1.5 / math.sqrt(3 * m)
+        )
+
+
+class TestBoundsRespected:
+    @pytest.mark.parametrize("side,m", [(16, 16), (32, 16), (32, 64), (64, 16)])
+    def test_dense_mm_never_beats_semiring_bound(self, rng, side, m):
+        tcu = TCUMachine(m=m, ell=8.0)
+        matmul(tcu, rng.random((side, side)), rng.random((side, side)))
+        bound = dense_mm_semiring_lower_bound(side * side, m, tcu.ell)
+        assert tcu.time >= bound * 0.999
+
+    @pytest.mark.parametrize("side,m", [(16, 16), (32, 16), (64, 16)])
+    def test_dense_mm_respects_theorem12_bound(self, rng, side, m):
+        """Measured model time also sits above the EM-derived bound."""
+        tcu = TCUMachine(m=m)
+        matmul(tcu, rng.random((side, side)), rng.random((side, side)))
+        assert tcu.time >= tcu_matmul_time_lower_bound(side * side, m)
+
+    def test_semiring_bound_invalid_args(self):
+        with pytest.raises(ValueError):
+            dense_mm_semiring_lower_bound(0, 16, 0.0)

@@ -1,0 +1,113 @@
+"""External-memory cache simulator tests."""
+
+import pytest
+
+from repro.extmem.memory import ExternalMemory
+
+
+class TestBasics:
+    def test_first_touch_faults(self):
+        em = ExternalMemory(M=4, B=1)
+        em.touch(0)
+        assert em.stats.fetches == 1
+
+    def test_repeat_touch_is_free(self):
+        em = ExternalMemory(M=4, B=1)
+        em.touch(0)
+        em.touch(0)
+        assert em.stats.fetches == 1
+
+    def test_capacity_eviction(self):
+        em = ExternalMemory(M=2, B=1)
+        em.touch(0)
+        em.touch(1)
+        em.touch(2)  # evicts 0
+        em.touch(0)  # refault
+        assert em.stats.fetches == 4
+
+    def test_lru_order(self):
+        em = ExternalMemory(M=2, B=1)
+        em.touch(0)
+        em.touch(1)
+        em.touch(0)  # 0 is now most recent
+        em.touch(2)  # evicts 1
+        em.touch(0)  # still resident
+        assert em.stats.fetches == 3
+
+    def test_dirty_writeback_on_eviction(self):
+        em = ExternalMemory(M=1, B=1)
+        em.touch(0, write=True)
+        em.touch(1)  # evicts dirty 0
+        assert em.stats.writebacks == 1
+
+    def test_clean_eviction_free(self):
+        em = ExternalMemory(M=1, B=1)
+        em.touch(0)
+        em.touch(1)
+        assert em.stats.writebacks == 0
+
+    def test_flush_writes_dirty(self):
+        em = ExternalMemory(M=4, B=1)
+        em.touch(0, write=True)
+        em.touch(1, write=True)
+        em.touch(2)
+        em.flush()
+        assert em.stats.writebacks == 2
+
+    def test_flush_idempotent(self):
+        em = ExternalMemory(M=4, B=1)
+        em.touch(0, write=True)
+        em.flush()
+        em.flush()
+        assert em.stats.writebacks == 1
+
+    def test_negative_address_rejected(self):
+        em = ExternalMemory(M=4)
+        with pytest.raises(ValueError):
+            em.touch(-1)
+
+    def test_reset(self):
+        em = ExternalMemory(M=4)
+        em.touch(0)
+        em.reset()
+        assert em.io_count == 0
+        em.touch(0)
+        assert em.stats.fetches == 1
+
+
+class TestBlocks:
+    def test_block_granularity(self):
+        em = ExternalMemory(M=8, B=4)
+        em.touch(0)
+        em.touch(3)  # same block
+        em.touch(4)  # next block
+        assert em.stats.fetches == 2
+
+    def test_touch_range_block_count(self):
+        em = ExternalMemory(M=64, B=4)
+        em.touch_range(0, 16)
+        assert em.stats.fetches == 4
+
+    def test_touch_range_straddles_blocks(self):
+        em = ExternalMemory(M=64, B=4)
+        em.touch_range(2, 4)  # words 2..5: blocks 0 and 1
+        assert em.stats.fetches == 2
+
+    def test_touch_range_zero(self):
+        em = ExternalMemory(M=8, B=4)
+        em.touch_range(0, 0)
+        assert em.io_count == 0
+
+    def test_capacity_in_blocks(self):
+        em = ExternalMemory(M=8, B=4)
+        assert em.capacity_blocks == 2
+
+    def test_m_smaller_than_block_rejected(self):
+        with pytest.raises(ValueError):
+            ExternalMemory(M=2, B=4)
+
+    def test_scan_costs_n_over_b(self):
+        """The scanning bound: N/B I/Os for a sequential pass."""
+        em = ExternalMemory(M=64, B=8)
+        em.touch_range(0, 800)
+        assert em.stats.fetches == 100

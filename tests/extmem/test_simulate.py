@@ -1,0 +1,68 @@
+"""Theorem 12 simulation tests: TCU time <-> external-memory I/Os."""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine, WeakTCUMachine
+from repro.extmem.simulate import simulate_ledger_io
+from repro.matmul.dense import matmul
+
+
+class TestSimulation:
+    def test_square_call_costs_3m_ios(self, rng):
+        weak = WeakTCUMachine(m=16)
+        weak.mm(rng.random((4, 4)), rng.random((4, 4)))
+        sim = simulate_ledger_io(weak.ledger)
+        assert sim.tensor_ios == 3 * 16
+
+    def test_cpu_ops_cost_one_io_each(self, rng):
+        tcu = TCUMachine(m=16)
+        tcu.charge_cpu(123)
+        sim = simulate_ledger_io(tcu.ledger)
+        assert sim.cpu_ios == 123
+
+    def test_tall_call_split_in_weak_mode(self, rng):
+        tcu = TCUMachine(m=16)
+        tcu.mm(rng.random((16, 4)), rng.random((4, 4)))
+        sim = simulate_ledger_io(tcu.ledger, weak=True)
+        assert sim.tensor_ios == 4 * 3 * 16  # 4 square pieces
+
+    def test_streaming_mode_moves_fewer_words(self, rng):
+        tcu = TCUMachine(m=16)
+        tcu.mm(rng.random((16, 4)), rng.random((4, 4)))
+        weak = simulate_ledger_io(tcu.ledger, weak=True)
+        streaming = simulate_ledger_io(tcu.ledger, weak=False)
+        assert streaming.tensor_ios < weak.tensor_ios
+        assert streaming.tensor_ios == 2 * 16 * 4 + 16
+
+    def test_requires_trace(self):
+        tcu = TCUMachine(m=16, trace_calls=False)
+        tcu.charge_cpu(5)
+        with pytest.raises(ValueError, match="trace"):
+            simulate_ledger_io(tcu.ledger)
+
+    def test_io_per_time_is_constant(self, rng):
+        """The heart of Theorem 12: simulation I/Os = Theta(model time),
+        with the ratio independent of problem size when l = O(m)."""
+        ratios = []
+        for side in (16, 32, 64):
+            tcu = TCUMachine(m=16, ell=16.0)
+            matmul(tcu, rng.random((side, side)), rng.random((side, side)))
+            sim = simulate_ledger_io(tcu.ledger)
+            ratios.append(sim.io_per_time)
+        assert max(ratios) / min(ratios) < 1.5
+        assert all(0.5 < r < 12 for r in ratios)
+
+    def test_zero_time_ledger(self):
+        tcu = TCUMachine(m=16)
+        sim = simulate_ledger_io(tcu.ledger)
+        assert sim.total_ios == 0
+        assert sim.io_per_time == 0.0
+
+    def test_breakdown_totals(self, rng):
+        tcu = TCUMachine(m=16)
+        matmul(tcu, rng.random((8, 8)), rng.random((8, 8)))
+        sim = simulate_ledger_io(tcu.ledger)
+        assert sim.total_ios == sim.tensor_ios + sim.cpu_ios
+        assert sim.tensor_calls == tcu.ledger.tensor_calls
+        assert sim.model_time == tcu.time

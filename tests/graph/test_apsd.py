@@ -1,0 +1,143 @@
+"""Theorem 6 Seidel APSD tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.graph.apsd import SeidelStats, apsd, seidel
+
+
+def gnp_adjacency(n, p, seed):
+    G = nx.gnp_random_graph(n, p, seed=seed)
+    return nx.to_numpy_array(G, dtype=np.int64), G
+
+
+def nx_distances(G, n):
+    D = np.full((n, n), np.inf)
+    for u, lengths in nx.all_pairs_shortest_path_length(G):
+        for v, d in lengths.items():
+            D[u, v] = d
+    return D
+
+
+class TestSeidelConnected:
+    @pytest.mark.parametrize("n,p,seed", [(8, 0.5, 1), (12, 0.4, 2), (16, 0.3, 3), (24, 0.25, 4)])
+    def test_matches_bfs(self, tcu, n, p, seed):
+        A, G = gnp_adjacency(n, p, seed)
+        if not nx.is_connected(G):
+            pytest.skip("need a connected sample")
+        D = seidel(tcu, A)
+        assert np.array_equal(D, nx_distances(G, n))
+
+    def test_path_graph(self, tcu):
+        n = 9
+        G = nx.path_graph(n)
+        A = nx.to_numpy_array(G, dtype=np.int64)
+        D = seidel(tcu, A)
+        want = np.abs(np.subtract.outer(np.arange(n), np.arange(n)))
+        assert np.array_equal(D, want)
+
+    def test_cycle_graph(self, tcu):
+        n = 8
+        A = nx.to_numpy_array(nx.cycle_graph(n), dtype=np.int64)
+        D = seidel(tcu, A)
+        idx = np.arange(n)
+        want = np.minimum((idx[:, None] - idx) % n, (idx - idx[:, None]) % n)
+        assert np.array_equal(D, want)
+
+    def test_complete_graph_base_case(self, tcu):
+        n = 6
+        A = np.ones((n, n), dtype=np.int64) - np.eye(n, dtype=np.int64)
+        stats = SeidelStats()
+        D = seidel(tcu, A, stats=stats)
+        assert np.array_equal(D, A)
+        assert stats.products == 0  # immediate base case
+
+    def test_star_graph(self, tcu):
+        n = 10
+        A = nx.to_numpy_array(nx.star_graph(n - 1), dtype=np.int64)
+        D = seidel(tcu, A)
+        assert D.max() == 2
+
+    def test_single_vertex(self, tcu):
+        assert seidel(tcu, np.zeros((1, 1), dtype=np.int64)) == np.zeros((1, 1))
+
+    def test_two_vertices_edge(self, tcu):
+        A = np.array([[0, 1], [1, 0]], dtype=np.int64)
+        assert np.array_equal(seidel(tcu, A), A)
+
+    def test_disconnected_rejected(self, tcu):
+        A = np.zeros((6, 6), dtype=np.int64)
+        A[0, 1] = A[1, 0] = 1  # second component isolated
+        with pytest.raises(ValueError, match="disconnected"):
+            seidel(tcu, A)
+
+    def test_asymmetric_rejected(self, tcu):
+        A = np.zeros((4, 4), dtype=np.int64)
+        A[0, 1] = 1
+        with pytest.raises(ValueError, match="undirected"):
+            seidel(tcu, A)
+
+    def test_non_binary_rejected(self, tcu):
+        A = np.full((4, 4), 3, dtype=np.int64)
+        with pytest.raises(ValueError, match="0/1"):
+            seidel(tcu, A)
+
+
+class TestApsdComponents:
+    def test_disconnected_gets_inf(self, tcu):
+        A = np.zeros((5, 5), dtype=np.int64)
+        A[0, 1] = A[1, 0] = 1
+        A[2, 3] = A[3, 2] = 1
+        D = apsd(tcu, A)
+        assert D[0, 1] == 1 and D[2, 3] == 1
+        assert np.isinf(D[0, 2]) and np.isinf(D[4, 0])
+        assert D[4, 4] == 0
+
+    @pytest.mark.parametrize("n,p,seed", [(14, 0.1, 7), (20, 0.08, 8), (24, 0.3, 9)])
+    def test_matches_networkx_any_graph(self, tcu, n, p, seed):
+        A, G = gnp_adjacency(n, p, seed)
+        assert np.array_equal(apsd(tcu, A), nx_distances(G, n))
+
+    def test_stats_records_components(self, tcu):
+        A = np.zeros((6, 6), dtype=np.int64)
+        A[0, 1] = A[1, 0] = 1
+        A[2, 3] = A[3, 2] = 1
+        stats = SeidelStats()
+        apsd(tcu, A, stats=stats)
+        assert sorted(stats.component_sizes) == [1, 1, 2, 2]
+
+    def test_empty_graph(self, tcu):
+        D = apsd(tcu, np.zeros((0, 0)))
+        assert D.shape == (0, 0)
+
+
+class TestRecursionDepth:
+    def test_depth_logarithmic(self, tcu):
+        """Theorem 6's log n factor: recursion depth <= ceil(log2 diameter)+1."""
+        n = 32
+        A = nx.to_numpy_array(nx.path_graph(n), dtype=np.int64)
+        stats = SeidelStats()
+        seidel(tcu, A, stats=stats)
+        assert stats.depth <= int(np.ceil(np.log2(n))) + 1
+        assert stats.products <= 2 * (stats.depth + 1)
+
+    def test_products_two_per_level(self, tcu):
+        """Each non-base level performs one squaring + one parity product."""
+        n = 16
+        A = nx.to_numpy_array(nx.path_graph(n), dtype=np.int64)
+        stats = SeidelStats()
+        seidel(tcu, A, stats=stats)
+        assert stats.products == 2 * stats.depth
+
+    def test_model_time_grows_with_depth(self):
+        """A path (large diameter) costs more levels than a clique."""
+        n = 16
+        path = nx.to_numpy_array(nx.path_graph(n), dtype=np.int64)
+        clique = np.ones((n, n), dtype=np.int64) - np.eye(n, dtype=np.int64)
+        t_path = TCUMachine(m=16)
+        t_clique = TCUMachine(m=16)
+        seidel(t_path, path)
+        seidel(t_clique, clique)
+        assert t_path.time > t_clique.time

@@ -1,0 +1,84 @@
+"""Triangle counting tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.graph.triangles import count_triangles, triangles_per_vertex
+from repro.matmul.strassen import CLASSICAL_2X2
+
+
+def adjacency(G, n):
+    return nx.to_numpy_array(G, dtype=np.int64, nodelist=range(n))
+
+
+class TestCounting:
+    @pytest.mark.parametrize("n,p,seed", [(10, 0.3, 1), (20, 0.25, 2), (40, 0.15, 3)])
+    def test_matches_networkx(self, tcu, n, p, seed):
+        G = nx.gnp_random_graph(n, p, seed=seed)
+        A = adjacency(G, n)
+        want = sum(nx.triangles(G).values()) // 3
+        assert count_triangles(tcu, A) == want
+
+    def test_per_vertex_matches_networkx(self, tcu):
+        G = nx.gnp_random_graph(25, 0.3, seed=9)
+        A = adjacency(G, 25)
+        per = triangles_per_vertex(tcu, A)
+        ref = nx.triangles(G)
+        assert all(per[v] == ref[v] for v in range(25))
+
+    def test_triangle_free_graph(self, tcu):
+        G = nx.complete_bipartite_graph(4, 5)
+        A = adjacency(G, 9)
+        assert count_triangles(tcu, A) == 0
+
+    def test_complete_graph(self, tcu):
+        n = 8
+        A = np.ones((n, n), dtype=np.int64) - np.eye(n, dtype=np.int64)
+        assert count_triangles(tcu, A) == n * (n - 1) * (n - 2) // 6
+
+    def test_single_triangle(self, tcu):
+        A = np.zeros((5, 5), dtype=np.int64)
+        for u, v in ((0, 1), (1, 2), (2, 0)):
+            A[u, v] = A[v, u] = 1
+        assert count_triangles(tcu, A) == 1
+        per = triangles_per_vertex(tcu, A)
+        assert list(per) == [1, 1, 1, 0, 0]
+
+    def test_empty_graph(self, tcu):
+        assert count_triangles(tcu, np.zeros((6, 6), dtype=np.int64)) == 0
+
+    def test_zero_vertices(self, tcu):
+        assert triangles_per_vertex(tcu, np.zeros((0, 0))).size == 0
+
+    def test_classical_scheme_agrees(self, tcu):
+        G = nx.gnp_random_graph(16, 0.3, seed=4)
+        A = adjacency(G, 16)
+        assert count_triangles(tcu, A) == count_triangles(
+            tcu, A, algorithm=CLASSICAL_2X2
+        )
+
+    def test_directed_rejected(self, tcu):
+        A = np.zeros((4, 4), dtype=np.int64)
+        A[0, 1] = 1
+        with pytest.raises(ValueError, match="undirected"):
+            count_triangles(tcu, A)
+
+    def test_self_loop_rejected(self, tcu):
+        A = np.eye(4, dtype=np.int64)
+        with pytest.raises(ValueError, match="self-loops"):
+            count_triangles(tcu, A)
+
+    def test_cost_is_one_product_plus_linear(self, rng):
+        """Tensor calls equal a single Strassen product's call count."""
+        from repro.matmul.strassen import STRASSEN_2X2, strassen_like_mm
+
+        n = 32
+        G = nx.gnp_random_graph(n, 0.2, seed=5)
+        A = adjacency(G, n)
+        t_count = TCUMachine(m=16)
+        count_triangles(t_count, A)
+        t_mm = TCUMachine(m=16)
+        strassen_like_mm(t_mm, A, A, algorithm=STRASSEN_2X2)
+        assert t_count.ledger.tensor_calls == t_mm.ledger.tensor_calls

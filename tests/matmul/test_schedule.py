@@ -1,0 +1,85 @@
+"""Tiling/padding helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.matmul.schedule import (
+    block_view,
+    ceil_to_multiple,
+    grid_shape,
+    pad_matrix,
+    padded_copy_cost,
+    strip_view,
+)
+
+
+class TestCeilToMultiple:
+    @pytest.mark.parametrize(
+        "value,multiple,expected",
+        [(0, 4, 4), (1, 4, 4), (4, 4, 4), (5, 4, 8), (16, 4, 16), (17, 5, 20)],
+    )
+    def test_values(self, value, multiple, expected):
+        assert ceil_to_multiple(value, multiple) == expected
+
+    def test_rejects_bad_multiple(self):
+        with pytest.raises(ValueError):
+            ceil_to_multiple(5, 0)
+
+
+class TestPadMatrix:
+    def test_noop_returns_same_object(self, rng):
+        A = rng.random((4, 4))
+        assert pad_matrix(A, 4, 4) is A
+
+    def test_pads_with_zeros(self, rng):
+        A = rng.random((3, 2))
+        P = pad_matrix(A, 4, 4)
+        assert P.shape == (4, 4)
+        assert np.array_equal(P[:3, :2], A)
+        assert (P[3:, :] == 0).all() and (P[:, 2:] == 0).all()
+
+    def test_preserves_dtype(self):
+        A = np.ones((2, 2), dtype=np.int64)
+        assert pad_matrix(A, 4, 4).dtype == np.int64
+
+    def test_cannot_shrink(self, rng):
+        with pytest.raises(ValueError):
+            pad_matrix(rng.random((4, 4)), 2, 4)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            pad_matrix(np.ones(4), 4, 4)
+
+    def test_copy_cost(self, rng):
+        A = rng.random((3, 3))
+        assert padded_copy_cost(A, 4, 4) == 16
+        assert padded_copy_cost(A, 3, 3) == 0
+
+
+class TestViews:
+    def test_block_view_covers_matrix(self, rng):
+        A = rng.random((8, 12))
+        blocks = list(block_view(A, 4))
+        assert len(blocks) == 2 * 3
+        i, j, blk = blocks[-1]
+        assert (i, j) == (1, 2)
+        assert np.shares_memory(blk, A)
+
+    def test_block_view_requires_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            list(block_view(rng.random((6, 8)), 4))
+
+    def test_strip_view(self, rng):
+        A = rng.random((5, 8))
+        strips = list(strip_view(A, 4))
+        assert len(strips) == 2
+        assert strips[0][1].shape == (5, 4)
+        assert np.shares_memory(strips[0][1], A)
+
+    def test_strip_view_requires_divisibility(self, rng):
+        with pytest.raises(ValueError):
+            list(strip_view(rng.random((5, 6)), 4))
+
+    def test_grid_shape(self):
+        assert grid_shape(5, 9, 4) == (2, 3)
+        assert grid_shape(0, 0, 4) == (1, 1)

@@ -1,0 +1,129 @@
+"""Theorem 3 output-sensitive sparse multiplication tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import TCUMachine
+from repro.matmul.sparse import SparseRecoveryError, sparse_mm
+
+
+def random_sparse(side, density, rng, seed):
+    """Random integer sparse matrix (integers keep recovery exact)."""
+    return sp.random(
+        side,
+        side,
+        density=density,
+        random_state=seed,
+        data_rvs=lambda k: rng.integers(1, 6, k),
+    ).astype(np.int64)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("side,density", [(16, 0.1), (32, 0.05), (48, 0.03)])
+    def test_matches_dense_product(self, tcu, rng, side, density):
+        A = random_sparse(side, density, rng, 1)
+        B = random_sparse(side, density, rng, 2)
+        C = sparse_mm(tcu, A, B, seed=7)
+        assert np.array_equal(C.toarray(), (A @ B).toarray())
+
+    def test_dense_numpy_inputs_accepted(self, tcu, rng):
+        A = np.zeros((16, 16), dtype=np.int64)
+        A[2, 3] = 4
+        A[7, 7] = 1
+        B = np.zeros((16, 16), dtype=np.int64)
+        B[3, 5] = 2
+        B[7, 0] = 3
+        C = sparse_mm(tcu, A, B, seed=1)
+        assert np.array_equal(C.toarray(), A @ B)
+
+    def test_zero_operand_shortcut(self, tcu):
+        A = sp.csr_matrix((16, 16))
+        B = sp.csr_matrix((16, 16))
+        C, stats = sparse_mm(tcu, A, B, return_stats=True)
+        assert C.nnz == 0
+        assert stats.rounds == 0
+        assert tcu.ledger.tensor_calls == 0
+
+    def test_orthogonal_supports_empty_product(self, tcu):
+        """Non-zero operands whose product is exactly zero."""
+        A = sp.csr_matrix(([1, 2], ([0, 1], [0, 1])), shape=(16, 16), dtype=np.int64)
+        B = sp.csr_matrix(([3], ([5], [5])), shape=(16, 16), dtype=np.int64)
+        C = sparse_mm(tcu, A, B, seed=3)
+        assert C.nnz == 0
+
+    def test_float_values(self, tcu, rng):
+        A = sp.random(24, 24, density=0.05, random_state=5).astype(np.float64)
+        B = sp.random(24, 24, density=0.05, random_state=6).astype(np.float64)
+        C = sparse_mm(tcu, A, B, seed=2)
+        assert np.allclose(C.toarray(), (A @ B).toarray(), atol=1e-8)
+
+    def test_mismatched_shapes_rejected(self, tcu):
+        with pytest.raises(ValueError, match="square"):
+            sparse_mm(tcu, sp.eye(4), sp.eye(5))
+
+    def test_z_bound_hint_used(self, tcu, rng):
+        A = random_sparse(32, 0.04, rng, 3)
+        B = random_sparse(32, 0.04, rng, 4)
+        expected = (A @ B).toarray()
+        C, stats = sparse_mm(
+            tcu, A, B, z_bound=int((expected != 0).sum()), seed=11, return_stats=True
+        )
+        assert np.array_equal(C.toarray(), expected)
+
+    def test_identity_times_sparse(self, tcu, rng):
+        A = sp.eye(16, dtype=np.int64, format="csr")
+        B = random_sparse(16, 0.1, rng, 8)
+        C = sparse_mm(tcu, A, B, seed=4)
+        assert np.array_equal(C.toarray(), B.toarray())
+
+
+class TestDiagnostics:
+    def test_stats_populated(self, tcu, rng):
+        A = random_sparse(24, 0.05, rng, 9)
+        B = random_sparse(24, 0.05, rng, 10)
+        C, stats = sparse_mm(tcu, A, B, seed=5, return_stats=True)
+        assert stats.rounds >= 1
+        assert stats.input_nnz == A.nnz + B.nnz
+        assert stats.recovered == C.nnz
+        assert not stats.used_dense_fallback
+
+    def test_failure_raises_without_fallback(self, tcu, rng):
+        A = random_sparse(24, 0.08, rng, 11)
+        B = random_sparse(24, 0.08, rng, 12)
+        with pytest.raises(SparseRecoveryError):
+            sparse_mm(tcu, A, B, seed=6, max_rounds=1, fallback_dense=False)
+
+    def test_fallback_still_correct(self, tcu, rng):
+        A = random_sparse(24, 0.08, rng, 13)
+        B = random_sparse(24, 0.08, rng, 14)
+        C, stats = sparse_mm(
+            tcu, A, B, seed=7, max_rounds=1, fallback_dense=True, return_stats=True
+        )
+        assert stats.used_dense_fallback
+        assert np.array_equal(C.toarray(), (A @ B).toarray())
+
+
+class TestCostBehaviour:
+    def test_sparser_output_is_cheaper(self, rng):
+        """Output sensitivity: fewer output non-zeros -> fewer buckets
+        -> cheaper compressed products."""
+        side = 48
+        sparse_time = dense_time = None
+        tcu = TCUMachine(m=16)
+        A = random_sparse(side, 0.01, rng, 15)
+        B = random_sparse(side, 0.01, rng, 16)
+        sparse_mm(tcu, A, B, seed=8)
+        sparse_time = tcu.time
+        tcu2 = TCUMachine(m=16)
+        A2 = random_sparse(side, 0.2, rng, 17)
+        B2 = random_sparse(side, 0.2, rng, 18)
+        sparse_mm(tcu2, A2, B2, seed=9)
+        dense_time = tcu2.time
+        assert sparse_time < dense_time
+
+    def test_input_term_charged(self, tcu, rng):
+        A = random_sparse(16, 0.1, rng, 19)
+        B = random_sparse(16, 0.1, rng, 20)
+        sparse_mm(tcu, A, B, seed=10)
+        assert tcu.ledger.cpu_time >= 3 * (A.nnz + B.nnz)

@@ -1,0 +1,163 @@
+"""Theorem 1 Strassen-like recursion tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import loglog_slope
+from repro.matmul.strassen import (
+    CLASSICAL_2X2,
+    STRASSEN_2X2,
+    BilinearAlgorithm,
+    default_cutoff,
+    recursion_depth,
+    strassen_like_mm,
+)
+
+
+class TestSchemes:
+    def test_classical_parameters(self):
+        assert CLASSICAL_2X2.n0 == 4
+        assert CLASSICAL_2X2.p0 == 8
+        assert math.isclose(CLASSICAL_2X2.omega0, 1.5)
+
+    def test_strassen_parameters(self):
+        assert STRASSEN_2X2.n0 == 4
+        assert STRASSEN_2X2.p0 == 7
+        assert math.isclose(STRASSEN_2X2.omega0, math.log(7) / math.log(4))
+
+    def test_validate_passes_builtins(self):
+        CLASSICAL_2X2.validate()
+        STRASSEN_2X2.validate()
+
+    def test_validate_rejects_bad_index(self):
+        bad = BilinearAlgorithm(
+            name="bad",
+            block=2,
+            products=(({(2, 0): 1}, {(0, 0): 1}),),
+            c_terms={(0, 0): ((0, 1),)},
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            bad.validate()
+
+    def test_validate_rejects_bad_product_index(self):
+        bad = BilinearAlgorithm(
+            name="bad",
+            block=2,
+            products=(({(0, 0): 1}, {(0, 0): 1}),),
+            c_terms={(0, 0): ((5, 1),)},
+        )
+        with pytest.raises(ValueError, match="product index"):
+            bad.validate()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("alg", [CLASSICAL_2X2, STRASSEN_2X2], ids=lambda a: a.name)
+    @pytest.mark.parametrize("side", [4, 8, 16, 20, 31, 64])
+    def test_matches_numpy(self, tcu, rng, alg, side):
+        A = rng.random((side, side))
+        B = rng.random((side, side))
+        C = strassen_like_mm(tcu, A, B, algorithm=alg, cutoff=8)
+        assert np.allclose(C, A @ B)
+
+    def test_non_square_rejected(self, tcu, rng):
+        with pytest.raises(ValueError, match="square"):
+            strassen_like_mm(tcu, rng.random((4, 6)), rng.random((6, 4)))
+
+    def test_mismatched_rejected(self, tcu, rng):
+        with pytest.raises(ValueError):
+            strassen_like_mm(tcu, rng.random((4, 4)), rng.random((8, 8)))
+
+    def test_integer_exact_classical(self, tcu, rng):
+        A = rng.integers(-9, 9, (16, 16))
+        B = rng.integers(-9, 9, (16, 16))
+        C = strassen_like_mm(tcu, A, B, algorithm=CLASSICAL_2X2, cutoff=4)
+        assert np.array_equal(C, A @ B)
+
+    def test_cutoff_below_block_rejected(self, tcu, rng):
+        with pytest.raises(ValueError, match="cutoff"):
+            strassen_like_mm(tcu, rng.random((8, 8)), rng.random((8, 8)), cutoff=1)
+
+
+class TestRecursionStructure:
+    def test_default_cutoff_is_paper_boundary(self):
+        tcu = TCUMachine(m=16)
+        assert default_cutoff(tcu, STRASSEN_2X2) == math.isqrt(16 * 4) == 8
+
+    def test_base_case_uses_dense_schedule(self, rng):
+        """At side <= cutoff no linear-combination work happens."""
+        tcu = TCUMachine(m=16)
+        strassen_like_mm(tcu, rng.random((8, 8)), rng.random((8, 8)))
+        # one level below cutoff=8: the dense schedule issues 4 calls
+        assert tcu.ledger.tensor_calls == 4
+
+    def test_recursion_depth_helper(self):
+        assert recursion_depth(8, 8, 2) == 0
+        assert recursion_depth(16, 8, 2) == 1
+        assert recursion_depth(64, 8, 2) == 3
+        assert recursion_depth(17, 8, 2) == 2  # pads 17 -> 18 -> 9 -> 5
+
+    def test_strassen_issues_seven_to_classical_eight(self, rng):
+        """One recursion level: 7 vs 8 subproblems."""
+        counts = {}
+        for alg in (STRASSEN_2X2, CLASSICAL_2X2):
+            tcu = TCUMachine(m=16)
+            strassen_like_mm(
+                tcu,
+                rng.random((16, 16)),
+                rng.random((16, 16)),
+                algorithm=alg,
+                cutoff=8,
+            )
+            counts[alg.name] = tcu.ledger.tensor_calls
+        assert counts["strassen"] * 8 == counts["classical"] * 7
+
+
+class TestCostShape:
+    def test_exponent_separation(self, rng):
+        """Log-log slopes in matrix *area* approach omega0 for each scheme."""
+        sides = [16, 32, 64, 128]
+        slopes = {}
+        for alg in (CLASSICAL_2X2, STRASSEN_2X2):
+            times = []
+            for side in sides:
+                tcu = TCUMachine(m=16)
+                strassen_like_mm(
+                    tcu,
+                    rng.random((side, side)),
+                    rng.random((side, side)),
+                    algorithm=alg,
+                    cutoff=8,
+                )
+                times.append(tcu.time)
+            slopes[alg.name] = loglog_slope([s * s for s in sides], times)
+        assert abs(slopes["classical"] - 1.5) < 0.1
+        assert abs(slopes["strassen"] - STRASSEN_2X2.omega0) < 0.12
+        assert slopes["strassen"] < slopes["classical"]
+
+    def test_strassen_wins_eventually(self, rng):
+        """Theorem 1: fewer subproblems beats more, for large n/m."""
+        side = 128
+        times = {}
+        for alg in (CLASSICAL_2X2, STRASSEN_2X2):
+            tcu = TCUMachine(m=16)
+            strassen_like_mm(
+                tcu,
+                rng.random((side, side)),
+                rng.random((side, side)),
+                algorithm=alg,
+                cutoff=8,
+            )
+            times[alg.name] = tcu.time
+        assert times["strassen"] < times["classical"]
+
+    def test_larger_unit_is_faster(self, rng):
+        side = 64
+        times = []
+        for m in (16, 64, 256):
+            tcu = TCUMachine(m=m)
+            strassen_like_mm(tcu, rng.random((side, side)), rng.random((side, side)))
+            times.append(tcu.time)
+        assert times[0] > times[1] > times[2]

@@ -1,0 +1,178 @@
+"""Edge cases and failure injection across module boundaries.
+
+Degenerate sizes (empty, single-element, 1x1 units), shared ledgers,
+dtype promotion, forced retry paths — the situations a downstream user
+hits first and unit suites often miss.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import (
+    CostLedger,
+    ParallelTCUMachine,
+    TCUMachine,
+    matmul,
+    sparse_mm,
+    strassen_like_mm,
+)
+from repro.graph.apsd import apsd
+from repro.graph.closure import transitive_closure
+from repro.linalg.gaussian import ge_forward, ge_solve
+from repro.transform.dft import batched_dft, dft
+from repro.transform.stencil import HEAT_3X3, stencil_direct, stencil_tcu
+
+
+class TestDegenerateSizes:
+    def test_unit_size_one_machine(self, rng):
+        """m = 1: every 'tensor call' is a scalar multiply-accumulate."""
+        tcu = TCUMachine(m=1)
+        A = rng.random((3, 5))
+        B = rng.random((5, 2))
+        assert np.allclose(matmul(tcu, A, B), A @ B)
+
+    def test_one_by_one_matrices(self, tcu):
+        assert np.allclose(matmul(tcu, np.array([[3.0]]), np.array([[4.0]])), [[12.0]])
+
+    def test_ge_one_by_one(self, tcu):
+        out = ge_forward(tcu, np.array([[5.0]]))
+        assert out[0, 0] == 5.0
+
+    def test_ge_solve_single_unknown(self, tcu):
+        x = ge_solve(tcu, np.array([[2.0]]), np.array([6.0]))
+        assert np.allclose(x, [3.0])
+
+    def test_closure_single_vertex(self, tcu):
+        assert transitive_closure(tcu, np.zeros((1, 1), dtype=np.int64))[0, 0] == 0
+
+    def test_apsd_two_isolated_vertices(self, tcu):
+        D = apsd(tcu, np.zeros((2, 2), dtype=np.int64))
+        assert D[0, 0] == 0 and np.isinf(D[0, 1])
+
+    def test_dft_single_point(self, tcu):
+        assert np.allclose(dft(tcu, np.array([7.0])), [7.0])
+
+    def test_batched_dft_zero_batch(self, tcu):
+        out = batched_dft(tcu, np.zeros((0, 8)))
+        assert out.shape == (0, 8)
+
+    def test_stencil_single_row_grid(self, tcu, rng):
+        A = rng.random((1, 20))
+        k = 2
+        assert np.allclose(
+            stencil_tcu(tcu, A, HEAT_3X3, k),
+            stencil_direct(tcu, A, HEAT_3X3, k),
+            atol=1e-9,
+        )
+
+    def test_stencil_k_larger_than_grid(self, tcu, rng):
+        A = rng.random((4, 4))
+        k = 6
+        assert np.allclose(
+            stencil_tcu(tcu, A, HEAT_3X3, k),
+            stencil_direct(tcu, A, HEAT_3X3, k),
+            atol=1e-9,
+        )
+
+    def test_strassen_side_one(self, tcu):
+        C = strassen_like_mm(tcu, np.array([[2.0]]), np.array([[8.0]]))
+        assert C[0, 0] == 16.0
+
+
+class TestSharedLedgers:
+    def test_two_machines_one_ledger(self, rng):
+        ledger = CostLedger()
+        small = TCUMachine(m=16, ell=4.0, ledger=ledger)
+        big = TCUMachine(m=64, ell=8.0, ledger=ledger)
+        small.mm(rng.random((4, 4)), rng.random((4, 4)))
+        big.mm(rng.random((8, 8)), rng.random((8, 8)))
+        assert ledger.tensor_calls == 2
+        assert small.time == big.time == ledger.total_time
+
+    def test_sections_span_machines(self, rng):
+        ledger = CostLedger()
+        a = TCUMachine(m=16, ledger=ledger)
+        b = TCUMachine(m=16, ledger=ledger)
+        with ledger.section("combined"):
+            a.mm(rng.random((4, 4)), rng.random((4, 4)))
+            b.charge_cpu(10)
+        assert ledger.section_time("combined") == ledger.total_time
+
+
+class TestDtypePromotion:
+    def test_int_times_float(self, tcu, rng):
+        A = rng.integers(0, 5, (6, 6))
+        B = rng.random((6, 6))
+        C = matmul(tcu, A, B)
+        assert C.dtype == np.float64
+        assert np.allclose(C, A @ B)
+
+    def test_float32_preserved_through_padding(self, tcu, rng):
+        A = rng.random((5, 5)).astype(np.float32)
+        B = rng.random((5, 5)).astype(np.float32)
+        C = matmul(tcu, A, B)
+        assert C.dtype == np.float32
+
+    def test_complex_times_real(self, tcu, rng):
+        A = rng.random((6, 6)) + 1j * rng.random((6, 6))
+        B = rng.random((6, 6))
+        assert np.iscomplexobj(matmul(tcu, A, B))
+
+
+class TestForcedRetryPaths:
+    def test_sparse_tiny_z_bound_forces_doubling(self, tcu, rng):
+        """A wildly wrong Z hint must still converge via bucket doubling."""
+        side = 32
+        mk = lambda s: sp.random(
+            side, side, density=0.1, random_state=s,
+            data_rvs=lambda k: rng.integers(1, 5, k),
+        ).astype(np.int64)
+        A, B = mk(1), mk(2)
+        C, stats = sparse_mm(tcu, A, B, z_bound=1, seed=5, return_stats=True)
+        assert np.array_equal(C.toarray(), (A @ B).toarray())
+        assert stats.final_buckets > 4  # doubled at least once
+
+    def test_parallel_fork_keeps_units(self):
+        machine = ParallelTCUMachine(m=16, ell=2.0, units=8)
+        child = machine.fork()
+        assert isinstance(child, ParallelTCUMachine)
+        assert child.units == 8
+        assert child.time == 0
+
+    def test_ge_near_singular_blows_up_not_silently(self, tcu):
+        """A singular leading minor raises rather than returning NaNs."""
+        X = np.ones((8, 8))  # rank 1: zero pivot at step 2
+        with pytest.raises(ZeroDivisionError):
+            ge_forward(tcu, X)
+
+    def test_machine_reset_midway(self, rng):
+        tcu = TCUMachine(m=16, ell=4.0)
+        matmul(tcu, rng.random((8, 8)), rng.random((8, 8)))
+        tcu.reset()
+        assert tcu.time == 0
+        C = matmul(tcu, rng.random((4, 4)), np.eye(4))
+        assert C.shape == (4, 4)
+
+
+class TestNumericalStress:
+    @pytest.mark.filterwarnings("ignore:overflow encountered")
+    def test_matmul_large_magnitudes(self, tcu):
+        A = np.full((4, 4), 1e200)
+        B = np.full((4, 4), 1e200)
+        C = matmul(tcu, A, B)  # products exceed float64 range
+        assert np.isinf(C).all()  # overflow propagates, no crash
+
+    def test_matmul_denormals(self, tcu):
+        A = np.full((4, 4), 1e-300)
+        B = np.full((4, 4), 1e-300)
+        C = matmul(tcu, A, B)
+        assert (C == 0).all() or np.all(np.abs(C) < 1e-290)
+
+    def test_dft_of_zeros(self, tcu):
+        assert np.allclose(dft(tcu, np.zeros(64)), np.zeros(64))
+
+    def test_stencil_zero_kernel(self, tcu, rng):
+        W = np.zeros((3, 3))
+        A = rng.random((8, 8))
+        assert np.allclose(stencil_tcu(tcu, A, W, 2), 0.0)

@@ -1,0 +1,115 @@
+"""Property-based tests for the §6 extension machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parallel import ParallelTCUMachine
+from repro.core.quantize import QuantizedTCUMachine, quantize_array
+
+
+# ----------------------------------------------------------------------
+# parallel scheduling invariants
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=30)
+@given(
+    units=st.integers(1, 16),
+    heights=st.lists(st.integers(4, 64), min_size=1, max_size=12),
+    seed=st.integers(0, 2**16),
+)
+def test_makespan_bounds(units, heights, seed):
+    """max job <= makespan <= serial, and LPT is within (4/3 - 1/3p) of
+    the trivial lower bound max(max job, serial/p)."""
+    rng = np.random.default_rng(seed)
+    machine = ParallelTCUMachine(m=16, ell=5.0, units=units)
+    jobs = [(rng.random((h, 4)), rng.random((4, 4))) for h in heights]
+    machine.mm_batch(jobs)
+    stats = machine.last_batch
+    costs = [h * 4 + 5.0 for h in heights]
+    assert stats.makespan >= max(costs) - 1e-9
+    assert stats.makespan <= stats.serial_time + 1e-9
+    opt_lb = max(max(costs), stats.serial_time / units)
+    assert stats.makespan <= (4 / 3) * opt_lb + 1e-9
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    heights=st.lists(st.integers(4, 32), min_size=1, max_size=10),
+    seed=st.integers(0, 2**16),
+)
+def test_more_units_never_slower(heights, seed):
+    rng = np.random.default_rng(seed)
+    jobs = [(rng.random((h, 4)), rng.random((4, 4))) for h in heights]
+    makespans = []
+    for units in (1, 2, 4, 32):
+        machine = ParallelTCUMachine(m=16, ell=3.0, units=units)
+        machine.mm_batch([(a.copy(), b.copy()) for a, b in jobs])
+        makespans.append(machine.last_batch.makespan)
+    assert all(a >= b - 1e-9 for a, b in zip(makespans, makespans[1:]))
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    heights=st.lists(st.integers(4, 32), min_size=1, max_size=8),
+    seed=st.integers(0, 2**16),
+)
+def test_batch_results_exact(heights, seed):
+    rng = np.random.default_rng(seed)
+    machine = ParallelTCUMachine(m=16, units=4)
+    jobs = [(rng.random((h, 4)), rng.random((4, 4))) for h in heights]
+    for (A, B), C in zip(jobs, machine.mm_batch(jobs)):
+        assert np.allclose(C, A @ B)
+
+
+# ----------------------------------------------------------------------
+# quantisation invariants
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=40)
+@given(
+    seed=st.integers(0, 2**16),
+    scale=st.floats(0.1, 1e2, allow_nan=False),
+)
+def test_fp16_elementwise_error_bound(seed, scale):
+    """fp16 rounding is within half an ulp — rel err <= 2^-11 per
+    element — for values in fp16's *normal* range (subnormals below
+    ~6e-5 lose precision gracefully but violate the ulp bound)."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(64) * scale
+    x = np.where(np.abs(x) < 1e-3, 1e-3, x)  # keep clear of subnormals
+    q = quantize_array(x, "fp16")
+    rel = np.abs(q - x) / np.maximum(np.abs(x), 1e-300)
+    assert rel.max() <= 2.0**-11 + 1e-12
+
+
+@settings(deadline=None, max_examples=40)
+@given(seed=st.integers(0, 2**16))
+def test_int8_error_bound(seed):
+    """Symmetric int8: absolute error <= max|x|/254 per element."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(64)
+    q = quantize_array(x, "int8")
+    assert np.abs(q - x).max() <= np.abs(x).max() / 254.0 + 1e-12
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 2**16), fmt=st.sampled_from(["fp16", "bf16", "int8"]))
+def test_quantization_idempotent(seed, fmt):
+    """Quantising an already-quantised array changes nothing (fixed point)."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(32)
+    once = quantize_array(x, fmt)
+    twice = quantize_array(once, fmt)
+    assert np.allclose(once, twice, rtol=1e-12, atol=1e-15)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 2**16))
+def test_quantized_mm_error_tracked(seed):
+    rng = np.random.default_rng(seed)
+    machine = QuantizedTCUMachine(m=16, precision="fp16")
+    A, B = rng.random((8, 4)), rng.random((4, 4))
+    C = machine.mm(A, B)
+    exact = A @ B
+    recorded = machine.error_stats.errors[-1]
+    direct = np.linalg.norm(C - exact) / np.linalg.norm(exact)
+    assert np.isclose(recorded, direct)

@@ -1,0 +1,196 @@
+"""Cross-module integration tests.
+
+These compose several subsystems the way the examples and benches do:
+algorithms on preset machines, theorem formulas fitted against measured
+model times, the weak-model/EM bridge, and multi-algorithm pipelines
+sharing one ledger.
+"""
+
+import numpy as np
+import networkx as nx
+import pytest
+
+from repro import TCUMachine, VOLTA_TC, matmul, sparse_mm
+from repro.analysis.fitting import fit_constant, loglog_slope
+from repro.analysis.formulas import (
+    thm2_dense_mm,
+    thm5_transitive_closure,
+    thm7_dft,
+    thm9_integer_mul,
+)
+from repro.arith.intmul import int_multiply
+from repro.extmem.simulate import simulate_ledger_io
+from repro.graph.apsd import apsd
+from repro.graph.closure import transitive_closure
+from repro.linalg.gaussian import ge_solve
+from repro.transform.dft import dft
+from repro.transform.stencil import HEAT_3X3, stencil_direct, stencil_tcu
+
+
+class TestFormulaFits:
+    """Measured model time fits each theorem's formula with one constant."""
+
+    def test_dense_mm_fit(self, rng):
+        preds, times = [], []
+        for side in (16, 32, 64, 128):
+            tcu = TCUMachine(m=16, ell=32.0)
+            matmul(tcu, rng.random((side, side)), rng.random((side, side)))
+            preds.append(thm2_dense_mm(side * side, 16, 32.0))
+            times.append(tcu.time)
+        fit = fit_constant(preds, times)
+        assert fit.within(0.5)
+
+    def test_closure_fit(self, rng):
+        preds, times = [], []
+        for n in (16, 32, 64):
+            A = (rng.random((n, n)) < 0.2).astype(np.int64)
+            np.fill_diagonal(A, 0)
+            tcu = TCUMachine(m=16, ell=16.0)
+            transitive_closure(tcu, A)
+            preds.append(thm5_transitive_closure(n, 16, 16.0))
+            times.append(tcu.time)
+        fit = fit_constant(preds, times)
+        assert fit.within(0.6)
+
+    def test_dft_fit(self, rng):
+        preds, times = [], []
+        for n in (64, 256, 1024, 4096):
+            tcu = TCUMachine(m=16, ell=8.0)
+            dft(tcu, rng.standard_normal(n))
+            preds.append(thm7_dft(n, 16, 8.0))
+            times.append(tcu.time)
+        fit = fit_constant(preds, times)
+        assert fit.within(0.6)
+
+    def test_intmul_fit(self):
+        import random
+
+        random.seed(1)
+        preds, times = [], []
+        for bits in (512, 1024, 2048, 4096):
+            a = random.getrandbits(bits) | (1 << (bits - 1))
+            tcu = TCUMachine(m=16, kappa=32, ell=8.0)
+            int_multiply(tcu, a, a)
+            preds.append(thm9_integer_mul(bits, 16, 8.0, 8))
+            times.append(tcu.time)
+        fit = fit_constant(preds, times)
+        assert fit.within(0.6)
+
+
+class TestPresetPipelines:
+    def test_volta_preset_full_pipeline(self, rng):
+        """Solve a system, close a graph and transform a signal on the
+        Volta preset, all billed to one ledger with sections."""
+        machine = VOLTA_TC.create()
+        with machine.section("solve"):
+            A = rng.random((24, 24)) + 24 * np.eye(24)
+            b = rng.random(24)
+            x = ge_solve(machine, A, b)
+        assert np.allclose(A @ x, b, atol=1e-6)
+        with machine.section("graph"):
+            adj = (rng.random((20, 20)) < 0.2).astype(np.int64)
+            np.fill_diagonal(adj, 0)
+            transitive_closure(machine, adj)
+        with machine.section("signal"):
+            dft(machine, rng.standard_normal(256))
+        total = machine.time
+        parts = sum(
+            machine.ledger.section_time(s) for s in ("solve", "graph", "signal")
+        )
+        assert np.isclose(total, parts)
+
+    def test_same_workload_different_machines(self, rng):
+        """A latency-heavy unit prefers fewer, taller calls: the same
+        matmul costs relatively more latency on a TPU-like machine."""
+        A = rng.random((256, 256))
+        B = rng.random((256, 256))
+        tpu_like = TCUMachine(m=256, ell=65536.0)
+        tc_like = TCUMachine(m=256, ell=32.0)
+        matmul(tpu_like, A, B)
+        matmul(tc_like, A, B)
+        assert tpu_like.ledger.tensor_time == tc_like.ledger.tensor_time
+        assert tpu_like.time > 5 * tc_like.time
+
+
+class TestWeakModelBridge:
+    def test_end_to_end_theorem12(self, rng):
+        """Algorithm -> ledger trace -> EM simulation -> bound check."""
+        from repro.extmem.bounds import matmul_io_lower_bound
+
+        side, m = 32, 16
+        tcu = TCUMachine(m=m, ell=float(m))
+        matmul(tcu, rng.random((side, side)), rng.random((side, side)))
+        sim = simulate_ledger_io(tcu.ledger, weak=True)
+        # simulation I/Os within a constant of model time ...
+        assert 0.1 < sim.io_per_time < 12
+        # ... and above the Hong-Kung bound at M = 3m
+        assert sim.total_ios >= matmul_io_lower_bound(side * side, 3 * m)
+
+
+class TestCrossAlgorithmConsistency:
+    def test_apsd_against_closure_reachability(self, rng):
+        """Finite Seidel distances exactly where the (symmetrised)
+        closure says reachable."""
+        n = 16
+        G = nx.gnp_random_graph(n, 0.15, seed=42)
+        A = nx.to_numpy_array(G, dtype=np.int64)
+        tcu = TCUMachine(m=16)
+        D = apsd(tcu, A)
+        C = transitive_closure(tcu, A)
+        finite = np.isfinite(D) & (D > 0)
+        assert np.array_equal(finite, C.astype(bool) & ~np.eye(n, dtype=bool))
+
+    def test_sparse_dense_agree(self, rng):
+        import scipy.sparse as sp
+
+        side = 32
+        A = sp.random(side, side, density=0.06, random_state=3,
+                      data_rvs=lambda k: rng.integers(1, 5, k)).astype(np.int64)
+        B = sp.random(side, side, density=0.06, random_state=4,
+                      data_rvs=lambda k: rng.integers(1, 5, k)).astype(np.int64)
+        tcu = TCUMachine(m=16)
+        dense = matmul(tcu, A.toarray(), B.toarray())
+        sparse = sparse_mm(tcu, A, B, seed=1).toarray()
+        assert np.array_equal(dense, sparse)
+
+    def test_stencil_spectral_matches_sweeps_on_heat(self, rng):
+        tcu = TCUMachine(m=16)
+        A = rng.random((32, 32))
+        k = 8
+        assert np.allclose(
+            stencil_tcu(tcu, A, HEAT_3X3, k),
+            stencil_direct(tcu, A, HEAT_3X3, k),
+            atol=1e-8,
+        )
+
+    def test_dft_via_polyeval(self, rng):
+        """DFT(x) = polynomial with coefficients x evaluated at the
+        inverse roots of unity — two subsystems, one answer."""
+        from repro.arith.polyeval import batch_polyeval
+
+        n = 16
+        x = rng.standard_normal(n)
+        tcu = TCUMachine(m=16)
+        roots = np.exp(-2j * np.pi * np.arange(n) / n)
+        via_poly = batch_polyeval(tcu, x.astype(np.complex128), roots)
+        via_dft = dft(tcu, x)
+        assert np.allclose(via_poly, via_dft, atol=1e-8)
+
+
+class TestScalingSummary:
+    def test_slopes_summary(self, rng):
+        """One combined slope check across three algorithm families."""
+        # dense MM ~ side^3
+        mm_times = []
+        for side in (16, 32, 64):
+            tcu = TCUMachine(m=16)
+            matmul(tcu, rng.random((side, side)), rng.random((side, side)))
+            mm_times.append(tcu.time)
+        assert 2.7 < loglog_slope([16, 32, 64], mm_times) < 3.2
+        # DFT ~ n^(1+eps)
+        dft_times = []
+        for n in (256, 1024, 4096):
+            tcu = TCUMachine(m=16)
+            dft(tcu, rng.standard_normal(n))
+            dft_times.append(tcu.time)
+        assert 1.0 < loglog_slope([256, 1024, 4096], dft_times) < 1.3

@@ -1,0 +1,98 @@
+"""Scan / reduction primitive tests (the [9]/[7] related-work coverage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import TCUMachine
+from repro.primitives import tcu_prefix_sum, tcu_reduce
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", [0, 1, 2, 4, 15, 16, 17, 100, 1000])
+    def test_matches_sum(self, tcu, rng, n):
+        x = rng.standard_normal(n)
+        got = tcu_reduce(tcu, x)
+        assert np.isclose(got, x.sum(), atol=1e-9)
+
+    def test_empty(self, tcu):
+        assert tcu_reduce(tcu, np.zeros(0)) == 0.0
+
+    def test_integers_exact(self, tcu, rng):
+        x = rng.integers(-100, 100, 257)
+        assert tcu_reduce(tcu, x) == x.sum()
+
+    def test_unit_size_one(self, rng):
+        machine = TCUMachine(m=1)
+        x = rng.standard_normal(50)
+        assert np.isclose(tcu_reduce(machine, x), x.sum())
+
+    def test_2d_rejected(self, tcu, rng):
+        with pytest.raises(ValueError):
+            tcu_reduce(tcu, rng.random((3, 3)))
+
+    def test_logarithmic_tensor_calls(self, rng):
+        """Reduction issues O(log_m n) calls, not O(n)."""
+        tcu = TCUMachine(m=16)
+        tcu_reduce(tcu, rng.standard_normal(4096))
+        assert tcu.ledger.tensor_calls <= 8
+
+    def test_latency_only_logarithmic(self, rng):
+        x = rng.standard_normal(4096)
+        t0 = TCUMachine(m=16, ell=0.0)
+        t1 = TCUMachine(m=16, ell=1000.0)
+        tcu_reduce(t0, x)
+        tcu_reduce(t1, x)
+        assert t1.time - t0.time <= 1000.0 * 8
+
+
+class TestPrefixSum:
+    @pytest.mark.parametrize("n", [0, 1, 2, 4, 15, 16, 17, 100, 1000])
+    def test_matches_cumsum(self, tcu, rng, n):
+        x = rng.standard_normal(n)
+        got = tcu_prefix_sum(tcu, x)
+        assert np.allclose(got, np.cumsum(x), atol=1e-9)
+
+    def test_constant_input(self, tcu):
+        got = tcu_prefix_sum(tcu, np.ones(37))
+        assert np.array_equal(got, np.arange(1, 38))
+
+    def test_unit_size_one(self, rng):
+        machine = TCUMachine(m=1)
+        x = rng.standard_normal(20)
+        assert np.allclose(tcu_prefix_sum(machine, x), np.cumsum(x))
+
+    def test_last_entry_is_total(self, tcu, rng):
+        x = rng.standard_normal(333)
+        scan = tcu_prefix_sum(tcu, x)
+        assert np.isclose(scan[-1], x.sum(), atol=1e-9)
+
+    def test_2d_rejected(self, tcu, rng):
+        with pytest.raises(ValueError):
+            tcu_prefix_sum(tcu, rng.random((3, 3)))
+
+    def test_linear_model_time(self, rng):
+        """Theta(n) with a small constant: doubling n ~ doubles time."""
+        times = []
+        for n in (1024, 2048, 4096):
+            tcu = TCUMachine(m=16)
+            tcu_prefix_sum(tcu, rng.standard_normal(n))
+            times.append(tcu.time)
+        assert 1.7 < times[1] / times[0] < 2.3
+        assert 1.7 < times[2] / times[1] < 2.3
+
+
+@settings(deadline=None, max_examples=30)
+@given(n=st.integers(0, 500), seed=st.integers(0, 2**16))
+def test_property_scan_and_reduce_consistent(n, seed):
+    """reduce(x) == last entry of prefix_sum(x), both matching numpy."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n)
+    tcu = TCUMachine(m=16, ell=2.0)
+    total = tcu_reduce(tcu, x)
+    assert np.isclose(total, x.sum(), atol=1e-8)
+    if n:
+        scan = tcu_prefix_sum(tcu, x)
+        assert np.allclose(scan, np.cumsum(x), atol=1e-8)
+        assert np.isclose(scan[-1], total, atol=1e-8)

@@ -1,0 +1,263 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These exercise randomised shapes/values beyond the hand-picked unit
+cases: algebraic identities of the numeric algorithms, exactness of the
+word/limb discipline, and monotonicity/additivity of the cost model.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import TCUMachine
+from repro.arith.intmul import int_multiply
+from repro.arith.polyeval import batch_polyeval
+from repro.core.ledger import CostLedger
+from repro.core.systolic import SystolicArray
+from repro.core.words import int_to_limbs, limbs_to_int
+from repro.matmul.dense import matmul, tensor_call_count
+from repro.matmul.strassen import CLASSICAL_2X2, STRASSEN_2X2, strassen_like_mm
+from repro.transform.dft import batched_dft, dft, idft
+from repro.transform.stencil import stencil_direct, stencil_tcu, unrolled_weights
+
+SMALL_FLOATS = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def square(side, seed):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((side, side))
+
+
+# ----------------------------------------------------------------------
+# dense matmul
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=25)
+@given(
+    p=st.integers(1, 20),
+    q=st.integers(1, 20),
+    r=st.integers(1, 20),
+    seed=st.integers(0, 2**16),
+)
+def test_matmul_matches_numpy_any_shape(p, q, r, seed):
+    rng = np.random.default_rng(seed)
+    tcu = TCUMachine(m=16, ell=3.0)
+    A = rng.standard_normal((p, q))
+    B = rng.standard_normal((q, r))
+    assert np.allclose(matmul(tcu, A, B), A @ B, atol=1e-9)
+
+
+@settings(deadline=None, max_examples=25)
+@given(p=st.integers(1, 32), q=st.integers(1, 32), r=st.integers(1, 32))
+def test_tensor_call_count_formula(p, q, r):
+    tcu = TCUMachine(m=16)
+    rng = np.random.default_rng(0)
+    matmul(tcu, rng.standard_normal((p, q)), rng.standard_normal((q, r)))
+    assert tcu.ledger.tensor_calls == tensor_call_count(p, q, r, 4)
+
+
+@settings(deadline=None, max_examples=15)
+@given(side=st.integers(1, 24), seed=st.integers(0, 2**16))
+def test_matmul_identity_property(side, seed):
+    tcu = TCUMachine(m=16)
+    A = square(side, seed)
+    assert np.allclose(matmul(tcu, A, np.eye(side)), A, atol=1e-12)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    side=st.integers(2, 16),
+    seed=st.integers(0, 2**16),
+    alpha=st.floats(-3, 3, allow_nan=False),
+)
+def test_matmul_linearity(side, seed, alpha):
+    """(alpha A1 + A2) B == alpha A1 B + A2 B."""
+    tcu = TCUMachine(m=16)
+    A1, A2, B = square(side, seed), square(side, seed + 1), square(side, seed + 2)
+    lhs = matmul(tcu, alpha * A1 + A2, B)
+    rhs = alpha * matmul(tcu, A1, B) + matmul(tcu, A2, B)
+    assert np.allclose(lhs, rhs, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# strassen-like
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=15)
+@given(
+    side=st.integers(2, 33),
+    seed=st.integers(0, 2**16),
+    use_strassen=st.booleans(),
+)
+def test_strassen_like_matches_numpy(side, seed, use_strassen):
+    tcu = TCUMachine(m=16)
+    alg = STRASSEN_2X2 if use_strassen else CLASSICAL_2X2
+    A, B = square(side, seed), square(side, seed + 7)
+    C = strassen_like_mm(tcu, A, B, algorithm=alg, cutoff=8)
+    assert np.allclose(C, A @ B, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# systolic array
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=20)
+@given(s=st.integers(1, 6), n=st.integers(1, 12), seed=st.integers(0, 2**16))
+def test_systolic_always_exact_and_on_schedule(s, n, seed):
+    rng = np.random.default_rng(seed)
+    arr = SystolicArray(s)
+    A = rng.integers(-9, 9, (n, s))
+    B = rng.integers(-9, 9, (s, s))
+    C, stats = arr.matmul(A, B)
+    assert np.array_equal(C, A @ B)
+    expect = np.add.outer(np.arange(n), np.arange(s)) + s - 1
+    assert np.array_equal(stats.emit_step, expect)
+
+
+# ----------------------------------------------------------------------
+# DFT
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=20)
+@given(
+    logn=st.integers(0, 9),
+    seed=st.integers(0, 2**16),
+)
+def test_dft_roundtrip(logn, seed):
+    n = 2**logn
+    rng = np.random.default_rng(seed)
+    tcu = TCUMachine(m=16)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    assert np.allclose(idft(tcu, dft(tcu, x)), x, atol=1e-9)
+
+
+@settings(deadline=None, max_examples=15)
+@given(logn=st.integers(1, 8), seed=st.integers(0, 2**16))
+def test_dft_linearity(logn, seed):
+    n = 2**logn
+    rng = np.random.default_rng(seed)
+    tcu = TCUMachine(m=16)
+    x, y = rng.standard_normal(n), rng.standard_normal(n)
+    assert np.allclose(
+        dft(tcu, x + 2 * y), dft(tcu, x) + 2 * dft(tcu, y), atol=1e-8
+    )
+
+
+@settings(deadline=None, max_examples=10)
+@given(
+    batch=st.integers(1, 8), logn=st.integers(1, 6), seed=st.integers(0, 2**16)
+)
+def test_batched_dft_equals_rowwise(batch, logn, seed):
+    n = 2**logn
+    rng = np.random.default_rng(seed)
+    tcu = TCUMachine(m=16)
+    X = rng.standard_normal((batch, n))
+    assert np.allclose(batched_dft(tcu, X), np.fft.fft(X, axis=1), atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# stencil
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=10)
+@given(
+    rows=st.integers(4, 20),
+    cols=st.integers(4, 20),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+)
+def test_stencil_tcu_equals_direct(rows, cols, k, seed):
+    rng = np.random.default_rng(seed)
+    tcu = TCUMachine(m=16)
+    A = rng.standard_normal((rows, cols))
+    W3 = rng.standard_normal((3, 3)) * 0.2
+    want = stencil_direct(tcu, A, W3, k)
+    got = stencil_tcu(tcu, A, W3, k)
+    assert np.allclose(got, want, atol=1e-7)
+
+
+@settings(deadline=None, max_examples=10)
+@given(k=st.integers(1, 10), seed=st.integers(0, 2**16))
+def test_unrolled_weights_mass(k, seed):
+    """sum(P^k) = (sum P)^k for any kernel."""
+    rng = np.random.default_rng(seed)
+    tcu = TCUMachine(m=16)
+    W3 = rng.standard_normal((3, 3)) * 0.3
+    Wk = unrolled_weights(tcu, W3, k)
+    assert np.isclose(Wk.sum(), W3.sum() ** k, rtol=1e-6, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# integers and words
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=40)
+@given(value=st.integers(0, 2**512), bits=st.integers(1, 32))
+def test_limb_roundtrip(value, bits):
+    assert limbs_to_int(int_to_limbs(value, bits), bits) == value
+
+
+@settings(deadline=None, max_examples=30)
+@given(a=st.integers(0, 2**600), b=st.integers(0, 2**600))
+def test_int_multiply_exact(a, b):
+    tcu = TCUMachine(m=16, kappa=32, check_overflow=True)
+    assert int_multiply(tcu, a, b) == a * b
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    n=st.integers(1, 40),
+    p=st.integers(1, 10),
+    seed=st.integers(0, 2**16),
+)
+def test_polyeval_matches_horner(n, p, seed):
+    rng = np.random.default_rng(seed)
+    tcu = TCUMachine(m=16)
+    coeffs = rng.standard_normal(n)
+    pts = rng.uniform(-1, 1, p)
+    want = np.polyval(coeffs[::-1], pts)
+    assert np.allclose(batch_polyeval(tcu, coeffs, pts), want, atol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# cost model invariants
+# ----------------------------------------------------------------------
+@settings(deadline=None, max_examples=25)
+@given(
+    charges=st.lists(
+        st.tuples(st.integers(4, 64), st.floats(0, 100, allow_nan=False)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_ledger_additivity(charges):
+    """Total time is exactly the sum of individual charge returns."""
+    led = CostLedger()
+    total = 0.0
+    for n, ell in charges:
+        total += led.charge_tensor(n, 4, ell)
+    total += led.charge_cpu(17)
+    assert np.isclose(led.total_time, total)
+
+
+@settings(deadline=None, max_examples=10)
+@given(side=st.integers(8, 24), seed=st.integers(0, 2**16))
+def test_time_monotone_in_ell(side, seed):
+    """Same algorithm, higher latency -> no smaller model time."""
+    A, B = square(side, seed), square(side, seed + 1)
+    times = []
+    for ell in (0.0, 10.0, 1000.0):
+        tcu = TCUMachine(m=16, ell=ell)
+        matmul(tcu, A, B)
+        times.append(tcu.time)
+    assert times[0] <= times[1] <= times[2]
+
+
+@settings(deadline=None, max_examples=10)
+@given(side=st.integers(16, 40), seed=st.integers(0, 2**16))
+def test_tensor_time_decreases_with_m(side, seed):
+    """A larger unit never increases the tensor-throughput time."""
+    A, B = square(side, seed), square(side, seed + 1)
+    tensor_times = []
+    for m in (16, 64):
+        tcu = TCUMachine(m=m)
+        matmul(tcu, A, B)
+        tensor_times.append(tcu.ledger.tensor_time)
+    assert tensor_times[1] <= tensor_times[0] * 1.01

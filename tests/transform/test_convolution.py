@@ -1,0 +1,134 @@
+"""Convolution primitive tests."""
+
+import numpy as np
+import pytest
+
+from repro.transform.convolution import (
+    batched_circular_convolve2d,
+    circular_convolve,
+    dft2,
+    embed_centered_kernel_1d,
+    embed_centered_kernel_2d,
+    idft2,
+)
+
+
+def naive_centered_correlate2d(tile, W):
+    """Direct evaluation of out[i,j] = sum tile[(i+a)%S,(j+b)%S] W[k+a,k+b]."""
+    S = tile.shape[0]
+    k = W.shape[0] // 2
+    out = np.zeros_like(tile, dtype=np.float64)
+    for i in range(S):
+        for j in range(S):
+            acc = 0.0
+            for a in range(-k, k + 1):
+                for b in range(-k, k + 1):
+                    acc += tile[(i + a) % S, (j + b) % S] * W[k + a, k + b]
+            out[i, j] = acc
+    return out
+
+
+class TestCircularConvolve1D:
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_matches_fft_reference(self, tcu, rng, n):
+        a = rng.standard_normal(n)
+        b = rng.standard_normal(n)
+        ref = np.real(np.fft.ifft(np.fft.fft(a) * np.fft.fft(b)))
+        assert np.allclose(circular_convolve(tcu, a, b), ref)
+
+    def test_convolution_with_delta_is_identity(self, tcu, rng):
+        n = 16
+        a = rng.standard_normal(n)
+        delta = np.zeros(n)
+        delta[0] = 1.0
+        assert np.allclose(circular_convolve(tcu, a, delta), a)
+
+    def test_commutative(self, tcu, rng):
+        a = rng.standard_normal(8)
+        b = rng.standard_normal(8)
+        assert np.allclose(
+            circular_convolve(tcu, a, b), circular_convolve(tcu, b, a)
+        )
+
+    def test_shift_theorem(self, tcu, rng):
+        """Convolving with a shifted delta rotates the signal."""
+        n = 16
+        a = rng.standard_normal(n)
+        delta3 = np.zeros(n)
+        delta3[3] = 1.0
+        assert np.allclose(circular_convolve(tcu, a, delta3), np.roll(a, 3))
+
+    def test_length_mismatch_rejected(self, tcu, rng):
+        with pytest.raises(ValueError):
+            circular_convolve(tcu, rng.standard_normal(8), rng.standard_normal(16))
+
+
+class Test2DTransforms:
+    def test_dft2_matches_numpy(self, tcu, rng):
+        X = rng.standard_normal((3, 16, 16))
+        assert np.allclose(dft2(tcu, X), np.fft.fft2(X, axes=(1, 2)))
+
+    def test_idft2_roundtrip(self, tcu, rng):
+        X = rng.standard_normal((2, 8, 8)) + 1j * rng.standard_normal((2, 8, 8))
+        assert np.allclose(idft2(tcu, dft2(tcu, X)), X)
+
+    def test_requires_square(self, tcu, rng):
+        with pytest.raises(ValueError):
+            dft2(tcu, rng.standard_normal((2, 8, 4)))
+
+
+class TestEmbeddedKernels:
+    def test_1d_layout(self):
+        W = np.array([1.0, 2.0, 3.0])  # offsets -1, 0, +1
+        ker = embed_centered_kernel_1d(W, 8)
+        assert ker[0] == 2.0  # centre at offset 0
+        assert ker[1] == 3.0  # offset +1
+        assert ker[7] == 1.0  # offset -1 wraps
+        assert (ker[2:7] == 0).all()
+
+    def test_2d_layout(self):
+        W = np.arange(9, dtype=np.float64).reshape(3, 3)
+        ker = embed_centered_kernel_2d(W, 6)
+        assert ker[0, 0] == W[1, 1]
+        assert ker[1, 1] == W[2, 2]
+        assert ker[5, 5] == W[0, 0]
+        assert ker[0, 5] == W[1, 0]
+
+    def test_even_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            embed_centered_kernel_1d(np.ones(4), 8)
+
+    def test_too_small_size_rejected(self):
+        with pytest.raises(ValueError):
+            embed_centered_kernel_2d(np.ones((5, 5)), 4)
+
+
+class TestBatchedCorrelate2D:
+    @pytest.mark.parametrize("S,k", [(8, 1), (16, 2), (16, 3)])
+    def test_matches_naive(self, tcu, rng, S, k):
+        tiles = rng.standard_normal((3, S, S))
+        W = rng.standard_normal((2 * k + 1, 2 * k + 1))
+        got = batched_circular_convolve2d(tcu, tiles, W)
+        for t in range(3):
+            want = naive_centered_correlate2d(tiles[t], W)
+            assert np.allclose(got[t], want, atol=1e-9)
+
+    def test_delta_kernel_is_identity(self, tcu, rng):
+        tiles = rng.standard_normal((2, 8, 8))
+        W = np.zeros((3, 3))
+        W[1, 1] = 1.0
+        assert np.allclose(batched_circular_convolve2d(tcu, tiles, W), tiles)
+
+    def test_linear_in_kernel(self, tcu, rng):
+        tiles = rng.standard_normal((1, 8, 8))
+        W1 = rng.standard_normal((3, 3))
+        W2 = rng.standard_normal((3, 3))
+        lhs = batched_circular_convolve2d(tcu, tiles, W1 + W2)
+        rhs = batched_circular_convolve2d(tcu, tiles, W1) + batched_circular_convolve2d(
+            tcu, tiles, W2
+        )
+        assert np.allclose(lhs, rhs)
+
+    def test_bad_shapes_rejected(self, tcu, rng):
+        with pytest.raises(ValueError):
+            batched_circular_convolve2d(tcu, rng.standard_normal((8, 8)), np.ones((3, 3)))

@@ -1,0 +1,139 @@
+"""Theorem 7 DFT tests."""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.analysis.fitting import loglog_slope
+from repro.transform.dft import (
+    batched_dft,
+    batched_idft,
+    dft,
+    dft_matrix,
+    dft_recursion_depth,
+    idft,
+)
+
+
+class TestDftMatrix:
+    def test_unitary_up_to_scale(self):
+        for n in (2, 4, 8):
+            W = dft_matrix(n)
+            assert np.allclose(W @ W.conj().T, n * np.eye(n))
+
+    def test_symmetric(self):
+        W = dft_matrix(8)
+        assert np.allclose(W, W.T)
+
+    def test_size_one(self):
+        assert dft_matrix(1).shape == (1, 1)
+        assert dft_matrix(1)[0, 0] == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            dft_matrix(0)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 32, 64, 256, 1024])
+    def test_matches_numpy_fft(self, tcu, rng, n):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(dft(tcu, x), np.fft.fft(x))
+
+    @pytest.mark.parametrize("n", [4, 16, 64])
+    def test_real_input(self, tcu, rng, n):
+        x = rng.standard_normal(n)
+        assert np.allclose(dft(tcu, x), np.fft.fft(x))
+
+    @pytest.mark.parametrize("n", [2, 8, 64, 256])
+    def test_inverse_roundtrip(self, tcu, rng, n):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(idft(tcu, dft(tcu, x)), x)
+
+    def test_batched_matches_rowwise(self, tcu, rng):
+        X = rng.standard_normal((6, 64)) + 1j * rng.standard_normal((6, 64))
+        assert np.allclose(batched_dft(tcu, X), np.fft.fft(X, axis=1))
+
+    def test_batched_idft(self, tcu, rng):
+        X = rng.standard_normal((4, 32)).astype(np.complex128)
+        assert np.allclose(batched_idft(tcu, np.fft.fft(X, axis=1)), X)
+
+    def test_non_smooth_size_rejected(self, tcu, rng):
+        # m=16: sqrt(m)=4; 24 > 4 and 24 % 4 == 0 -> next level 6 > 4, 6 % 4 != 0
+        with pytest.raises(ValueError, match="smooth"):
+            dft(tcu, rng.standard_normal(24))
+
+    def test_delta_transforms_to_ones(self, tcu):
+        x = np.zeros(16)
+        x[0] = 1.0
+        assert np.allclose(dft(tcu, x), np.ones(16))
+
+    def test_constant_transforms_to_delta(self, tcu):
+        x = np.ones(16)
+        y = dft(tcu, x)
+        assert np.isclose(y[0], 16)
+        assert np.allclose(y[1:], 0)
+
+    def test_parseval(self, tcu, rng):
+        x = rng.standard_normal(64)
+        y = dft(tcu, x)
+        assert np.isclose(np.sum(np.abs(x) ** 2), np.sum(np.abs(y) ** 2) / 64)
+
+    def test_1d_required(self, tcu, rng):
+        with pytest.raises(ValueError, match="1-D"):
+            dft(tcu, rng.standard_normal((4, 4)))
+
+    def test_2d_required_for_batched(self, tcu, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            batched_dft(tcu, rng.standard_normal(16))
+
+
+class TestCostShape:
+    def test_depth_counter(self):
+        assert dft_recursion_depth(16, 16) == 1
+        assert dft_recursion_depth(64, 16) == 2
+        assert dft_recursion_depth(256, 16) == 3
+        assert dft_recursion_depth(4096, 256) == 2
+
+    def test_near_linear_scaling(self, rng):
+        """Theorem 7: (n + l) log_m n — near-linear in n."""
+        ns = [64, 256, 1024, 4096]
+        times = []
+        for n in ns:
+            tcu = TCUMachine(m=16)
+            dft(tcu, rng.standard_normal(n))
+            times.append(tcu.time)
+        slope = loglog_slope(ns, times)
+        assert 1.0 < slope < 1.35
+
+    def test_larger_m_fewer_levels(self, rng):
+        n = 4096
+        t_small = TCUMachine(m=16)
+        t_large = TCUMachine(m=64)
+        x = rng.standard_normal(n)
+        dft(t_small, x)
+        dft(t_large, x)
+        assert t_large.time < t_small.time
+
+    def test_batching_amortises_latency(self, rng):
+        """B vectors in one batch pay far less latency than B separate calls."""
+        B, n = 16, 64
+        together = TCUMachine(m=16, ell=1000.0)
+        separate = TCUMachine(m=16, ell=1000.0)
+        X = rng.standard_normal((B, n))
+        batched_dft(together, X)
+        for row in X:
+            dft(separate, row)
+        assert together.ledger.latency_time < separate.ledger.latency_time / 4
+
+    def test_latency_enters_once_per_level(self, rng):
+        n = 256
+        t0 = TCUMachine(m=16, ell=0.0)
+        t1 = TCUMachine(m=16, ell=500.0)
+        x = rng.standard_normal(n)
+        dft(t0, x)
+        dft(t1, x)
+        depth = dft_recursion_depth(n, 16)
+        extra_latency = t1.time - t0.time
+        # a handful of calls per level, each paying ell once
+        assert extra_latency <= 500.0 * 4 * depth

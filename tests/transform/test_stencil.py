@@ -1,0 +1,176 @@
+"""Theorem 8 stencil tests."""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.transform.stencil import (
+    HEAT_3X3,
+    heat_equation_weights,
+    stencil_direct,
+    stencil_tcu,
+    unrolled_weights,
+    unrolled_weights_direct,
+)
+
+
+class TestHeatWeights:
+    def test_row_sums_to_one(self):
+        """The heat kernel conserves total mass."""
+        assert np.isclose(heat_equation_weights(0.2).sum(), 1.0)
+
+    def test_symmetry(self):
+        W = heat_equation_weights(0.15)
+        assert np.allclose(W, W.T)
+        assert np.allclose(W, W[::-1, ::-1])
+
+    def test_anisotropic(self):
+        W = heat_equation_weights(0.1, dx=1.0, dy=2.0)
+        assert W[0, 1] != W[1, 0]
+
+
+class TestDirectSweeps:
+    def test_zero_steps_is_identity(self, tcu, rng):
+        A = rng.standard_normal((6, 6))
+        assert np.array_equal(stencil_direct(tcu, A, HEAT_3X3, 0), A)
+
+    def test_one_step_interior_matches_formula(self, tcu, rng):
+        A = rng.standard_normal((8, 8))
+        out = stencil_direct(tcu, A, HEAT_3X3, 1)
+        i, j = 4, 4
+        want = sum(
+            HEAT_3X3[1 + a, 1 + b] * A[i + a, j + b]
+            for a in (-1, 0, 1)
+            for b in (-1, 0, 1)
+        )
+        assert np.isclose(out[i, j], want)
+
+    def test_mass_conserved_on_large_pad(self, tcu, rng):
+        """Free-space heat evolution conserves total mass exactly."""
+        A = rng.random((10, 10))
+        k = 3
+        # evolve with enough padding that nothing escapes
+        big = np.zeros((10 + 4 * k, 10 + 4 * k))
+        big[2 * k : 2 * k + 10, 2 * k : 2 * k + 10] = A
+        out = stencil_direct(tcu, big, HEAT_3X3, k)
+        assert np.isclose(out.sum(), A.sum())
+
+    def test_linearity(self, tcu, rng):
+        A = rng.standard_normal((6, 6))
+        B = rng.standard_normal((6, 6))
+        k = 2
+        lhs = stencil_direct(tcu, A + 2 * B, HEAT_3X3, k)
+        rhs = stencil_direct(tcu, A, HEAT_3X3, k) + 2 * stencil_direct(
+            tcu, B, HEAT_3X3, k
+        )
+        assert np.allclose(lhs, rhs)
+
+    def test_negative_k_rejected(self, tcu, rng):
+        with pytest.raises(ValueError):
+            stencil_direct(tcu, rng.random((4, 4)), HEAT_3X3, -1)
+
+
+class TestUnrolledWeights:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 6, 7, 9, 16])
+    def test_lemma2_matches_direct_unrolling(self, tcu, k):
+        W3 = heat_equation_weights(0.12)
+        fast = unrolled_weights(tcu, W3, k)
+        slow = unrolled_weights_direct(tcu, W3, k)
+        assert fast.shape == (2 * k + 1, 2 * k + 1)
+        assert np.allclose(fast, slow, atol=1e-9)
+
+    def test_k1_is_kernel_itself(self, tcu):
+        W3 = heat_equation_weights(0.1)
+        assert np.allclose(unrolled_weights(tcu, W3, 1), W3)
+
+    def test_weight_sum_preserved(self, tcu):
+        """sum(W_k) = (sum W)^k: the stencil's constant-mode gain."""
+        W3 = heat_equation_weights(0.1) * 1.1
+        k = 5
+        Wk = unrolled_weights(tcu, W3, k)
+        assert np.isclose(Wk.sum(), W3.sum() ** k)
+
+    def test_asymmetric_kernel(self, tcu):
+        W3 = np.zeros((3, 3))
+        W3[1, 2] = 1.0  # pure shift right
+        Wk = unrolled_weights(tcu, W3, 4)
+        want = np.zeros((9, 9))
+        want[4, 8] = 1.0  # shifted 4 cells
+        assert np.allclose(Wk, want)
+
+    def test_bad_k_rejected(self, tcu):
+        with pytest.raises(ValueError):
+            unrolled_weights(tcu, HEAT_3X3, 0)
+
+    def test_bad_kernel_shape_rejected(self, tcu):
+        with pytest.raises(ValueError, match="3x3"):
+            unrolled_weights(tcu, np.ones((5, 5)), 2)
+
+
+class TestStencilTCU:
+    @pytest.mark.parametrize(
+        "shape,k", [((8, 8), 1), ((12, 12), 2), ((16, 20), 3), ((9, 9), 4), ((24, 24), 6)]
+    )
+    def test_matches_direct(self, tcu, rng, shape, k):
+        A = rng.standard_normal(shape)
+        want = stencil_direct(tcu, A, HEAT_3X3, k)
+        got = stencil_tcu(tcu, A, HEAT_3X3, k)
+        assert np.allclose(got, want, atol=1e-8)
+
+    def test_asymmetric_kernel_end_to_end(self, tcu, rng):
+        W3 = np.zeros((3, 3))
+        W3[0, 1] = 0.5
+        W3[1, 1] = 0.5
+        A = rng.standard_normal((10, 10))
+        k = 3
+        assert np.allclose(
+            stencil_tcu(tcu, A, W3, k), stencil_direct(tcu, A, W3, k), atol=1e-9
+        )
+
+    def test_precomputed_weights_accepted(self, tcu, rng):
+        A = rng.standard_normal((8, 8))
+        k = 2
+        W = unrolled_weights(tcu, HEAT_3X3, k)
+        got = stencil_tcu(tcu, A, HEAT_3X3, k, precomputed_W=W)
+        assert np.allclose(got, stencil_direct(tcu, A, HEAT_3X3, k), atol=1e-9)
+
+    def test_wrong_precomputed_shape_rejected(self, tcu, rng):
+        with pytest.raises(ValueError, match="unrolled kernel"):
+            stencil_tcu(tcu, rng.random((8, 8)), HEAT_3X3, 3, precomputed_W=np.ones((3, 3)))
+
+    def test_k_must_be_positive(self, tcu, rng):
+        with pytest.raises(ValueError):
+            stencil_tcu(tcu, rng.random((8, 8)), HEAT_3X3, 0)
+
+
+class TestCostShape:
+    def test_beats_direct_sweeps_for_large_k(self, rng):
+        """Theorem 8: n log_m k beats the direct n*k for big k."""
+        n_side, k = 64, 16
+        A = rng.standard_normal((n_side, n_side))
+        t_direct = TCUMachine(m=16)
+        t_tcu = TCUMachine(m=16)
+        stencil_direct(t_direct, A, HEAT_3X3, k)
+        stencil_tcu(t_tcu, A, HEAT_3X3, k)
+        assert t_tcu.time < t_direct.time
+
+    def test_direct_cheaper_for_k1(self, rng):
+        """One sweep is cheap; the spectral machinery has overhead."""
+        A = rng.standard_normal((16, 16))
+        t_direct = TCUMachine(m=16)
+        t_tcu = TCUMachine(m=16)
+        stencil_direct(t_direct, A, HEAT_3X3, 1)
+        stencil_tcu(t_tcu, A, HEAT_3X3, 1)
+        assert t_direct.time < t_tcu.time
+
+    def test_sublinear_growth_in_k(self, rng):
+        """TCU stencil time grows far slower than the direct method's
+        linear-in-k cost: multiplying k by 8 costs much less than 8x."""
+        n_side = 128
+        A = rng.standard_normal((n_side, n_side))
+        times = {}
+        for k in (4, 32):
+            tcu = TCUMachine(m=16)
+            stencil_tcu(tcu, A, HEAT_3X3, k)
+            times[k] = tcu.time
+        assert times[32] / times[4] < 4.0  # direct would be ~8x

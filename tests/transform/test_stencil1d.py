@@ -1,0 +1,111 @@
+"""1-D stencil tests (the d = O(1) generality claim of Section 4.6)."""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.transform.stencil1d import (
+    stencil1d_direct,
+    stencil1d_tcu,
+    unrolled_weights_1d,
+)
+
+HEAT_1D = np.array([0.25, 0.5, 0.25])  # 1-D heat kernel
+
+
+class TestDirect:
+    def test_zero_sweeps_identity(self, tcu, rng):
+        x = rng.standard_normal(10)
+        assert np.array_equal(stencil1d_direct(tcu, x, HEAT_1D, 0), x)
+
+    def test_one_sweep_interior(self, tcu, rng):
+        x = rng.standard_normal(10)
+        out = stencil1d_direct(tcu, x, HEAT_1D, 1)
+        i = 5
+        assert np.isclose(out[i], 0.25 * x[i - 1] + 0.5 * x[i] + 0.25 * x[i + 1])
+
+    def test_mass_conserved_with_headroom(self, tcu, rng):
+        x = rng.random(10)
+        big = np.zeros(10 + 12)
+        big[6:16] = x
+        out = stencil1d_direct(tcu, big, HEAT_1D, 3)
+        assert np.isclose(out.sum(), x.sum())
+
+    def test_linearity(self, tcu, rng):
+        a = rng.standard_normal(12)
+        b = rng.standard_normal(12)
+        lhs = stencil1d_direct(tcu, a + 3 * b, HEAT_1D, 2)
+        rhs = stencil1d_direct(tcu, a, HEAT_1D, 2) + 3 * stencil1d_direct(
+            tcu, b, HEAT_1D, 2
+        )
+        assert np.allclose(lhs, rhs)
+
+    def test_bad_kernel_rejected(self, tcu, rng):
+        with pytest.raises(ValueError, match="3 taps"):
+            stencil1d_direct(tcu, rng.random(5), np.ones(5), 1)
+
+
+class TestUnrolledWeights:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8, 13, 32])
+    def test_matches_direct_unrolling(self, tcu, k):
+        """P^k via squaring equals k repeated 3-tap convolutions."""
+        Wk = unrolled_weights_1d(tcu, HEAT_1D, k)
+        ref = np.array([1.0])
+        for _ in range(k):
+            ref = np.convolve(ref, HEAT_1D)
+        assert Wk.shape == (2 * k + 1,)
+        assert np.allclose(Wk, ref, atol=1e-10)
+
+    def test_k1_is_kernel(self, tcu):
+        assert np.allclose(unrolled_weights_1d(tcu, HEAT_1D, 1), HEAT_1D)
+
+    def test_shift_kernel(self, tcu):
+        W = np.array([0.0, 0.0, 1.0])  # pure shift
+        Wk = unrolled_weights_1d(tcu, W, 4)
+        expect = np.zeros(9)
+        expect[8] = 1.0
+        assert np.allclose(Wk, expect)
+
+    def test_invalid_k(self, tcu):
+        with pytest.raises(ValueError):
+            unrolled_weights_1d(tcu, HEAT_1D, 0)
+
+
+class TestTCUStencil:
+    @pytest.mark.parametrize("n,k", [(8, 1), (20, 2), (33, 4), (100, 8), (7, 5)])
+    def test_matches_direct(self, tcu, rng, n, k):
+        x = rng.standard_normal(n)
+        want = stencil1d_direct(tcu, x, HEAT_1D, k)
+        got = stencil1d_tcu(tcu, x, HEAT_1D, k)
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_asymmetric_kernel(self, tcu, rng):
+        W = np.array([0.7, 0.2, 0.1])
+        x = rng.standard_normal(40)
+        assert np.allclose(
+            stencil1d_tcu(tcu, x, W, 3),
+            stencil1d_direct(tcu, x, W, 3),
+            atol=1e-9,
+        )
+
+    def test_precomputed_weights(self, tcu, rng):
+        x = rng.standard_normal(30)
+        k = 4
+        W = unrolled_weights_1d(tcu, HEAT_1D, k)
+        got = stencil1d_tcu(tcu, x, HEAT_1D, k, precomputed_W=W)
+        assert np.allclose(got, stencil1d_direct(tcu, x, HEAT_1D, k), atol=1e-9)
+
+    def test_wrong_precomputed_rejected(self, tcu, rng):
+        with pytest.raises(ValueError, match="taps"):
+            stencil1d_tcu(tcu, rng.random(10), HEAT_1D, 3, precomputed_W=np.ones(3))
+
+    def test_sublinear_in_k(self, rng):
+        """Same shape as the 2-D Theorem 8: multiplying k by 8 costs
+        far less than 8x once the FFT route engages."""
+        x = rng.standard_normal(8192)
+        times = {}
+        for k in (8, 64):
+            tcu = TCUMachine(m=16)
+            stencil1d_tcu(tcu, x, HEAT_1D, k)
+            times[k] = tcu.time
+        assert times[64] / times[8] < 4.0
