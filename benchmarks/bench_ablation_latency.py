@@ -13,7 +13,6 @@ so the table is a cross-check of every l term at once.
 """
 
 import numpy as np
-import pytest
 
 from repro import TCUMachine, matmul
 from repro.analysis.tables import render_table

@@ -6,7 +6,6 @@ bound degenerates to Theorem 2's at r = sqrt(n).
 """
 
 import numpy as np
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import fit_constant, loglog_slope

@@ -9,7 +9,6 @@ the unit pool, and the CPU reduction becoming the new bottleneck
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.tables import render_table
 from repro.core.parallel import ParallelTCUMachine

@@ -7,7 +7,6 @@ dense-MM error growth with inner-dimension length.
 """
 
 import numpy as np
-import pytest
 
 from repro import matmul
 from repro.analysis.tables import render_table

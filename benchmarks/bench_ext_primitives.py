@@ -8,7 +8,6 @@ product plus a linear pass.
 
 import networkx as nx
 import numpy as np
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import loglog_slope

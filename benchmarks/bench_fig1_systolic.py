@@ -8,7 +8,6 @@ cost ``O(n sqrt(m) + l)`` in the machine model).
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.tables import render_table
 from repro.core.systolic import SystolicArray

@@ -8,7 +8,6 @@ small or latency-sensitive calls.
 """
 
 import numpy as np
-import pytest
 
 from repro import TPU_V1, VOLTA_TC, matmul
 from repro.analysis.tables import render_table

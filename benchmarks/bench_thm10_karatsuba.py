@@ -7,7 +7,6 @@ around the paper's ``kappa sqrt(m)`` boundary.
 
 import random
 
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import find_crossover, fit_constant, loglog_slope

@@ -5,7 +5,6 @@ plus the comparison against pointwise Horner (Theta(pn) RAM time).
 """
 
 import numpy as np
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import fit_constant

@@ -10,8 +10,6 @@ Three measurements anchor the section:
   simulation, tying the two models together numerically.
 """
 
-import numpy as np
-import pytest
 
 from repro import TCUMachine, matmul
 from repro.analysis.tables import render_table

@@ -7,7 +7,6 @@ schedule once n/m is large enough; the crossover point is located.
 """
 
 import numpy as np
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import find_crossover, fit_constant, loglog_slope

@@ -7,8 +7,6 @@ constant.  Also checks the measured time against the Theorem 2 lower
 bound and the Theorem 12 (external-memory) bound.
 """
 
-import numpy as np
-import pytest
 
 from repro import TCUMachine, matmul
 from repro.analysis.fitting import fit_constant, loglog_slope

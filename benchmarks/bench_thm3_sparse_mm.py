@@ -7,7 +7,6 @@ the same operands.
 """
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro import TCUMachine, matmul

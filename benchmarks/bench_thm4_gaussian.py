@@ -6,7 +6,6 @@ more than a constant times the optimal dense-MM time of Theorem 2.
 """
 
 import numpy as np
-import pytest
 
 from repro import TCUMachine, matmul
 from repro.analysis.fitting import fit_constant, loglog_slope

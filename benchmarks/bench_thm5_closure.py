@@ -6,7 +6,6 @@ and checks the latency accounting (Theta(n^2/m) tall calls).
 """
 
 import numpy as np
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import fit_constant, loglog_slope

@@ -7,7 +7,6 @@ Strassen-powered run against the classical one.
 
 import networkx as nx
 import numpy as np
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import fit_constant

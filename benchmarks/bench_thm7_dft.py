@@ -6,7 +6,6 @@ operand trick) that the stencil algorithm depends on.
 """
 
 import numpy as np
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import fit_constant, loglog_slope

@@ -7,7 +7,6 @@ phase from the Lemma 1 (tiled convolution) phase.
 """
 
 import numpy as np
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import find_crossover, fit_constant, loglog_slope

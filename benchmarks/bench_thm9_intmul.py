@@ -7,7 +7,6 @@ and sweeps the word width kappa.
 
 import random
 
-import pytest
 
 from repro import TCUMachine
 from repro.analysis.fitting import fit_constant, loglog_slope

@@ -38,17 +38,22 @@ from .core import (
     CostLedger,
     MachineSpec,
     ParallelTCUMachine,
+    Plan,
+    PlanStats,
     QuantizedTCUMachine,
     SystolicArray,
     TCUMachine,
+    TensorProgram,
     TensorShapeError,
     WeakTCUMachine,
+    run_program,
 )
 from .matmul import (
     CLASSICAL_2X2,
     STRASSEN_2X2,
     BilinearAlgorithm,
     matmul,
+    matmul_lazy,
     parallel_matmul,
     rectangular_mm,
     sparse_mm,
@@ -56,7 +61,7 @@ from .matmul import (
     strassen_like_mm,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TCUMachine",
@@ -73,6 +78,11 @@ __all__ = [
     "TEST_UNIT",
     "PRESETS",
     "matmul",
+    "matmul_lazy",
+    "TensorProgram",
+    "Plan",
+    "PlanStats",
+    "run_program",
     "square_mm",
     "rectangular_mm",
     "sparse_mm",

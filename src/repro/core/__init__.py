@@ -1,15 +1,27 @@
 """Core of the reproduction: the simulated (m, l)-TCU machine.
 
 * :mod:`repro.core.ledger`   -- model-time accounting
+* :mod:`repro.core.program`  -- lazy TensorProgram IR, planner, executor
 * :mod:`repro.core.machine`  -- the (m, l)-TCU and the weak model of §5
 * :mod:`repro.core.systolic` -- cycle-level systolic array (Figure 1)
 * :mod:`repro.core.words`    -- kappa-bit word discipline (§4.7)
 * :mod:`repro.core.presets`  -- TPUv1 / Volta-TC parameterisations (§3.1)
 """
 
-from .ledger import CostLedger, LedgerError, TensorCall
+from .ledger import CallTrace, CostLedger, LedgerError, TensorCall
 from .machine import TCUMachine, TensorShapeError, WeakTCUMachine
 from .parallel import BatchStats, ParallelTCUMachine
+from .program import (
+    Lazy,
+    Plan,
+    PlanStats,
+    ProgramError,
+    TensorOp,
+    TensorProgram,
+    execute_plan,
+    plan_program,
+    run_program,
+)
 from .presets import PRESETS, TEST_UNIT, TPU_V1, VOLTA_TC, MachineSpec
 from .quantize import QuantizationErrorStats, QuantizedTCUMachine, quantize_array
 from .systolic import SystolicArray, SystolicRunStats
@@ -24,8 +36,18 @@ from .words import (
 
 __all__ = [
     "CostLedger",
+    "CallTrace",
     "LedgerError",
     "TensorCall",
+    "TensorProgram",
+    "TensorOp",
+    "Plan",
+    "PlanStats",
+    "ProgramError",
+    "Lazy",
+    "plan_program",
+    "execute_plan",
+    "run_program",
     "TCUMachine",
     "WeakTCUMachine",
     "TensorShapeError",

@@ -14,26 +14,40 @@ decompose the totals the way the theorems do:
 * ``cpu``    -- every other RAM-model operation (one unit per word op).
 
 The ledger also keeps an optional trace of tensor calls; the external
-memory simulation of Theorem 12 replays that trace.
+memory simulation of Theorem 12 replays that trace.  Three trace modes
+are supported through ``trace_calls``:
+
+* ``True`` (default) -- every call is recorded in :attr:`calls`, an
+  array-backed columnar :class:`CallTrace` (four primitive columns, not
+  one object per call, so million-call programs stay cheap);
+* ``"aggregate"`` -- only a histogram keyed by ``(n, sqrt_m)`` is kept:
+  O(distinct shapes) memory instead of O(calls), still enough for
+  :func:`repro.extmem.simulate.simulate_ledger_io` and
+  :meth:`CostLedger.calls_summary`;
+* ``False`` -- totals only.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["TensorCall", "CostLedger", "LedgerError"]
+__all__ = ["TensorCall", "CallTrace", "CostLedger", "LedgerError"]
 
 
 class LedgerError(RuntimeError):
     """Raised on invalid accounting operations (e.g. negative charges)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TensorCall:
     """One invocation of the tensor unit.
+
+    A lightweight (``slots``) view materialised on demand from the
+    columnar :class:`CallTrace`; traces do not hold these objects.
 
     Attributes
     ----------
@@ -68,6 +82,125 @@ class TensorCall:
         return self.n * self.sqrt_m * 2 + self.sqrt_m * self.sqrt_m
 
 
+class CallTrace:
+    """Columnar, array-backed record of tensor calls.
+
+    Stores one primitive per column (``array`` module buffers) instead
+    of a :class:`TensorCall` object per call; indexing and iteration
+    materialise the dataclass view on demand, so existing consumers that
+    read ``ledger.calls[i].n`` keep working while long benches stop
+    holding O(calls) Python objects.  Section names are interned once
+    and referenced by index.
+    """
+
+    __slots__ = ("_n", "_sqrt_m", "_time", "_latency", "_section_ids", "_sections")
+
+    def __init__(self) -> None:
+        self._n = array("q")
+        self._sqrt_m = array("q")
+        self._time = array("d")
+        self._latency = array("d")
+        self._section_ids = array("l")
+        self._sections: list[str] = [""]
+
+    # ------------------------------------------------------------------
+    def record(
+        self, n: int, sqrt_m: int, time: float, latency: float, section: str = ""
+    ) -> None:
+        """Append one call from its primitive fields (no object built)."""
+        if section == "":
+            sid = 0
+        else:
+            try:
+                sid = self._sections.index(section)
+            except ValueError:
+                sid = len(self._sections)
+                self._sections.append(section)
+        self._n.append(int(n))
+        self._sqrt_m.append(int(sqrt_m))
+        self._time.append(float(time))
+        self._latency.append(float(latency))
+        self._section_ids.append(sid)
+
+    def append(self, call: TensorCall) -> None:
+        """List-style append of a materialised :class:`TensorCall`."""
+        self.record(call.n, call.sqrt_m, call.time, call.latency, call.section)
+
+    def extend(self, calls: "CallTrace | list[TensorCall]") -> None:
+        if isinstance(calls, CallTrace):
+            # bulk column copy (no per-call object churn); section ids
+            # are remapped through the interned-name tables
+            self._n.extend(calls._n)
+            self._sqrt_m.extend(calls._sqrt_m)
+            self._time.extend(calls._time)
+            self._latency.extend(calls._latency)
+            remap = []
+            for name in calls._sections:
+                try:
+                    remap.append(self._sections.index(name))
+                except ValueError:
+                    remap.append(len(self._sections))
+                    self._sections.append(name)
+            self._section_ids.extend(remap[sid] for sid in calls._section_ids)
+            return
+        for call in calls:
+            self.append(call)
+
+    def clear(self) -> None:
+        for col in (self._n, self._sqrt_m, self._time, self._latency, self._section_ids):
+            del col[:]
+        del self._sections[1:]
+
+    # ------------------------------------------------------------------
+    def columns(self) -> tuple[array, array, array, array]:
+        """The raw ``(n, sqrt_m, time, latency)`` columns (zero-copy
+        buffers for vectorised consumers such as the Theorem 12 replay)."""
+        return self._n, self._sqrt_m, self._time, self._latency
+
+    def histogram_by_n(self) -> dict[int, int]:
+        """Call count per left-operand height ``n``."""
+        hist: dict[int, int] = {}
+        for n in self._n:
+            hist[n] = hist.get(n, 0) + 1
+        return hist
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._n)
+
+    def _materialise(self, i: int) -> TensorCall:
+        return TensorCall(
+            n=self._n[i],
+            sqrt_m=self._sqrt_m[i],
+            time=self._time[i],
+            latency=self._latency[i],
+            section=self._sections[self._section_ids[i]],
+        )
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._materialise(i) for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("call index out of range")
+        return self._materialise(index)
+
+    def __iter__(self) -> Iterator[TensorCall]:
+        for i in range(len(self)):
+            yield self._materialise(i)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (CallTrace, list, tuple)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CallTrace({len(self)} calls)"
+
+
 @dataclass
 class CostLedger:
     """Accumulates TCU-model time.
@@ -75,20 +208,33 @@ class CostLedger:
     Parameters
     ----------
     trace_calls:
-        When true (default) every tensor call is recorded in
-        :attr:`calls` so it can be replayed, e.g. by
-        :mod:`repro.extmem.simulate`.  Disable for very long runs where
-        only the totals matter.
+        ``True`` (default) records every tensor call in :attr:`calls` so
+        it can be replayed, e.g. by :mod:`repro.extmem.simulate`;
+        ``"aggregate"`` keeps only a per-shape histogram (constant memory
+        per distinct call shape — use for very long runs that still want
+        :meth:`calls_summary` or an aggregate Theorem 12 replay);
+        ``False`` keeps totals only.
     """
 
-    trace_calls: bool = True
+    trace_calls: bool | str = True
     tensor_time: float = 0.0
     latency_time: float = 0.0
     cpu_time: float = 0.0
     tensor_calls: int = 0
-    calls: list[TensorCall] = field(default_factory=list)
+    calls: CallTrace = field(default_factory=CallTrace)
+    _agg: dict[tuple[int, int], list[float]] = field(default_factory=dict)
     _section_stack: list[str] = field(default_factory=list)
     _section_totals: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # identity checks: the int 1 equals True but would silently
+        # trace nothing, since every mode test below uses `is True`
+        if not any(self.trace_calls is mode for mode in (True, False)) and (
+            self.trace_calls != "aggregate"
+        ):
+            raise ValueError(
+                f"trace_calls must be True, False or 'aggregate', got {self.trace_calls!r}"
+            )
 
     # ------------------------------------------------------------------
     # charging
@@ -110,18 +256,25 @@ class CostLedger:
         self.tensor_calls += 1
         total = throughput + float(latency)
         self._bump_sections(total)
-        if self.trace_calls:
-            section = self._section_stack[-1] if self._section_stack else ""
-            self.calls.append(
-                TensorCall(
-                    n=int(n),
-                    sqrt_m=int(sqrt_m),
-                    time=total,
-                    latency=float(latency),
-                    section=section,
-                )
-            )
+        self.record_call(n, sqrt_m, total, float(latency))
         return total
+
+    def record_call(self, n: int, sqrt_m: int, time: float, latency: float) -> None:
+        """Trace one call under the active mode (no counters touched).
+
+        Used internally by :meth:`charge_tensor` and by batch executors
+        (e.g. :meth:`~repro.core.parallel.ParallelTCUMachine.mm_batch`)
+        that account makespans themselves but still want the per-call
+        trace kept consistent.
+        """
+        if self.trace_calls is True:
+            section = self._section_stack[-1] if self._section_stack else ""
+            self.calls.record(int(n), int(sqrt_m), time, latency, section)
+        elif self.trace_calls == "aggregate":
+            bucket = self._agg.setdefault((int(n), int(sqrt_m)), [0, 0.0, 0.0])
+            bucket[0] += 1
+            bucket[1] += time
+            bucket[2] += latency
 
     def charge_cpu(self, ops: float) -> float:
         """Charge ``ops`` units of RAM-model work (one unit per word op)."""
@@ -160,6 +313,49 @@ class CostLedger:
             "total_time": self.total_time,
         }
 
+    def call_shape_totals(self) -> dict[tuple[int, int], tuple[int, float, float]]:
+        """Per ``(n, sqrt_m)`` shape: ``(count, total_time, total_latency)``.
+
+        Available in both full-trace and aggregate modes (the Theorem 12
+        replay consumes this when per-call order is not needed); raises
+        :class:`LedgerError` when tracing is disabled.
+        """
+        if self.trace_calls == "aggregate":
+            return {k: (int(v[0]), v[1], v[2]) for k, v in self._agg.items()}
+        if self.trace_calls is True:
+            out: dict[tuple[int, int], list[float]] = {}
+            n_col, s_col, t_col, l_col = self.calls.columns()
+            for n, s, t, lat in zip(n_col, s_col, t_col, l_col):
+                bucket = out.setdefault((n, s), [0, 0.0, 0.0])
+                bucket[0] += 1
+                bucket[1] += t
+                bucket[2] += lat
+            return {k: (int(v[0]), v[1], v[2]) for k, v in out.items()}
+        raise LedgerError(
+            "ledger was created with trace_calls=False; no per-shape totals"
+        )
+
+    def calls_summary(self) -> dict[str, object]:
+        """Compact trace digest: call count, total tensor time and a
+        histogram of call heights.
+
+        Works in every trace mode; the histogram is ``None`` when
+        ``trace_calls=False`` (the scalar counters are always exact).
+        """
+        if self.trace_calls is False:
+            hist = None
+        elif self.trace_calls == "aggregate":
+            hist = {}
+            for (n, _), (count, _, _) in self._agg.items():
+                hist[n] = hist.get(n, 0) + count
+        else:
+            hist = self.calls.histogram_by_n()
+        return {
+            "count": self.tensor_calls,
+            "total_time": self.tensor_total,
+            "histogram": hist,
+        }
+
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
@@ -185,18 +381,38 @@ class CostLedger:
         self.cpu_time = 0.0
         self.tensor_calls = 0
         self.calls.clear()
+        self._agg.clear()
         self._section_totals.clear()
 
     def merged_with(self, other: "CostLedger") -> "CostLedger":
-        """Return a new ledger whose totals are the sum of both (traces concatenated)."""
-        out = CostLedger(trace_calls=self.trace_calls and other.trace_calls)
+        """Return a new ledger whose totals are the sum of both.
+
+        Full traces concatenate when both sides kept them; if either
+        side aggregated, the merge degrades to aggregate (histograms
+        add); if either side disabled tracing, so does the merge.
+        """
+        if self.trace_calls is False or other.trace_calls is False:
+            mode: bool | str = False
+        elif self.trace_calls is True and other.trace_calls is True:
+            mode = True
+        else:
+            mode = "aggregate"
+        out = CostLedger(trace_calls=mode)
         out.tensor_time = self.tensor_time + other.tensor_time
         out.latency_time = self.latency_time + other.latency_time
         out.cpu_time = self.cpu_time + other.cpu_time
         out.tensor_calls = self.tensor_calls + other.tensor_calls
-        if out.trace_calls:
-            out.calls = list(self.calls) + list(other.calls)
-        for src in (self._section_totals, other._section_totals):
-            for key, val in src.items():
+        if mode is True:
+            out.calls.extend(self.calls)
+            out.calls.extend(other.calls)
+        elif mode == "aggregate":
+            for src in (self, other):
+                for key, (count, time, lat) in src.call_shape_totals().items():
+                    bucket = out._agg.setdefault(key, [0, 0.0, 0.0])
+                    bucket[0] += count
+                    bucket[1] += time
+                    bucket[2] += lat
+        for src_totals in (self._section_totals, other._section_totals):
+            for key, val in src_totals.items():
                 out._section_totals[key] = out._section_totals.get(key, 0.0) + val
         return out

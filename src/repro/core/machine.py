@@ -12,6 +12,13 @@ charges the model cost, with the constant fixed to 1, to a
 :class:`WeakTCUMachine` is the restricted model of Section 5 (only
 ``sqrt(m) x sqrt(m)`` products; no tall left operands), used by the
 external-memory lower-bound machinery of Theorem 12.
+
+:meth:`TCUMachine.mm` is the *eager* entry point: it executes and
+charges immediately.  Algorithms that want calls batched, merged or
+reordered build a lazy :class:`~repro.core.program.TensorProgram`
+instead and execute it through :func:`~repro.core.program.run_program`,
+which ultimately funnels every call back through this primitive (the
+charging path is identical either way).
 """
 
 from __future__ import annotations
@@ -174,21 +181,30 @@ class TCUMachine:
         return C
 
     def _mm_split(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
-        """Split a stream longer than the hardware row bound (TPU-style)."""
+        """Split a stream longer than the hardware row bound (TPU-style).
+
+        The materialised copies are RAM-model work and charged like any
+        other padded copy (`matmul`'s ``padded_copy_cost`` discipline):
+        ``sqrt(m) x sqrt(m)`` words when a short final chunk is padded,
+        plus the reassembled ``n x sqrt(m)`` output when the stream was
+        actually split.
+        """
         assert self.max_rows is not None
         n = A.shape[0]
+        s = self.sqrt_m
         pieces = []
         for start in range(0, n, self.max_rows):
             chunk = A[start : start + self.max_rows]
-            if chunk.shape[0] < self.sqrt_m:
+            if chunk.shape[0] < s:
                 # pad the final short chunk up to the sqrt(m) minimum
-                pad = np.zeros(
-                    (self.sqrt_m - chunk.shape[0], self.sqrt_m), dtype=chunk.dtype
-                )
+                self.ledger.charge_cpu(s * s)
+                pad = np.zeros((s - chunk.shape[0], s), dtype=chunk.dtype)
                 out = self._mm_single(np.vstack([chunk, pad]), B)
                 pieces.append(out[: chunk.shape[0]])
             else:
                 pieces.append(self._mm_single(chunk, B))
+        if len(pieces) > 1:
+            self.ledger.charge_cpu(n * s)
         return np.vstack(pieces)
 
     def _systolic_mm(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
@@ -260,7 +276,13 @@ class WeakTCUMachine(TCUMachine):
 
     def mm_tall(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         """The Section 5 simulation of a tall call: split ``A`` into
-        ``n / sqrt(m)`` square blocks and issue one square call each."""
+        ``n / sqrt(m)`` square blocks and issue one square call each.
+
+        The padded copy of a ragged final block (``sqrt(m) x sqrt(m)``
+        words) and the reassembly of the split output (``n x sqrt(m)``
+        words) are materialised copies and charged as RAM work, matching
+        ``matmul``'s ``padded_copy_cost`` discipline.
+        """
         A = np.asarray(A)
         s = self.sqrt_m
         n = A.shape[0]
@@ -268,9 +290,12 @@ class WeakTCUMachine(TCUMachine):
         for start in range(0, n, s):
             chunk = A[start : start + s]
             if chunk.shape[0] < s:
+                self.ledger.charge_cpu(s * s)
                 pad = np.zeros((s - chunk.shape[0], s), dtype=chunk.dtype)
                 out = self.mm(np.vstack([chunk, pad]), B)
                 pieces.append(out[: chunk.shape[0]])
             else:
                 pieces.append(self.mm(chunk, B))
+        if len(pieces) > 1:
+            self.ledger.charge_cpu(n * s)
         return np.vstack(pieces)

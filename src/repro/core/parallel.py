@@ -132,22 +132,10 @@ class ParallelTCUMachine(TCUMachine):
         self.ledger.latency_time += self.ell * len(costs) * scale
         self.ledger.tensor_calls += len(costs)
         self.ledger._bump_sections(makespan)
-        if self.ledger.trace_calls:
-            from .ledger import TensorCall
-
-            section = (
-                self.ledger._section_stack[-1] if self.ledger._section_stack else ""
+        for (A, _), cost in zip(pairs, costs):
+            self.ledger.record_call(
+                int(np.asarray(A).shape[0]), s, cost * scale, self.ell * scale
             )
-            for (A, B), cost in zip(pairs, costs):
-                self.ledger.calls.append(
-                    TensorCall(
-                        n=int(np.asarray(A).shape[0]),
-                        sqrt_m=s,
-                        time=cost * scale,
-                        latency=self.ell * scale,
-                        section=section,
-                    )
-                )
 
         self.last_batch = BatchStats(
             calls=len(costs),

@@ -1,0 +1,547 @@
+"""Lazy tensor programs: a plan/execute split for TCU algorithms.
+
+The paper's cost model makes latency ``l`` a first-class term — every
+tensor call costs ``n*sqrt(m) + l`` — and its algorithms win exactly by
+amortising ``l`` over fewer, taller calls (Theorem 2, Lemma 1).  The
+eager :meth:`~repro.core.machine.TCUMachine.mm` interface cannot see
+past the single call it is handed, so no layer above it can batch,
+reorder or fuse.  This module introduces the missing seam:
+
+1. **Build**: algorithms record their tensor work as data — a
+   :class:`TensorProgram` of :class:`TensorOp` nodes (``mm``, ``add``,
+   ``copy``) with dependency edges — instead of executing it.
+2. **Plan**: :func:`plan_program` topologically levels the DAG and,
+   within each level, *merges* independent tall calls that share the
+   same resident right-hand block into one taller call.  A merged call
+   pays one latency ``l`` instead of k — exactly the Theorem 2
+   amortisation, discovered mechanically instead of by hand.
+3. **Execute**: :func:`execute_plan` replays the schedule against a
+   machine, charging the existing :class:`~repro.core.ledger.CostLedger`
+   through the ordinary :meth:`mm` / :meth:`mm_batch` entry points, so
+   traces still feed :func:`repro.extmem.simulate.simulate_ledger_io`
+   unchanged.  On a :class:`~repro.core.parallel.ParallelTCUMachine`
+   each level's calls are issued as one LPT batch automatically.
+
+Gathering the row streams of a merged call is index arithmetic in the
+RAM model (the unit consumes rows wherever they live — the same
+convention :mod:`repro.transform.dft` uses for its strided
+re-arrangements), so a planned execution never charges more than the
+eager one: merging strictly reduces latency time and leaves throughput
+and CPU charges untouched.
+
+Merging recognises a shared resident block *by buffer identity* (same
+data pointer, shape, strides and dtype — or the same producing op), not
+by content: pre-pad a shared right operand once if you want cross-call
+merging, because two distinct padded copies of equal content are not
+recognised as the same block.
+
+Quickstart — five products against one resident weight matrix pay one
+latency instead of five::
+
+    >>> import numpy as np
+    >>> from repro.core.machine import TCUMachine
+    >>> from repro.core.program import TensorProgram, run_program
+    >>> tcu = TCUMachine(m=16, ell=100.0)
+    >>> W = np.eye(4)
+    >>> prog = TensorProgram()
+    >>> outs = [prog.mm(np.ones((8, 4)) * i, W) for i in range(5)]
+    >>> plan = run_program(prog, tcu)
+    >>> plan.stats.tensor_calls_planned, tcu.ledger.latency_time
+    (1, 100.0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, Union
+
+import numpy as np
+
+from .machine import TCUMachine, TensorShapeError
+from .parallel import ParallelTCUMachine
+
+__all__ = [
+    "TensorOp",
+    "TensorProgram",
+    "Plan",
+    "PlanStats",
+    "ProgramError",
+    "Lazy",
+    "plan_program",
+    "execute_plan",
+    "run_program",
+]
+
+Source = Union[np.ndarray, "TensorOp"]
+
+
+class ProgramError(RuntimeError):
+    """Invalid program construction or use (e.g. reading an unexecuted op)."""
+
+
+def _source_shape(src: Source) -> tuple[int, ...]:
+    return src.shape
+
+
+def _source_dtype(src: Source) -> np.dtype:
+    return np.dtype(src.dtype)
+
+
+class TensorOp:
+    """One node of a :class:`TensorProgram` DAG.
+
+    Kinds
+    -----
+    ``mm``
+        ``value = a @ b`` where ``a`` is the (tall) streamed operand and
+        ``b`` the resident square block; exactly the machine primitive.
+    ``add``
+        ``value = sum(coef * src for coef, src in terms)`` — the
+        elementwise accumulations of the Theorem 2 schedule, charged one
+        RAM unit per word per term.
+    ``copy``
+        ``value = src.copy()`` — a charged materialisation (one RAM unit
+        per word written), used when a resident block must not alias
+        memory that later ops update.
+
+    Operands are either concrete ``ndarray`` inputs or other ops
+    (dependency edges).  ``value`` is ``None`` until the owning program
+    has been executed.
+    """
+
+    __slots__ = ("op_id", "kind", "a", "b", "terms", "shape", "dtype", "value", "level")
+
+    def __init__(
+        self,
+        op_id: int,
+        kind: str,
+        *,
+        a: Source | None = None,
+        b: Source | None = None,
+        terms: tuple[tuple[float, Source], ...] = (),
+        shape: tuple[int, ...] = (),
+        dtype: np.dtype | None = None,
+    ) -> None:
+        self.op_id = op_id
+        self.kind = kind
+        self.a = a
+        self.b = b
+        self.terms = terms
+        self.shape = shape
+        self.dtype = dtype
+        self.value: np.ndarray | None = None
+        self.level = 0
+
+    def deps(self) -> Iterable["TensorOp"]:
+        """The op-valued operands (dependency edges) of this node."""
+        if self.kind == "mm":
+            if isinstance(self.a, TensorOp):
+                yield self.a
+            if isinstance(self.b, TensorOp):
+                yield self.b
+        elif self.kind == "add":
+            for _, src in self.terms:
+                if isinstance(src, TensorOp):
+                    yield src
+        elif self.kind == "copy":
+            if isinstance(self.a, TensorOp):
+                yield self.a
+
+    def result(self) -> np.ndarray:
+        """The computed value; raises until the program has executed."""
+        if self.value is None:
+            raise ProgramError(
+                f"op {self.op_id} ({self.kind}) has no value yet; "
+                "run the program through run_program()/execute_plan() first"
+            )
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TensorOp(#{self.op_id} {self.kind} {self.shape})"
+
+
+class Lazy:
+    """A deferred result assembled from op values after execution.
+
+    Algorithms that append to a shared program return one of these; call
+    :meth:`result` once the program has run.  The assembly function runs
+    at most once (results are cached), so RAM charges it performs are
+    not double-billed.
+    """
+
+    __slots__ = ("_fn", "_value")
+
+    def __init__(self, fn: Callable[[], np.ndarray]) -> None:
+        self._fn = fn
+        self._value: np.ndarray | None = None
+
+    def result(self) -> np.ndarray:
+        if self._value is None:
+            self._value = self._fn()
+        return self._value
+
+
+class TensorProgram:
+    """An append-only DAG of tensor-unit work, built lazily and executed
+    through :func:`run_program`.
+
+    Ops reference their operands directly (arrays or earlier ops), so a
+    program is topologically ordered by construction and cannot contain
+    cycles.
+    """
+
+    def __init__(self) -> None:
+        self.ops: list[TensorOp] = []
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    def mm(self, a: Source, b: Source) -> TensorOp:
+        """Record a tensor-unit product ``a @ b`` (validated at plan time
+        against the executing machine's ``sqrt(m)``)."""
+        a_shape = _source_shape(a)
+        b_shape = _source_shape(b)
+        if len(a_shape) != 2 or len(b_shape) != 2:
+            raise TensorShapeError(
+                f"mm operands must be 2-D, got shapes {a_shape} and {b_shape}"
+            )
+        if b_shape[0] != b_shape[1]:
+            raise TensorShapeError(f"right operand must be square, got {b_shape}")
+        if a_shape[1] != b_shape[0]:
+            raise TensorShapeError(
+                f"inner dimensions disagree: {a_shape} @ {b_shape}"
+            )
+        op = TensorOp(
+            len(self.ops),
+            "mm",
+            a=a,
+            b=b,
+            shape=(a_shape[0], b_shape[1]),
+            dtype=np.result_type(_source_dtype(a), _source_dtype(b)),
+        )
+        self._append(op)
+        return op
+
+    def add(self, terms: Sequence[tuple[float, Source] | Source]) -> TensorOp:
+        """Record an elementwise linear combination of equal-shape sources.
+
+        Terms are ``(coefficient, source)`` pairs; a bare source means
+        coefficient 1.  Charged one RAM unit per word per term when
+        executed — the same discipline as the eager accumulation loops.
+        """
+        if not terms:
+            raise ProgramError("add requires at least one term")
+        normal: list[tuple[float, Source]] = []
+        for term in terms:
+            if isinstance(term, tuple):
+                coef, src = term
+                normal.append((float(coef), src))
+            else:
+                normal.append((1.0, term))
+        shape = _source_shape(normal[0][1])
+        for _, src in normal[1:]:
+            if _source_shape(src) != shape:
+                raise TensorShapeError(
+                    f"add terms must share a shape; got {shape} and {_source_shape(src)}"
+                )
+        dtype = np.result_type(*[_source_dtype(src) for _, src in normal])
+        op = TensorOp(
+            len(self.ops), "add", terms=tuple(normal), shape=shape, dtype=dtype
+        )
+        self._append(op)
+        return op
+
+    def copy(self, src: Source) -> TensorOp:
+        """Record a charged materialisation of ``src`` (one unit/word)."""
+        op = TensorOp(
+            len(self.ops),
+            "copy",
+            a=src,
+            shape=_source_shape(src),
+            dtype=_source_dtype(src),
+        )
+        self._append(op)
+        return op
+
+    # ------------------------------------------------------------------
+    def _append(self, op: TensorOp) -> None:
+        level = 0
+        for dep in op.deps():
+            if dep.op_id >= len(self.ops) or self.ops[dep.op_id] is not dep:
+                raise ProgramError("operand op belongs to a different program")
+            level = max(level, dep.level + 1)
+        op.level = level
+        self.ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+# ----------------------------------------------------------------------
+# planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanStats:
+    """What the planner did to a program.
+
+    Attributes
+    ----------
+    ops:
+        Total IR nodes in the program.
+    mm_ops:
+        ``mm`` nodes before merging.
+    tensor_calls_planned:
+        Tensor calls the schedule will issue (merged groups).
+    merged_away:
+        Calls eliminated by resident-block merging
+        (``mm_ops - tensor_calls_planned``); each saves one latency.
+    levels:
+        Depth of the levelled DAG (batching opportunities per level).
+    """
+
+    ops: int
+    mm_ops: int
+    tensor_calls_planned: int
+    merged_away: int
+    levels: int
+
+
+@dataclass
+class Plan:
+    """An executable schedule: levelled call groups plus CPU-side ops.
+
+    ``levels[d]`` is a pair ``(groups, others)`` where each group is a
+    list of ``mm`` ops sharing one resident right-hand block (issued as
+    a single merged call) and ``others`` are the level's add/copy ops.
+    """
+
+    levels: list[tuple[list[list[TensorOp]], list[TensorOp]]]
+    stats: PlanStats
+
+
+def _resident_key(op: TensorOp) -> tuple:
+    """Identity of an mm op's resident block plus cost-relevant dtype
+    information, used to decide merge groups.
+
+    Two ops merge only when their right operands are the *same* buffer
+    (or the same producing op) and their operands promote to the same
+    result dtype — so a merged call is charged exactly as the separate
+    calls would be (complex-cost factors included).
+    """
+    b = op.b
+    if isinstance(b, TensorOp):
+        b_key: tuple = ("op", id(b))
+    else:
+        iface = b.__array_interface__
+        b_key = ("arr", iface["data"][0], b.shape, iface["strides"], iface["typestr"])
+    return b_key + (np.dtype(op.dtype).str,)
+
+
+def _cap_group(group: list[TensorOp], max_rows: int | None) -> list[list[TensorOp]]:
+    """Split a merge group so no merged call exceeds the hardware row
+    bound.
+
+    A merged stream longer than ``max_rows`` would be re-split by
+    :meth:`TCUMachine._mm_split` — re-paying latency per chunk and
+    charging reassembly copies, i.e. costing *more* than the calls it
+    replaced.  Greedily packing ops up to the bound keeps every merged
+    call a single hardware call; an op that alone exceeds the bound
+    stays a singleton (the eager path would split it identically).
+    """
+    if max_rows is None or len(group) == 1:
+        return [group]
+    out: list[list[TensorOp]] = []
+    current: list[TensorOp] = []
+    rows = 0
+    for op in group:
+        n = op.shape[0]
+        if current and rows + n > max_rows:
+            out.append(current)
+            current, rows = [], 0
+        current.append(op)
+        rows += n
+        if n > max_rows:  # oversized op: isolate, eager splits it too
+            out.append(current)
+            current, rows = [], 0
+    if current:
+        out.append(current)
+    return out
+
+
+def plan_program(
+    program: TensorProgram,
+    machine: TCUMachine,
+    *,
+    merge: bool = True,
+) -> Plan:
+    """Level the program's DAG and merge same-resident-block calls.
+
+    Parameters
+    ----------
+    program:
+        The recorded DAG.
+    machine:
+        The machine that will execute the plan; its ``sqrt(m)`` is used
+        to validate every ``mm`` node now, so shape errors surface at
+        plan time rather than mid-execution.
+    merge:
+        Disable to keep one tensor call per ``mm`` node (the planned
+        schedule then matches the eager call sequence exactly).
+    """
+    s = machine.sqrt_m
+    n_levels = 0
+    mm_ops = 0
+    for op in program.ops:
+        n_levels = max(n_levels, op.level + 1)
+        if op.kind == "mm":
+            mm_ops += 1
+            n, w = op.shape[0], _source_shape(op.a)[1]
+            if w != s:
+                raise TensorShapeError(
+                    f"op #{op.op_id}: left operand must have sqrt(m)={s} "
+                    f"columns, got {w}"
+                )
+            if n < s:
+                raise TensorShapeError(
+                    f"op #{op.op_id}: left operand must have n >= sqrt(m)={s} "
+                    f"rows, got {n}"
+                )
+
+    by_level: list[list[TensorOp]] = [[] for _ in range(n_levels)]
+    for op in program.ops:
+        by_level[op.level].append(op)
+
+    levels: list[tuple[list[list[TensorOp]], list[TensorOp]]] = []
+    calls = 0
+    for level_ops in by_level:
+        groups: dict[tuple, list[TensorOp]] = {}
+        singles: list[list[TensorOp]] = []
+        others: list[TensorOp] = []
+        for op in level_ops:
+            if op.kind != "mm":
+                others.append(op)
+            elif merge:
+                groups.setdefault(_resident_key(op), []).append(op)
+            else:
+                singles.append([op])
+        if not merge:
+            level_groups = singles
+        else:
+            level_groups = []
+            for group in groups.values():
+                level_groups.extend(_cap_group(group, machine.max_rows))
+        calls += len(level_groups)
+        levels.append((level_groups, others))
+
+    stats = PlanStats(
+        ops=len(program.ops),
+        mm_ops=mm_ops,
+        tensor_calls_planned=calls,
+        merged_away=mm_ops - calls,
+        levels=n_levels,
+    )
+    return Plan(levels=levels, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def _resolve(src: Source) -> np.ndarray:
+    if isinstance(src, TensorOp):
+        return src.result()
+    return src
+
+
+def _group_operands(group: list[TensorOp]) -> np.ndarray:
+    """The merged left operand of a call group.
+
+    Stacking the streams is row bookkeeping (index arithmetic in the
+    RAM model — the unit consumes rows wherever they live), so it is
+    not charged; see the module docstring.
+    """
+    if len(group) == 1:
+        return _resolve(group[0].a)
+    return np.vstack([_resolve(op.a) for op in group])
+
+
+def _scatter_group(group: list[TensorOp], out: np.ndarray) -> None:
+    offset = 0
+    for op in group:
+        rows = op.shape[0]
+        op.value = out[offset : offset + rows]
+        offset += rows
+
+
+def execute_plan(plan: Plan, machine: TCUMachine) -> None:
+    """Run a plan, charging the machine's ledger through the ordinary
+    eager entry points (`mm` / `mm_batch`), and populate ``op.value`` on
+    every node.
+
+    On a :class:`~repro.core.parallel.ParallelTCUMachine`, each level's
+    merged calls are issued as one :meth:`mm_batch` (LPT over the ready
+    ops); on a sequential machine they run in program order.
+    """
+    for groups, others in plan.levels:
+        if groups:
+            if isinstance(machine, ParallelTCUMachine) and len(groups) > 1:
+                pairs = [
+                    (_group_operands(g), _resolve(g[0].b)) for g in groups
+                ]
+                # mm_batch prices every call at n*sqrt(m) + l with a
+                # plain numpy product; route through the single-call
+                # primitive instead whenever that would skip machine
+                # semantics (complex cost factors, hardware row bounds,
+                # overflow checks, the systolic backend).
+                batchable = (
+                    machine.backend == "numpy"
+                    and machine.max_rows is None
+                    and not machine.check_overflow
+                    and not any(
+                        np.iscomplexobj(A) or np.iscomplexobj(B) for A, B in pairs
+                    )
+                )
+                if batchable:
+                    results = machine.mm_batch(pairs)
+                    for g, out in zip(groups, results):
+                        _scatter_group(g, out)
+                else:
+                    for g, (A, B) in zip(groups, pairs):
+                        _scatter_group(g, machine.mm(A, B))
+            else:
+                for g in groups:
+                    out = machine.mm(_group_operands(g), _resolve(g[0].b))
+                    _scatter_group(g, out)
+        for op in others:
+            if op.kind == "add":
+                out = np.zeros(op.shape, dtype=op.dtype)
+                words = 1
+                for dim in op.shape:
+                    words *= dim
+                for coef, src in op.terms:
+                    val = _resolve(src)
+                    if coef == 1.0:
+                        out += val
+                    elif coef == -1.0:
+                        out -= val
+                    else:
+                        out += coef * val
+                    machine.charge_cpu(words)
+                op.value = out
+            elif op.kind == "copy":
+                val = _resolve(op.a)
+                op.value = np.array(val, copy=True)
+                machine.charge_cpu(op.value.size)
+            else:  # pragma: no cover - defensive
+                raise ProgramError(f"unknown op kind {op.kind!r}")
+
+
+def run_program(
+    program: TensorProgram,
+    machine: TCUMachine,
+    *,
+    merge: bool = True,
+) -> Plan:
+    """Plan then execute a program; returns the plan (for its stats)."""
+    plan = plan_program(program, machine, merge=merge)
+    execute_plan(plan, machine)
+    return plan

@@ -13,11 +13,23 @@ into an EM execution with ``M = 3m + O(1)``, ``B = 1``:
 :class:`~repro.core.ledger.CostLedger` under exactly that accounting,
 so the bench can verify ``I/Os = Theta(model time)`` — the bridge that
 turns EM lower bounds into weak-TCU time lower bounds.
+
+The replay depends only on each call's ``(n, sqrt_m)`` shape, never on
+call order, so all trace modes work: full traces are consumed through
+the ledger's columnar :class:`~repro.core.ledger.CallTrace` (vectorised,
+no per-call objects) and ``trace_calls="aggregate"`` ledgers replay
+from their per-shape histogram in O(distinct shapes) work.  Planned
+executions (:mod:`repro.core.program`) therefore replay through the
+same entry point as eager ones; in the weak accounting a call merged
+from block-aligned streams costs exactly the I/Os of the calls it
+replaced (``ceil`` is additive on multiples of ``sqrt(m)``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..core.ledger import CostLedger
 
@@ -43,13 +55,22 @@ class TCUSimulationIO:
         return self.total_ios / self.model_time if self.model_time else 0.0
 
 
+def _call_ios(n: np.ndarray, s: np.ndarray, weak: bool) -> np.ndarray:
+    m = s * s
+    if weak:
+        squares = -(-n // s)  # ceil
+        return squares * 3 * m
+    return 2 * n * s + m
+
+
 def simulate_ledger_io(ledger: CostLedger, *, weak: bool = True) -> TCUSimulationIO:
     """Replay a traced ledger under the Theorem 12 I/O accounting.
 
     Parameters
     ----------
     ledger:
-        A ledger recorded with ``trace_calls=True``.
+        A ledger recorded with ``trace_calls=True`` (full columnar
+        trace) or ``trace_calls="aggregate"`` (per-shape histogram).
     weak:
         When true (the Theorem 12 setting) every tall call of ``n`` rows
         is first split into ``ceil(n / sqrt(m))`` square calls, each
@@ -59,17 +80,19 @@ def simulate_ledger_io(ledger: CostLedger, *, weak: bool = True) -> TCUSimulatio
     Returns the I/O breakdown; CPU work costs one I/O per model-time
     unit (O(1) internal memory for the scalar state).
     """
-    if not ledger.trace_calls:
+    if ledger.trace_calls is False:
         raise ValueError("ledger was created with trace_calls=False; nothing to replay")
-    tensor_ios = 0
-    for call in ledger.calls:
-        s = call.sqrt_m
-        m = s * s
-        if weak:
-            squares = -(-call.n // s)  # ceil
-            tensor_ios += squares * 3 * m
-        else:
-            tensor_ios += 2 * call.n * s + m
+    if ledger.trace_calls == "aggregate":
+        tensor_ios = 0
+        for (n, s), (count, _, _) in ledger.call_shape_totals().items():
+            tensor_ios += count * int(
+                _call_ios(np.int64(n), np.int64(s), weak)
+            )
+    else:
+        n_col, s_col, _, _ = ledger.calls.columns()
+        n = np.asarray(n_col, dtype=np.int64)
+        s = np.asarray(s_col, dtype=np.int64)
+        tensor_ios = int(_call_ios(n, s, weak).sum()) if len(n) else 0
     cpu_ios = int(ledger.cpu_time)
     return TCUSimulationIO(
         tensor_ios=tensor_ios,

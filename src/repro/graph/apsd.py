@@ -41,11 +41,11 @@ class SeidelStats:
 
 
 def _square_graph(
-    tcu: TCUMachine, A: np.ndarray, algorithm: BilinearAlgorithm
+    tcu: TCUMachine, A: np.ndarray, algorithm: BilinearAlgorithm, plan: bool
 ) -> np.ndarray:
     """Adjacency matrix of G^2 (paths of length <= 2, no self loops)."""
     n = A.shape[0]
-    B = strassen_like_mm(tcu, A, A, algorithm=algorithm)
+    B = strassen_like_mm(tcu, A, A, algorithm=algorithm, plan=plan)
     A2 = ((B > 0) | (A > 0)).astype(np.int64)
     np.fill_diagonal(A2, 0)
     tcu.charge_cpu(3 * n * n)
@@ -58,8 +58,15 @@ def seidel(
     *,
     algorithm: BilinearAlgorithm = STRASSEN_2X2,
     stats: SeidelStats | None = None,
+    plan: bool = True,
 ) -> np.ndarray:
     """Distance matrix of a *connected* unweighted undirected graph.
+
+    The iterated-squaring levels are inherently sequential (each
+    squared graph feeds the next recursion), so ``plan=True`` (default)
+    routes each level's two products through the plan/execute layer —
+    their Strassen leaves are planned and batched together — while
+    ``plan=False`` keeps every tensor call eager.
 
     Raises ``ValueError`` if the graph is disconnected (detected when
     the recursion exceeds the ceil(log2 n) + 1 levels a connected graph
@@ -80,7 +87,7 @@ def seidel(
     if n == 1:
         return np.zeros((1, 1))
     max_depth = int(np.ceil(np.log2(n))) + 1
-    return _seidel_rec(tcu, A, algorithm, stats, 0, max_depth)
+    return _seidel_rec(tcu, A, algorithm, stats, 0, max_depth, plan)
 
 
 def _seidel_rec(
@@ -90,6 +97,7 @@ def _seidel_rec(
     stats: SeidelStats | None,
     depth: int,
     max_depth: int,
+    plan: bool = True,
 ) -> np.ndarray:
     n = A.shape[0]
     if stats is not None:
@@ -106,12 +114,12 @@ def _seidel_rec(
             "recursion exceeded the connected-graph bound: "
             "the input graph is disconnected (use apsd() for components)"
         )
-    A2 = _square_graph(tcu, A, algorithm)
+    A2 = _square_graph(tcu, A, algorithm, plan)
     if stats is not None:
         stats.products += 1
-    D2 = _seidel_rec(tcu, A2, algorithm, stats, depth + 1, max_depth)
+    D2 = _seidel_rec(tcu, A2, algorithm, stats, depth + 1, max_depth, plan)
     C = strassen_like_mm(
-        tcu, D2.astype(np.int64), A, algorithm=algorithm
+        tcu, D2.astype(np.int64), A, algorithm=algorithm, plan=plan
     )
     if stats is not None:
         stats.products += 1
@@ -131,6 +139,7 @@ def apsd(
     *,
     algorithm: BilinearAlgorithm = STRASSEN_2X2,
     stats: SeidelStats | None = None,
+    plan: bool = True,
 ) -> np.ndarray:
     """All-pairs shortest distances of an unweighted undirected graph.
 
@@ -169,7 +178,7 @@ def apsd(
             stats.component_sizes.append(len(idx))
         sub = A[np.ix_(idx, idx)]
         tcu.charge_cpu(len(idx) * len(idx))
-        Dsub = seidel(tcu, sub, algorithm=algorithm, stats=stats)
+        Dsub = seidel(tcu, sub, algorithm=algorithm, stats=stats, plan=plan)
         D[np.ix_(idx, idx)] = Dsub
         tcu.charge_cpu(len(idx) * len(idx))
     return D

@@ -6,9 +6,9 @@
 * :mod:`repro.matmul.schedule` -- tiling/padding helpers
 """
 
-from .dense import matmul, rectangular_mm, square_mm, tensor_call_count
+from .dense import matmul, matmul_lazy, rectangular_mm, square_mm, tensor_call_count
 from .parallel_dense import parallel_matmul, predicted_parallel_time
-from .schedule import block_view, ceil_to_multiple, pad_matrix, strip_view
+from .schedule import block_view, ceil_to_multiple, pad_matrix, strip_view, theorem2_tasks
 from .sparse import SparseProductStats, SparseRecoveryError, sparse_mm
 from .strassen import (
     CLASSICAL_2X2,
@@ -16,11 +16,13 @@ from .strassen import (
     BilinearAlgorithm,
     default_cutoff,
     recursion_depth,
+    strassen_like_lazy,
     strassen_like_mm,
 )
 
 __all__ = [
     "matmul",
+    "matmul_lazy",
     "square_mm",
     "rectangular_mm",
     "tensor_call_count",
@@ -33,10 +35,12 @@ __all__ = [
     "CLASSICAL_2X2",
     "STRASSEN_2X2",
     "strassen_like_mm",
+    "strassen_like_lazy",
     "default_cutoff",
     "recursion_depth",
     "pad_matrix",
     "ceil_to_multiple",
     "block_view",
     "strip_view",
+    "theorem2_tasks",
 ]

@@ -13,6 +13,19 @@ model time; :func:`matmul` generalises the same schedule to arbitrary
 ``p x q`` times ``q x r`` shapes, which also yields Corollary 1's bound
 ``Theta(rn/sqrt(m) + (r*sqrt(n)/m) l)`` for ``sqrt(n) x r`` by
 ``r x sqrt(n)`` products.
+
+Plan/execute split
+------------------
+By default (``plan=True``) the schedule is *built* as a lazy
+:class:`~repro.core.program.TensorProgram` — ``mm`` nodes for the
+``C_{i,j}`` products, ``add`` nodes for the strip reductions — and
+executed through :func:`~repro.core.program.run_program`.  For a single
+product the planned charges are identical to the eager ones (there is
+nothing to merge inside one Theorem 2 grid), but the planner batches
+each DAG level on a :class:`~repro.core.parallel.ParallelTCUMachine`
+and, across products sharing a resident block (see :func:`matmul_lazy`),
+merges calls so k products pay one latency.  ``plan=False`` is the
+eager escape hatch that executes each call as it is produced.
 """
 
 from __future__ import annotations
@@ -20,14 +33,71 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.machine import TCUMachine
-from .schedule import ceil_to_multiple, pad_matrix, padded_copy_cost
+from ..core.program import Lazy, TensorProgram, run_program
+from .schedule import ceil_to_multiple, pad_matrix, padded_copy_cost, theorem2_tasks
 
 __all__ = [
     "matmul",
+    "matmul_lazy",
     "square_mm",
     "rectangular_mm",
     "tensor_call_count",
 ]
+
+
+def _check_operands(A: np.ndarray, B: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    A = np.asarray(A)
+    B = np.asarray(B)
+    if A.ndim != 2 or B.ndim != 2:
+        raise ValueError("matmul expects 2-D operands")
+    if A.shape[1] != B.shape[0]:
+        raise ValueError(f"inner dimensions disagree: {A.shape} @ {B.shape}")
+    return A, B
+
+
+def _pad_operands(
+    tcu: TCUMachine, A: np.ndarray, B: np.ndarray, charge_padding: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad both operands to the tensor-unit grid, charging the copies."""
+    p, q = A.shape
+    _, r = B.shape
+    s = tcu.sqrt_m
+    p_pad = max(p, s)
+    q_pad = ceil_to_multiple(q, s)
+    r_pad = ceil_to_multiple(r, s)
+    if charge_padding:
+        tcu.charge_cpu(
+            padded_copy_cost(A, p_pad, q_pad) + padded_copy_cost(B, q_pad, r_pad)
+        )
+    return pad_matrix(A, p_pad, q_pad), pad_matrix(B, q_pad, r_pad)
+
+
+def _emit_theorem2(
+    tcu: TCUMachine, program: TensorProgram, Ap: np.ndarray, Bp: np.ndarray
+) -> Lazy:
+    """Append the Theorem 2 schedule for padded operands to ``program``.
+
+    One ``mm`` node per grid product, one ``add`` node per output
+    column; the returned :class:`Lazy` assembles the padded result after
+    the program has executed.  Charges match the eager loop exactly
+    (each ``add`` term costs one RAM unit per word, like the eager
+    ``C_j += C_{i,j}`` accumulation).
+    """
+    s = tcu.sqrt_m
+    p_pad = Ap.shape[0]
+    r_pad = Bp.shape[1]
+    partials: dict[int, list] = {}
+    for j, _, strip, block in theorem2_tasks(Ap, Bp, s):
+        partials.setdefault(j, []).append(program.mm(strip, block))
+    columns = [program.add(partials[j]) for j in range(r_pad // s)]
+
+    def assemble() -> np.ndarray:
+        C = np.zeros((p_pad, r_pad), dtype=np.result_type(Ap.dtype, Bp.dtype))
+        for j, col in enumerate(columns):
+            C[:, j * s : (j + 1) * s] = col.result()
+        return C
+
+    return Lazy(assemble)
 
 
 def matmul(
@@ -36,6 +106,7 @@ def matmul(
     B: np.ndarray,
     *,
     charge_padding: bool = True,
+    plan: bool = True,
 ) -> np.ndarray:
     """``C = A @ B`` for arbitrary 2-D shapes via the Theorem 2 schedule.
 
@@ -48,6 +119,11 @@ def matmul(
     charge_padding:
         Charge the RAM-model cost of materialising padded copies (on by
         default; disable only inside algorithms that pre-pad).
+    plan:
+        Build the schedule as a lazy program and execute it through the
+        planner (the default; cost-identical for a lone product, batched
+        on parallel machines).  ``False`` executes each tensor call
+        eagerly as the schedule produces it.
 
     Notes
     -----
@@ -56,40 +132,63 @@ def matmul(
     asymmetric behaviour of Section 3 (property 3).  Output additions
     are charged one RAM unit per word.
     """
-    A = np.asarray(A)
-    B = np.asarray(B)
-    if A.ndim != 2 or B.ndim != 2:
-        raise ValueError("matmul expects 2-D operands")
+    A, B = _check_operands(A, B)
     p, q = A.shape
-    q2, r = B.shape
-    if q != q2:
-        raise ValueError(f"inner dimensions disagree: {A.shape} @ {B.shape}")
-    s = tcu.sqrt_m
+    _, r = B.shape
     if p == 0 or q == 0 or r == 0:
         return np.zeros((p, r), dtype=np.result_type(A.dtype, B.dtype))
+    Ap, Bp = _pad_operands(tcu, A, B, charge_padding)
+    s = tcu.sqrt_m
 
-    p_pad = max(p, s)
-    q_pad = ceil_to_multiple(q, s)
-    r_pad = ceil_to_multiple(r, s)
-    if charge_padding:
-        tcu.charge_cpu(
-            padded_copy_cost(A, p_pad, q_pad) + padded_copy_cost(B, q_pad, r_pad)
-        )
-    Ap = pad_matrix(A, p_pad, q_pad)
-    Bp = pad_matrix(B, q_pad, r_pad)
+    if plan:
+        program = TensorProgram()
+        lazy = _emit_theorem2(tcu, program, Ap, Bp)
+        run_program(program, tcu)
+        return lazy.result()[:p, :r]
 
     out_dtype = np.result_type(Ap.dtype, Bp.dtype)
-    C = np.zeros((p_pad, r_pad), dtype=out_dtype)
-    for j in range(r_pad // s):
-        col = slice(j * s, (j + 1) * s)
-        for i in range(q_pad // s):
-            row = slice(i * s, (i + 1) * s)
-            # One tall tensor call: the full-height strip A_i against
-            # the resident block B_{i,j}.
-            partial = tcu.mm(Ap[:, row], Bp[row, col])
-            C[:, col] += partial
-            tcu.charge_cpu(p_pad * s)  # the C_{i,j} accumulation
+    C = np.zeros((Ap.shape[0], Bp.shape[1]), dtype=out_dtype)
+    for j, _, strip, block in theorem2_tasks(Ap, Bp, s):
+        # One tall tensor call: the full-height strip A_i against the
+        # resident block B_{i,j}.
+        partial = tcu.mm(strip, block)
+        C[:, j * s : (j + 1) * s] += partial
+        tcu.charge_cpu(Ap.shape[0] * s)  # the C_{i,j} accumulation
     return C[:p, :r]
+
+
+def matmul_lazy(
+    tcu: TCUMachine,
+    program: TensorProgram,
+    A: np.ndarray,
+    B: np.ndarray,
+    *,
+    charge_padding: bool = True,
+) -> Lazy:
+    """Append a Theorem 2 product to a caller-owned program.
+
+    This is how independent products join one plan: every product built
+    into the same program is planned together, so calls that share a
+    resident right-hand block merge into one tall call (one latency for
+    all of them) and each DAG level batches on parallel machines.  The
+    caller must :func:`~repro.core.program.run_program` the program
+    before reading the returned :class:`~repro.core.program.Lazy`.
+
+    Padding copies are charged at build time (set ``charge_padding``
+    False when operands are pre-padded).  Note the planner merges by
+    buffer identity: pass the *same* ``B`` object (already padded if
+    padding would be needed) to every product that should share its
+    residency.
+    """
+    A, B = _check_operands(A, B)
+    p, q = A.shape
+    _, r = B.shape
+    if p == 0 or q == 0 or r == 0:
+        empty = np.zeros((p, r), dtype=np.result_type(A.dtype, B.dtype))
+        return Lazy(lambda: empty)
+    Ap, Bp = _pad_operands(tcu, A, B, charge_padding)
+    lazy = _emit_theorem2(tcu, program, Ap, Bp)
+    return Lazy(lambda: lazy.result()[:p, :r])
 
 
 def square_mm(tcu: TCUMachine, A: np.ndarray, B: np.ndarray) -> np.ndarray:
@@ -109,6 +208,7 @@ def rectangular_mm(
     B: np.ndarray,
     *,
     algorithm=None,
+    plan: bool = True,
 ) -> np.ndarray:
     """Corollary 1: multiply ``sqrt(n) x r`` by ``r x sqrt(n)``.
 
@@ -117,16 +217,17 @@ def rectangular_mm(
     :class:`~repro.matmul.strassen.BilinearAlgorithm` instead decomposes
     the product into ``t x t`` squares with ``t = min(sqrt(n), r)`` and
     runs the Strassen-like recursion of Theorem 1 on each square, as the
-    corollary's proof prescribes.
+    corollary's proof prescribes.  With ``plan=True`` all the square
+    subproducts' leaf calls join one program and are planned together.
     """
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim != 2 or B.ndim != 2 or A.shape[1] != B.shape[0]:
         raise ValueError(f"incompatible shapes {A.shape} @ {B.shape}")
     if algorithm is None:
-        return matmul(tcu, A, B)
+        return matmul(tcu, A, B, plan=plan)
 
-    from .strassen import strassen_like_mm
+    from .strassen import default_cutoff, strassen_like_lazy, strassen_like_mm
 
     p, q = A.shape
     _, r = B.shape
@@ -141,13 +242,41 @@ def rectangular_mm(
     Ap = pad_matrix(A, p_pad, q_pad)
     Bp = pad_matrix(B, q_pad, r_pad)
     C = np.zeros((p_pad, r_pad), dtype=np.result_type(Ap.dtype, Bp.dtype))
+
+    if plan:
+        # All t x t subproducts are independent: build their recursions
+        # into one shared program so every leaf call is planned (and on
+        # parallel machines batched) together.
+        program = TensorProgram()
+        cutoff = default_cutoff(tcu, algorithm)
+        tasks = []
+        for bi in range(p_pad // t_pad):
+            for bj in range(r_pad // t_pad):
+                for bk in range(q_pad // t_pad):
+                    blockA = Ap[
+                        bi * t_pad : (bi + 1) * t_pad, bk * t_pad : (bk + 1) * t_pad
+                    ]
+                    blockB = Bp[
+                        bk * t_pad : (bk + 1) * t_pad, bj * t_pad : (bj + 1) * t_pad
+                    ]
+                    lazy = strassen_like_lazy(
+                        tcu, program, blockA, blockB, algorithm=algorithm, cutoff=cutoff
+                    )
+                    tasks.append((bi, bj, lazy))
+        run_program(program, tcu)
+        for bi, bj, lazy in tasks:
+            acc = C[bi * t_pad : (bi + 1) * t_pad, bj * t_pad : (bj + 1) * t_pad]
+            acc += lazy.result()
+            tcu.charge_cpu(t_pad * t_pad)
+        return C[:p, :r]
+
     for bi in range(p_pad // t_pad):
         for bj in range(r_pad // t_pad):
             acc = C[bi * t_pad : (bi + 1) * t_pad, bj * t_pad : (bj + 1) * t_pad]
             for bk in range(q_pad // t_pad):
                 blockA = Ap[bi * t_pad : (bi + 1) * t_pad, bk * t_pad : (bk + 1) * t_pad]
                 blockB = Bp[bk * t_pad : (bk + 1) * t_pad, bj * t_pad : (bj + 1) * t_pad]
-                acc += strassen_like_mm(tcu, blockA, blockB, algorithm=algorithm)
+                acc += strassen_like_mm(tcu, blockA, blockB, algorithm=algorithm, plan=False)
                 tcu.charge_cpu(t_pad * t_pad)
     return C[:p, :r]
 

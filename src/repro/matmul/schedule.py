@@ -20,6 +20,7 @@ __all__ = [
     "block_view",
     "strip_view",
     "padded_copy_cost",
+    "theorem2_tasks",
 ]
 
 
@@ -82,3 +83,29 @@ def strip_view(A: np.ndarray, s: int) -> Iterator[tuple[int, np.ndarray]]:
 def grid_shape(rows: int, cols: int, s: int) -> tuple[int, int]:
     """Number of ``s x s`` blocks per dimension after padding."""
     return math.ceil(max(rows, 1) / s), math.ceil(max(cols, 1) / s)
+
+
+def theorem2_tasks(
+    Ap: np.ndarray, Bp: np.ndarray, s: int
+) -> Iterator[tuple[int, int, np.ndarray, np.ndarray]]:
+    """The Theorem 2 call schedule as data: ``(j, i, strip, block)``.
+
+    Yields one task per ``C_{i,j} = A_i B_{i,j}`` product of the padded
+    operands — the tall column strip ``A_i`` (a view) against the
+    resident block ``B_{i,j}`` — in output-column-major order, the order
+    both the eager executor and the lazy program builder issue them in.
+    """
+    p_pad, q_pad = Ap.shape
+    q2, r_pad = Bp.shape
+    if q_pad != q2 or q_pad % s or r_pad % s or p_pad < s:
+        raise ValueError(
+            f"operands {Ap.shape} @ {Bp.shape} are not padded to the sqrt(m)={s} grid"
+        )
+    for j in range(r_pad // s):
+        for i in range(q_pad // s):
+            yield (
+                j,
+                i,
+                Ap[:, i * s : (i + 1) * s],
+                Bp[i * s : (i + 1) * s, j * s : (j + 1) * s],
+            )

@@ -27,7 +27,9 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.machine import TCUMachine
+from ..core.program import Lazy, TensorProgram, run_program
 from .dense import matmul as dense_matmul
+from .dense import matmul_lazy
 from .schedule import ceil_to_multiple, pad_matrix
 
 __all__ = [
@@ -35,6 +37,7 @@ __all__ = [
     "CLASSICAL_2X2",
     "STRASSEN_2X2",
     "strassen_like_mm",
+    "strassen_like_lazy",
     "default_cutoff",
     "recursion_depth",
 ]
@@ -171,21 +174,13 @@ def _combine(
     return out
 
 
-def strassen_like_mm(
+def _validated(
     tcu: TCUMachine,
     A: np.ndarray,
     B: np.ndarray,
-    *,
-    algorithm: BilinearAlgorithm = STRASSEN_2X2,
-    cutoff: int | None = None,
-) -> np.ndarray:
-    """Theorem 1: recursive Strassen-like product with a TCU base case.
-
-    ``A`` and ``B`` must be square and of equal side; the recursion pads
-    each level to a multiple of ``algorithm.block`` (cost charged) and
-    switches to the Theorem 2 blocked schedule once the side is at most
-    ``cutoff`` (default: the paper's ``sqrt(m * n0)`` boundary).
-    """
+    algorithm: BilinearAlgorithm,
+    cutoff: int | None,
+) -> tuple[np.ndarray, np.ndarray, int]:
     A = np.asarray(A)
     B = np.asarray(B)
     if A.ndim != 2 or A.shape != B.shape or A.shape[0] != A.shape[1]:
@@ -197,7 +192,60 @@ def strassen_like_mm(
         cutoff = default_cutoff(tcu, algorithm)
     if cutoff < algorithm.block:
         raise ValueError(f"cutoff must be >= block={algorithm.block}")
-    return _recurse(tcu, A, B, algorithm, cutoff)
+    return A, B, cutoff
+
+
+def strassen_like_mm(
+    tcu: TCUMachine,
+    A: np.ndarray,
+    B: np.ndarray,
+    *,
+    algorithm: BilinearAlgorithm = STRASSEN_2X2,
+    cutoff: int | None = None,
+    plan: bool = True,
+) -> np.ndarray:
+    """Theorem 1: recursive Strassen-like product with a TCU base case.
+
+    ``A`` and ``B`` must be square and of equal side; the recursion pads
+    each level to a multiple of ``algorithm.block`` (cost charged) and
+    switches to the Theorem 2 blocked schedule once the side is at most
+    ``cutoff`` (default: the paper's ``sqrt(m * n0)`` boundary).
+
+    With ``plan=True`` (default) the recursion *builds* all its leaf
+    Theorem 2 schedules into one :class:`TensorProgram` — the leaves'
+    operands are pure CPU combinations of the inputs, so every leaf call
+    is independent and lands in a single plan level, batched on parallel
+    machines — then executes the program once and assembles the result
+    bottom-up.  ``plan=False`` runs the classic eager recursion; the two
+    charge the ledger identically on a sequential machine.
+    """
+    A, B, cutoff = _validated(tcu, A, B, algorithm, cutoff)
+    if not plan:
+        return _recurse(tcu, A, B, algorithm, cutoff)
+    program = TensorProgram()
+    lazy = _recurse_lazy(tcu, program, A, B, algorithm, cutoff)
+    run_program(program, tcu)
+    return lazy.result()
+
+
+def strassen_like_lazy(
+    tcu: TCUMachine,
+    program: TensorProgram,
+    A: np.ndarray,
+    B: np.ndarray,
+    *,
+    algorithm: BilinearAlgorithm = STRASSEN_2X2,
+    cutoff: int | None = None,
+) -> Lazy:
+    """Append a Theorem 1 recursion to a caller-owned program.
+
+    The operand combinations are charged immediately (they are RAM
+    work); the leaf tensor calls join ``program`` and run when the
+    caller executes it, after which the returned
+    :class:`~repro.core.program.Lazy` assembles the product.
+    """
+    A, B, cutoff = _validated(tcu, A, B, algorithm, cutoff)
+    return _recurse_lazy(tcu, program, A, B, algorithm, cutoff)
 
 
 def _recurse(
@@ -209,7 +257,7 @@ def _recurse(
 ) -> np.ndarray:
     side = A.shape[0]
     if side <= cutoff:
-        return dense_matmul(tcu, A, B)
+        return dense_matmul(tcu, A, B, plan=False)
     b = alg.block
     padded = ceil_to_multiple(side, b)
     if padded != side:
@@ -239,3 +287,58 @@ def _recurse(
                 out += coef * prods[idx]
             tcu.charge_cpu(sub * sub)
     return C[:side, :side]
+
+
+def _recurse_lazy(
+    tcu: TCUMachine,
+    program: TensorProgram,
+    A: np.ndarray,
+    B: np.ndarray,
+    alg: BilinearAlgorithm,
+    cutoff: int,
+) -> Lazy:
+    """Build the recursion's leaf schedules into ``program``.
+
+    Operand combinations happen (and are charged) during the build —
+    they never depend on a tensor result, so every leaf ``mm`` node is
+    dependency-free and the planner sees the whole recursion as one flat
+    level of independent calls.  The returned :class:`Lazy` performs the
+    bottom-up ``C`` assembly (charged as in the eager path) once the
+    program has run.
+    """
+    side = A.shape[0]
+    if side <= cutoff:
+        return matmul_lazy(tcu, program, A, B)
+    b = alg.block
+    padded = ceil_to_multiple(side, b)
+    if padded != side:
+        tcu.charge_cpu(2 * padded * padded)
+        A = pad_matrix(A, padded, padded)
+        B = pad_matrix(B, padded, padded)
+    sub = padded // b
+    blocksA = [[A[i * sub : (i + 1) * sub, j * sub : (j + 1) * sub] for j in range(b)] for i in range(b)]
+    blocksB = [[B[i * sub : (i + 1) * sub, j * sub : (j + 1) * sub] for j in range(b)] for i in range(b)]
+    dtype = np.result_type(A.dtype, B.dtype)
+
+    lazies: list[Lazy] = []
+    for a_coeffs, b_coeffs in alg.products:
+        left = _combine(tcu, blocksA, a_coeffs, sub, dtype)
+        right = _combine(tcu, blocksB, b_coeffs, sub, dtype)
+        lazies.append(_recurse_lazy(tcu, program, left, right, alg, cutoff))
+
+    def assemble() -> np.ndarray:
+        prods = [lazy.result() for lazy in lazies]
+        C = np.zeros((padded, padded), dtype=dtype)
+        for (i, j), terms in alg.c_terms.items():
+            out = C[i * sub : (i + 1) * sub, j * sub : (j + 1) * sub]
+            for idx, coef in terms:
+                if coef == 1:
+                    out += prods[idx]
+                elif coef == -1:
+                    out -= prods[idx]
+                else:
+                    out += coef * prods[idx]
+                tcu.charge_cpu(sub * sub)
+        return C[:side, :side]
+
+    return Lazy(assemble)

@@ -34,7 +34,9 @@ __all__ = [
 ]
 
 
-def circular_convolve(tcu: TCUMachine, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def circular_convolve(
+    tcu: TCUMachine, a: np.ndarray, b: np.ndarray, *, plan: bool = True
+) -> np.ndarray:
     """Standard circular convolution ``c[i] = sum_j a[j] b[(i-j) mod n]``."""
     a = np.asarray(a)
     b = np.asarray(b)
@@ -42,18 +44,18 @@ def circular_convolve(tcu: TCUMachine, a: np.ndarray, b: np.ndarray) -> np.ndarr
         raise ValueError(
             f"circular_convolve expects equal-length vectors, got {a.shape}, {b.shape}"
         )
-    fa = batched_dft(tcu, a[None, :])
-    fb = batched_dft(tcu, b[None, :])
+    fa = batched_dft(tcu, a[None, :], plan=plan)
+    fb = batched_dft(tcu, b[None, :], plan=plan)
     prod = fa * fb
     tcu.charge_cpu(a.size)
-    out = batched_idft(tcu, prod)[0]
+    out = batched_idft(tcu, prod, plan=plan)[0]
     if not (np.iscomplexobj(a) or np.iscomplexobj(b)):
         out = out.real
         tcu.charge_cpu(a.size)
     return out
 
 
-def dft2(tcu: TCUMachine, X: np.ndarray) -> np.ndarray:
+def dft2(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
     """2-D DFT of a ``(batch, S, S)`` stack: row transforms then column
     transforms, each as one batched (tall) 1-D DFT."""
     X = np.asarray(X, dtype=np.complex128)
@@ -62,21 +64,21 @@ def dft2(tcu: TCUMachine, X: np.ndarray) -> np.ndarray:
     T, S, _ = X.shape
     # axis re-arrangements are index arithmetic (fused in a RAM
     # implementation); the transform passes below carry the cost.
-    rows = batched_dft(tcu, X.reshape(T * S, S)).reshape(T, S, S)
+    rows = batched_dft(tcu, X.reshape(T * S, S), plan=plan).reshape(T, S, S)
     cols = rows.transpose(0, 2, 1).reshape(T * S, S)
-    out = batched_dft(tcu, cols).reshape(T, S, S).transpose(0, 2, 1)
+    out = batched_dft(tcu, cols, plan=plan).reshape(T, S, S).transpose(0, 2, 1)
     return out
 
 
-def idft2(tcu: TCUMachine, X: np.ndarray) -> np.ndarray:
+def idft2(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
     """Inverse 2-D DFT of a ``(batch, S, S)`` stack."""
     X = np.asarray(X, dtype=np.complex128)
     if X.ndim != 3 or X.shape[1] != X.shape[2]:
         raise ValueError(f"idft2 expects a (batch, S, S) stack, got {X.shape}")
     T, S, _ = X.shape
-    rows = batched_idft(tcu, X.reshape(T * S, S)).reshape(T, S, S)
+    rows = batched_idft(tcu, X.reshape(T * S, S), plan=plan).reshape(T, S, S)
     cols = rows.transpose(0, 2, 1).reshape(T * S, S)
-    out = batched_idft(tcu, cols).reshape(T, S, S).transpose(0, 2, 1)
+    out = batched_idft(tcu, cols, plan=plan).reshape(T, S, S).transpose(0, 2, 1)
     return out
 
 
@@ -118,6 +120,8 @@ def batched_circular_convolve2d(
     tcu: TCUMachine,
     tiles: np.ndarray,
     kernel: np.ndarray,
+    *,
+    plan: bool = True,
 ) -> np.ndarray:
     """Correlate every ``S x S`` tile with a centred odd-side kernel.
 
@@ -145,11 +149,11 @@ def batched_circular_convolve2d(
     reversed_ker[np.ix_(idx, idx)] = embedded  # reversed_ker[-t, -u] = embedded[t, u]
     tcu.charge_cpu(2 * S * S)
 
-    f_tiles = dft2(tcu, tiles)
-    f_ker = dft2(tcu, reversed_ker[None, :, :])[0]
+    f_tiles = dft2(tcu, tiles, plan=plan)
+    f_ker = dft2(tcu, reversed_ker[None, :, :], plan=plan)[0]
     prod = f_tiles * f_ker[None, :, :]
     tcu.charge_cpu(tiles.size)
-    out = idft2(tcu, prod)
+    out = idft2(tcu, prod, plan=plan)
     if not (np.iscomplexobj(tiles) or np.iscomplexobj(kernel)):
         out = out.real
         tcu.charge_cpu(tiles.size)

@@ -68,12 +68,18 @@ def dft_recursion_depth(n: int, m: int) -> int:
     return depth
 
 
-def batched_dft(tcu: TCUMachine, X: np.ndarray) -> np.ndarray:
+def batched_dft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
     """DFT of every row of a ``(batch, size)`` complex matrix.
 
     Implements the Theorem 7 recursion; the batch dimension rides along
     in the tall operand of every tensor call, so transforming B vectors
     costs ``O((B*n + l) log_m n)`` — not B times the latency.
+
+    Each recursion level's product goes through the plan/execute layer
+    when ``plan`` is true (the default; levels are sequential because of
+    the twiddle pass, so the planner works within one level at a time);
+    ``plan=False`` is the eager escape hatch, threaded down to
+    :func:`repro.matmul.dense.matmul`.
     """
     X = np.asarray(X, dtype=np.complex128)
     if X.ndim != 2:
@@ -85,7 +91,7 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray) -> np.ndarray:
     if size <= s:
         W = dft_matrix(size)
         tcu.charge_cpu(size * size)  # constructing/loading the base Fourier matrix
-        return matmul(tcu, X, W)
+        return matmul(tcu, X, W, plan=plan)
     if size % s:
         raise ValueError(
             f"DFT size {size} is not sqrt(m)={s}-smooth; Theorem 7 requires "
@@ -100,7 +106,7 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray) -> np.ndarray:
     # the twiddle multiplication is charged per element per level.
     cols = X.reshape(B, n1, n2).transpose(0, 2, 1).reshape(B * n2, n1)
     tcu.charge_cpu(n1 * n1)
-    G = matmul(tcu, cols, dft_matrix(n1))  # row b*n2+c holds DFT of column c
+    G = matmul(tcu, cols, dft_matrix(n1), plan=plan)  # row b*n2+c holds DFT of column c
 
     # Twiddle factors: entry (r=p, c) of each n1 x n2 matrix gets
     # exp(-2*pi*i * p*c / size).
@@ -111,14 +117,14 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray) -> np.ndarray:
 
     # Row DFTs: rows of the n1 x n2 matrices, batch B*n1, size n2.
     rows = G.reshape(B, n2, n1).transpose(0, 2, 1).reshape(B * n1, n2)
-    F = batched_dft(tcu, rows)
+    F = batched_dft(tcu, rows, plan=plan)
 
     # Read out column-major: y[q*n1 + p] = F[p, q].
     out = F.reshape(B, n1, n2).transpose(0, 2, 1).reshape(B, size)
     return out
 
 
-def batched_idft(tcu: TCUMachine, X: np.ndarray) -> np.ndarray:
+def batched_idft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
     """Inverse DFT of every row (conjugation trick; same cost bound)."""
     X = np.asarray(X, dtype=np.complex128)
     if X.ndim != 2:
@@ -126,22 +132,22 @@ def batched_idft(tcu: TCUMachine, X: np.ndarray) -> np.ndarray:
     size = X.shape[1]
     if size == 0:
         return X.copy()
-    out = np.conj(batched_dft(tcu, np.conj(X))) / size
+    out = np.conj(batched_dft(tcu, np.conj(X), plan=plan)) / size
     tcu.charge_cpu(X.size)
     return out
 
 
-def dft(tcu: TCUMachine, x: np.ndarray) -> np.ndarray:
+def dft(tcu: TCUMachine, x: np.ndarray, *, plan: bool = True) -> np.ndarray:
     """DFT of a single n-point vector in ``O((n + l) log_m n)`` model time."""
     x = np.asarray(x)
     if x.ndim != 1:
         raise ValueError(f"dft expects a 1-D vector, got shape {x.shape}")
-    return batched_dft(tcu, x[None, :])[0]
+    return batched_dft(tcu, x[None, :], plan=plan)[0]
 
 
-def idft(tcu: TCUMachine, y: np.ndarray) -> np.ndarray:
+def idft(tcu: TCUMachine, y: np.ndarray, *, plan: bool = True) -> np.ndarray:
     """Inverse DFT of a single vector."""
     y = np.asarray(y)
     if y.ndim != 1:
         raise ValueError(f"idft expects a 1-D vector, got shape {y.shape}")
-    return batched_idft(tcu, y[None, :])[0]
+    return batched_idft(tcu, y[None, :], plan=plan)[0]

@@ -150,7 +150,7 @@ def _next_fft_size(minimum: int, sqrt_m: int) -> int:
 
 
 def _convolve_squares(
-    tcu: TCUMachine, P: np.ndarray, Q: np.ndarray
+    tcu: TCUMachine, P: np.ndarray, Q: np.ndarray, *, plan: bool = True
 ) -> np.ndarray:
     """Full linear 2-D convolution of two centred odd-side coefficient
     arrays (a bivariate polynomial product).
@@ -180,20 +180,25 @@ def _convolve_squares(
     Pg[0, :p, :p] = P
     Qg[0, :q, :q] = Q
     tcu.charge_cpu(2 * S * S)
-    prod = dft2(tcu, Pg) * dft2(tcu, Qg)
+    prod = dft2(tcu, Pg, plan=plan) * dft2(tcu, Qg, plan=plan)
     tcu.charge_cpu(S * S)
-    out = idft2(tcu, prod)[0].real
+    out = idft2(tcu, prod, plan=plan)[0].real
     tcu.charge_cpu(S * S)
     return np.ascontiguousarray(out[:side, :side])
 
 
-def unrolled_weights(tcu: TCUMachine, weights: np.ndarray, k: int) -> np.ndarray:
+def unrolled_weights(
+    tcu: TCUMachine, weights: np.ndarray, k: int, *, plan: bool = True
+) -> np.ndarray:
     """Lemma 2: the (2k+1) x (2k+1) unrolled weight matrix W = P^k.
 
     The one-step kernel is a bivariate polynomial P(x, y); W collects
     the coefficients of P^k, computed by repeated squaring where each
     polynomial product is a TCU convolution of geometrically growing
-    size — ``O(k^2 log_m k + l log k)`` model time.
+    size — ``O(k^2 log_m k + l log k)`` model time.  The squarings are
+    inherently sequential (each feeds the next), so the plan/execute
+    layer works within one convolution at a time; ``plan=False`` runs
+    every transform eagerly.
     """
     W = _check_kernel(weights)
     if k < 1:
@@ -204,10 +209,14 @@ def unrolled_weights(tcu: TCUMachine, weights: np.ndarray, k: int) -> np.ndarray
     e = k
     while e > 0:
         if e & 1:
-            result = base.copy() if result is None else _convolve_squares(tcu, result, base)
+            result = (
+                base.copy()
+                if result is None
+                else _convolve_squares(tcu, result, base, plan=plan)
+            )
         e >>= 1
         if e:
-            base = _convolve_squares(tcu, base, base)
+            base = _convolve_squares(tcu, base, base, plan=plan)
     assert result is not None
     expected = 2 * k + 1
     if result.shape[0] != expected:  # pragma: no cover - defensive
@@ -224,6 +233,7 @@ def stencil_tcu(
     k: int,
     *,
     precomputed_W: np.ndarray | None = None,
+    plan: bool = True,
 ) -> np.ndarray:
     """Theorem 8: evolve a linear stencil k sweeps in ``O(n log_m k + l log k)``.
 
@@ -239,6 +249,10 @@ def stencil_tcu(
     precomputed_W:
         Skip Lemma 2 and use this unrolled ``(2k+1) x (2k+1)`` kernel
         (the ablation benches use it to separate the two phases).
+    plan:
+        Route every transform product through the plan/execute layer
+        (default); ``False`` is the eager escape hatch, threaded down
+        through the convolution and DFT layers.
     """
     Wstep = _check_kernel(weights)
     A = np.asarray(A, dtype=np.float64)
@@ -247,7 +261,7 @@ def stencil_tcu(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
 
-    W = precomputed_W if precomputed_W is not None else unrolled_weights(tcu, Wstep, k)
+    W = precomputed_W if precomputed_W is not None else unrolled_weights(tcu, Wstep, k, plan=plan)
     if W.shape != (2 * k + 1, 2 * k + 1):
         raise ValueError(
             f"unrolled kernel must be {(2*k+1, 2*k+1)}, got {W.shape}"
@@ -300,7 +314,7 @@ def stencil_tcu(
     tcu.charge_cpu(T * S * S)
 
     # One batched correlation of all windows against W (Lemma 1).
-    conv = batched_circular_convolve2d(tcu, windows, W)
+    conv = batched_circular_convolve2d(tcu, windows, W, plan=plan)
 
     out = np.zeros((rpad, cpad))
     for r in range(rb):

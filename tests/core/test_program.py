@@ -1,0 +1,369 @@
+"""Tests for the lazy TensorProgram IR, planner and executor."""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine, TensorProgram, matmul, matmul_lazy, run_program
+from repro.core.machine import TensorShapeError
+from repro.core.parallel import ParallelTCUMachine
+from repro.core.program import Lazy, ProgramError, execute_plan, plan_program
+from repro.extmem.simulate import simulate_ledger_io
+from repro.graph.closure import transitive_closure
+from repro.matmul.strassen import strassen_like_mm
+
+
+class TestProgramConstruction:
+    def test_mm_node_shape_and_dtype(self, rng):
+        prog = TensorProgram()
+        op = prog.mm(rng.random((8, 4)), rng.random((4, 4)))
+        assert op.shape == (8, 4)
+        assert op.kind == "mm"
+        assert len(prog) == 1
+
+    def test_mm_rejects_non_square_right(self, rng):
+        prog = TensorProgram()
+        with pytest.raises(TensorShapeError, match="square"):
+            prog.mm(rng.random((8, 4)), rng.random((4, 5)))
+
+    def test_mm_rejects_mismatched_inner(self, rng):
+        prog = TensorProgram()
+        with pytest.raises(TensorShapeError, match="inner"):
+            prog.mm(rng.random((8, 5)), rng.random((4, 4)))
+
+    def test_add_requires_terms(self):
+        prog = TensorProgram()
+        with pytest.raises(ProgramError, match="term"):
+            prog.add([])
+
+    def test_add_rejects_shape_mismatch(self, rng):
+        prog = TensorProgram()
+        with pytest.raises(TensorShapeError, match="shape"):
+            prog.add([rng.random((4, 4)), rng.random((5, 4))])
+
+    def test_dependency_levels(self, rng):
+        prog = TensorProgram()
+        a = prog.mm(rng.random((4, 4)), rng.random((4, 4)))
+        b = prog.mm(a, rng.random((4, 4)))
+        c = prog.add([a, b])
+        assert (a.level, b.level, c.level) == (0, 1, 2)
+
+    def test_result_before_execution_raises(self, rng):
+        prog = TensorProgram()
+        op = prog.mm(rng.random((4, 4)), rng.random((4, 4)))
+        with pytest.raises(ProgramError, match="no value"):
+            op.result()
+
+    def test_foreign_op_rejected(self, rng):
+        prog_a = TensorProgram()
+        op = prog_a.mm(rng.random((4, 4)), rng.random((4, 4)))
+        prog_b = TensorProgram()
+        with pytest.raises(ProgramError, match="different program"):
+            prog_b.copy(op)
+
+
+class TestPlanning:
+    def test_plan_validates_against_machine(self, tcu, rng):
+        prog = TensorProgram()
+        prog.mm(rng.random((8, 8)), rng.random((8, 8)))  # sqrt(m)=4 machine
+        with pytest.raises(TensorShapeError, match="sqrt"):
+            plan_program(prog, tcu)
+
+    def test_plan_rejects_short_stream(self, tcu, rng):
+        prog = TensorProgram()
+        # build-time checks pass (3x3 is square) but n < sqrt(m) is a
+        # machine property, caught at plan time
+        with pytest.raises(TensorShapeError):
+            prog.mm(rng.random((3, 4)), rng.random((4, 4)))
+            plan_program(prog, tcu)
+
+    def test_same_resident_block_merges(self, tcu, rng):
+        B = rng.random((4, 4))
+        prog = TensorProgram()
+        for _ in range(5):
+            prog.mm(rng.random((8, 4)), B)
+        plan = plan_program(prog, tcu)
+        assert plan.stats.mm_ops == 5
+        assert plan.stats.tensor_calls_planned == 1
+        assert plan.stats.merged_away == 4
+
+    def test_distinct_blocks_do_not_merge(self, tcu, rng):
+        prog = TensorProgram()
+        for _ in range(3):
+            prog.mm(rng.random((8, 4)), rng.random((4, 4)))
+        plan = plan_program(prog, tcu)
+        assert plan.stats.tensor_calls_planned == 3
+        assert plan.stats.merged_away == 0
+
+    def test_merge_disabled(self, tcu, rng):
+        B = rng.random((4, 4))
+        prog = TensorProgram()
+        for _ in range(4):
+            prog.mm(rng.random((8, 4)), B)
+        plan = plan_program(prog, tcu, merge=False)
+        assert plan.stats.tensor_calls_planned == 4
+
+    def test_mixed_dtype_streams_do_not_merge(self, tcu, rng):
+        """int and float products against one block stay separate calls
+        so per-call charging (and dtypes) match the eager execution."""
+        B = np.eye(4)
+        prog = TensorProgram()
+        prog.mm(rng.integers(0, 5, (8, 4)), B.astype(np.int64))
+        prog.mm(rng.random((8, 4)), B.astype(np.int64))
+        # different B objects anyway; now same B, different stream dtypes
+        prog2 = TensorProgram()
+        Bi = B.astype(np.int64)
+        prog2.mm(rng.integers(0, 5, (8, 4)), Bi)
+        prog2.mm(rng.random((8, 4)), Bi)
+        plan = plan_program(prog2, tcu)
+        assert plan.stats.tensor_calls_planned == 2
+
+
+class TestExecution:
+    def test_merged_call_results_correct(self, tcu, rng):
+        B = rng.random((4, 4))
+        As = [rng.random((8, 4)) for _ in range(5)]
+        prog = TensorProgram()
+        ops = [prog.mm(A, B) for A in As]
+        run_program(prog, tcu)
+        for A, op in zip(As, ops):
+            assert np.allclose(op.result(), A @ B)
+
+    def test_merged_call_pays_one_latency(self, rng):
+        ell = 100.0
+        B = rng.random((4, 4))
+        machine = TCUMachine(m=16, ell=ell)
+        prog = TensorProgram()
+        for _ in range(5):
+            prog.mm(rng.random((8, 4)), B)
+        run_program(prog, machine)
+        assert machine.ledger.tensor_calls == 1
+        assert machine.ledger.latency_time == ell
+        assert machine.ledger.tensor_time == 5 * 8 * 4
+
+    def test_chained_products(self, tcu, rng):
+        A = rng.random((4, 4))
+        B = rng.random((4, 4))
+        C = rng.random((4, 4))
+        prog = TensorProgram()
+        ab = prog.mm(A, B)
+        abc = prog.mm(ab, C)
+        run_program(prog, tcu)
+        assert np.allclose(abc.result(), A @ B @ C)
+
+    def test_add_and_copy_charged(self, tcu, rng):
+        X = rng.random((4, 4))
+        Y = rng.random((4, 4))
+        prog = TensorProgram()
+        total = prog.add([(2.0, X), (-1.0, Y)])
+        dup = prog.copy(total)
+        run_program(prog, tcu)
+        assert np.allclose(total.result(), 2 * X - Y)
+        assert np.allclose(dup.result(), total.result())
+        assert dup.result() is not total.result()
+        # 2 add terms + 1 copy, 16 words each
+        assert tcu.ledger.cpu_time == 3 * 16
+
+    def test_copy_isolates_resident_block(self, tcu, rng):
+        """A copy node gives later mutation of the source no effect on
+        the planned execution (the closure kernel relies on this)."""
+        X = rng.random((4, 4))
+        prog = TensorProgram()
+        snap = prog.copy(X)
+        op = prog.mm(np.ones((8, 4)), snap)
+        run_program(prog, tcu)
+        expected = np.ones((8, 4)) @ X
+        X[:] = 0.0
+        assert np.allclose(op.result(), expected)
+
+    def test_execute_populates_all_values(self, tcu, rng):
+        prog = TensorProgram()
+        a = prog.mm(rng.random((4, 4)), rng.random((4, 4)))
+        b = prog.add([a, a])
+        plan = plan_program(prog, tcu)
+        execute_plan(plan, tcu)
+        assert a.value is not None and b.value is not None
+
+    def test_lazy_caches_result(self):
+        calls = []
+
+        def build():
+            calls.append(1)
+            return np.zeros((2, 2))
+
+        lazy = Lazy(build)
+        assert lazy.result() is lazy.result()
+        assert len(calls) == 1
+
+
+class TestParallelExecution:
+    def test_level_feeds_mm_batch(self, rng):
+        machine = ParallelTCUMachine(m=16, ell=8.0, units=4)
+        serial = TCUMachine(m=16, ell=8.0)
+        prog_p, prog_s = TensorProgram(), TensorProgram()
+        pairs = [(rng.random((8, 4)), rng.random((4, 4))) for _ in range(4)]
+        ops_p = [prog_p.mm(A, B) for A, B in pairs]
+        ops_s = [prog_s.mm(A, B) for A, B in pairs]
+        run_program(prog_p, machine)
+        run_program(prog_s, serial)
+        for (A, B), op in zip(pairs, ops_p):
+            assert np.allclose(op.result(), A @ B)
+        # 4 equal independent calls on 4 units: ~4x faster than serial
+        assert machine.time == pytest.approx(serial.time / 4)
+        assert machine.last_batch is not None
+        assert machine.last_batch.calls == 4
+
+    def test_matmul_plans_batches_on_parallel_machine(self, rng):
+        A = rng.random((24, 24))
+        B = rng.random((24, 24))
+        par = ParallelTCUMachine(m=16, ell=7.0, units=4)
+        ser = TCUMachine(m=16, ell=7.0)
+        Cp = matmul(par, A, B)
+        Cs = matmul(ser, A, B)
+        assert np.allclose(Cp, Cs)
+        assert par.time < ser.time
+
+
+class TestPlannedVersusEager:
+    """The acceptance bar: planned execution is cost-equivalent or
+    cheaper than eager, with identical numerics."""
+
+    def test_theorem2_matmul_cost_equivalent(self, rng):
+        A = rng.random((24, 20))
+        B = rng.random((20, 12))
+        eager = TCUMachine(m=16, ell=9.0)
+        planned = TCUMachine(m=16, ell=9.0)
+        Ce = matmul(eager, A, B, plan=False)
+        Cp = matmul(planned, A, B, plan=True)
+        assert np.allclose(Ce, Cp)
+        assert planned.time <= eager.time
+        assert planned.ledger.snapshot() == eager.ledger.snapshot()
+
+    def test_strassen_cost_equivalent(self, rng):
+        A = rng.random((24, 24))
+        B = rng.random((24, 24))
+        eager = TCUMachine(m=16, ell=9.0)
+        planned = TCUMachine(m=16, ell=9.0)
+        Ce = strassen_like_mm(eager, A, B, plan=False)
+        Cp = strassen_like_mm(planned, A, B, plan=True)
+        assert np.allclose(Ce, Cp)
+        assert planned.ledger.snapshot() == eager.ledger.snapshot()
+
+    def test_latency_dominated_case_strictly_cheaper(self, rng):
+        """k products sharing one resident block: the planner pays one
+        latency where the eager schedule pays k (small sqrt(m), big l)."""
+        ell = 10_000.0
+        W = rng.random((4, 4))
+        streams = [rng.random((16, 4)) for _ in range(8)]
+        eager = TCUMachine(m=16, ell=ell)
+        for X in streams:
+            matmul(eager, X, W, plan=False)
+        planned = TCUMachine(m=16, ell=ell)
+        prog = TensorProgram()
+        outs = [matmul_lazy(planned, prog, X, W) for X in streams]
+        run_program(prog, planned)
+        for X, lazy in zip(streams, outs):
+            assert np.allclose(lazy.result(), X @ W)
+        assert planned.ledger.latency_time < eager.ledger.latency_time
+        assert planned.ledger.latency_time == ell
+        assert planned.time < eager.time
+        assert planned.ledger.tensor_time == eager.ledger.tensor_time
+
+    def test_closure_planned_latency_strictly_lower(self, rng):
+        A = (rng.random((20, 20)) < 0.2).astype(np.int64)
+        np.fill_diagonal(A, 0)
+        eager = TCUMachine(m=16, ell=50.0)
+        planned = TCUMachine(m=16, ell=50.0)
+        Ce = transitive_closure(eager, A, plan=False)
+        Cp = transitive_closure(planned, A, plan=True)
+        assert np.array_equal(Ce, Cp)
+        assert planned.ledger.latency_time < eager.ledger.latency_time
+        assert planned.time < eager.time
+        assert planned.ledger.tensor_time == eager.ledger.tensor_time
+
+    def test_extmem_replays_planned_trace_identically(self, rng):
+        """Theorem 12 weak-mode I/Os are invariant under planning: a
+        merged block-aligned call moves exactly the words of the calls
+        it replaced."""
+        A = (rng.random((20, 20)) < 0.25).astype(np.int64)
+        np.fill_diagonal(A, 0)
+        eager = TCUMachine(m=16, ell=7.0)
+        planned = TCUMachine(m=16, ell=7.0)
+        transitive_closure(eager, A, plan=False)
+        transitive_closure(planned, A, plan=True)
+        sim_e = simulate_ledger_io(eager.ledger, weak=True)
+        sim_p = simulate_ledger_io(planned.ledger, weak=True)
+        assert sim_p.tensor_ios == sim_e.tensor_ios
+
+    def test_merge_respects_max_rows_bound(self, rng):
+        """Merging must never push a call over the hardware row bound:
+        a re-split merged call would charge copies and per-chunk
+        latencies the eager schedule never paid."""
+        W = rng.random((4, 4))
+        streams = [rng.random((8, 4)) for _ in range(5)]
+        eager = TCUMachine(m=16, ell=7.0, max_rows=10)
+        for X in streams:
+            matmul(eager, X, W, plan=False)
+        planned = TCUMachine(m=16, ell=7.0, max_rows=10)
+        prog = TensorProgram()
+        outs = [matmul_lazy(planned, prog, X, W) for X in streams]
+        plan = run_program(prog, planned)
+        for X, lazy in zip(streams, outs):
+            assert np.allclose(lazy.result(), X @ W)
+        # every 8-row stream already saturates max_rows=10: no merging
+        assert plan.stats.merged_away == 0
+        assert planned.time <= eager.time
+        assert planned.ledger.snapshot() == eager.ledger.snapshot()
+
+    def test_merge_packs_under_max_rows(self, rng):
+        """Streams that do fit together still merge up to the bound."""
+        W = rng.random((4, 4))
+        streams = [rng.random((8, 4)) for _ in range(5)]
+        planned = TCUMachine(m=16, ell=7.0, max_rows=16)
+        prog = TensorProgram()
+        outs = [matmul_lazy(planned, prog, X, W) for X in streams]
+        plan = run_program(prog, planned)
+        for X, lazy in zip(streams, outs):
+            assert np.allclose(lazy.result(), X @ W)
+        # pairs of 8-row streams pack into 16-row calls: 5 -> 3
+        assert plan.stats.tensor_calls_planned == 3
+        assert planned.ledger.latency_time == 3 * 7.0
+        # cpu is the 5 accumulation adds only — no split/reassembly copies
+        assert planned.ledger.cpu_time == 5 * 8 * 4
+
+    def test_parallel_complex_charges_match_eager(self, rng):
+        """The batch fast path must not bypass complex cost factors."""
+        A = (rng.random((16, 16)) + 1j * rng.random((16, 16))).astype(complex)
+        B = (rng.random((16, 16)) + 1j * rng.random((16, 16))).astype(complex)
+        eager = ParallelTCUMachine(m=16, ell=5.0, units=4, complex_cost_factor=4)
+        planned = ParallelTCUMachine(m=16, ell=5.0, units=4, complex_cost_factor=4)
+        Ce = matmul(eager, A, B, plan=False)
+        Cp = matmul(planned, A, B, plan=True)
+        assert np.allclose(Ce, Cp)
+        assert planned.ledger.snapshot() == eager.ledger.snapshot()
+
+    def test_parallel_max_rows_split_matches_eager(self, rng):
+        """Row-bounded parallel machines fall back to the splitting
+        primitive instead of the bound-blind batch path."""
+        A = rng.random((40, 8))
+        B = rng.random((8, 8))
+        eager = ParallelTCUMachine(m=64, ell=3.0, units=4, max_rows=16)
+        planned = ParallelTCUMachine(m=64, ell=3.0, units=4, max_rows=16)
+        Ce = matmul(eager, A, B, plan=False)
+        Cp = matmul(planned, A, B, plan=True)
+        assert np.allclose(Ce, Cp)
+        assert planned.ledger.snapshot() == eager.ledger.snapshot()
+
+    def test_extmem_replays_merged_matmul_trace_identically(self, rng):
+        W = rng.random((4, 4))
+        streams = [rng.random((8, 4)) for _ in range(6)]
+        eager = TCUMachine(m=16, ell=3.0)
+        for X in streams:
+            matmul(eager, X, W, plan=False)
+        planned = TCUMachine(m=16, ell=3.0)
+        prog = TensorProgram()
+        for X in streams:
+            matmul_lazy(planned, prog, X, W)
+        run_program(prog, planned)
+        sim_e = simulate_ledger_io(eager.ledger, weak=True)
+        sim_p = simulate_ledger_io(planned.ledger, weak=True)
+        assert sim_p.tensor_ios == sim_e.tensor_ios

@@ -1,0 +1,87 @@
+"""Edge cases of hardware stream splitting (``max_rows``) and the weak
+model's ``mm_tall`` simulation, including the charged padding copies."""
+
+import numpy as np
+
+from repro import TCUMachine, WeakTCUMachine
+
+
+class TestMaxRowsSplitting:
+    def test_exact_max_rows_is_single_call_no_copy(self, rng):
+        machine = TCUMachine(m=16, ell=1.0, max_rows=32)
+        machine.mm(rng.random((32, 4)), rng.random((4, 4)))
+        assert machine.ledger.tensor_calls == 1
+        assert machine.ledger.cpu_time == 0.0  # no split, no copies
+
+    def test_split_cost_is_sum_of_split_calls_plus_copies(self, rng):
+        """20 rows at max_rows=8: calls of 8, 8, then 4 (after padding
+        the 4-row tail up from... the tail is 4 == sqrt(m), no pad)."""
+        machine = TCUMachine(m=16, ell=5.0, max_rows=8)
+        n, s = 20, 4
+        machine.mm(rng.random((n, s)), rng.random((s, s)))
+        assert machine.ledger.tensor_calls == 3
+        assert machine.ledger.tensor_time == (8 + 8 + 4) * s
+        assert machine.ledger.latency_time == 3 * 5.0
+        # the only copy is the reassembled n x sqrt(m) output
+        assert machine.ledger.cpu_time == n * s
+
+    def test_short_tail_pad_charged(self, rng):
+        """18 = 16 + 2 rows: the 2-row tail pads to sqrt(m)=4, costing a
+        sqrt(m) x sqrt(m) copy; the padded call streams 4 rows."""
+        machine = TCUMachine(m=16, ell=1.0, max_rows=16)
+        A = rng.random((18, 4))
+        B = rng.random((4, 4))
+        C = machine.mm(A, B)
+        assert np.allclose(C, A @ B)
+        assert machine.ledger.tensor_calls == 2
+        assert machine.ledger.tensor_time == (16 + 4) * 4
+        assert machine.ledger.cpu_time == 4 * 4 + 18 * 4  # pad + reassembly
+
+    def test_result_correct_across_boundary_shapes(self, rng):
+        for n in (8, 9, 15, 16, 17, 31, 32, 33):
+            machine = TCUMachine(m=16, max_rows=8)
+            A = rng.random((n, 4))
+            B = rng.random((4, 4))
+            assert np.allclose(machine.mm(A, B), A @ B)
+
+
+class TestWeakMMTall:
+    def test_n_equals_sqrt_m_single_call_no_copy(self, rng):
+        weak = WeakTCUMachine(m=16, ell=2.0)
+        A = rng.random((4, 4))
+        B = rng.random((4, 4))
+        assert np.allclose(weak.mm_tall(A, B), A @ B)
+        assert weak.ledger.tensor_calls == 1
+        assert weak.ledger.cpu_time == 0.0
+
+    def test_cost_equals_sum_of_square_calls(self, rng):
+        """n = 12 rows: three square calls, each n*sqrt(m)+l, plus the
+        reassembled output copy."""
+        weak = WeakTCUMachine(m=16, ell=3.0)
+        n, s = 12, 4
+        weak.mm_tall(rng.random((n, s)), rng.random((s, s)))
+        assert weak.ledger.tensor_calls == 3
+        assert weak.ledger.tensor_total == 3 * (s * s + 3.0)
+        assert weak.ledger.cpu_time == n * s
+
+    def test_ragged_final_chunk_padded_and_charged(self, rng):
+        """10 = 4 + 4 + 2 rows: the 2-row tail is padded to a square
+        call; the pad copy (sqrt(m) x sqrt(m)) is RAM work."""
+        weak = WeakTCUMachine(m=16, ell=1.0)
+        A = rng.random((10, 4))
+        B = rng.random((4, 4))
+        assert np.allclose(weak.mm_tall(A, B), A @ B)
+        assert weak.ledger.tensor_calls == 3
+        assert weak.ledger.tensor_time == 3 * 4 * 4  # padded tail streams 4 rows
+        assert weak.ledger.cpu_time == 4 * 4 + 10 * 4  # pad + reassembly
+
+    def test_weak_total_tracks_tall_call_within_constant(self, rng):
+        """Section 5: the simulation overhead stays a constant factor
+        when l = O(m), copies included."""
+        tall = TCUMachine(m=16, ell=16.0)
+        weak = WeakTCUMachine(m=16, ell=16.0)
+        A = rng.random((64, 4))
+        B = rng.random((4, 4))
+        tall.mm(A, B)
+        weak.mm_tall(A, B)
+        assert weak.time <= 3 * tall.time

@@ -1,0 +1,162 @@
+"""Tests for the columnar CallTrace, the aggregate trace mode and
+``calls_summary`` — the O(1)-per-shape accounting for long benches."""
+
+import pytest
+
+from repro import TCUMachine, matmul
+from repro.core.ledger import CallTrace, CostLedger, LedgerError, TensorCall
+from repro.extmem.simulate import simulate_ledger_io
+
+
+class TestCallTrace:
+    def test_columnar_roundtrip(self):
+        trace = CallTrace()
+        trace.record(8, 4, 35.0, 3.0, "phase")
+        trace.record(4, 4, 16.0, 0.0)
+        assert len(trace) == 2
+        assert trace[0] == TensorCall(n=8, sqrt_m=4, time=35.0, latency=3.0, section="phase")
+        assert trace[1].section == ""
+        assert trace[-1].n == 4
+
+    def test_list_equality_and_iteration(self):
+        trace = CallTrace()
+        trace.append(TensorCall(n=8, sqrt_m=4, time=35.0, latency=3.0))
+        assert trace == [TensorCall(n=8, sqrt_m=4, time=35.0, latency=3.0)]
+        assert [c.n for c in trace] == [8]
+        assert trace[0:1] == [trace[0]]
+
+    def test_columns_are_primitive_buffers(self):
+        trace = CallTrace()
+        for i in range(100):
+            trace.record(4 + i, 4, 16.0, 1.0)
+        n_col, s_col, t_col, l_col = trace.columns()
+        assert len(n_col) == 100
+        assert n_col.typecode == "q" and t_col.typecode == "d"
+
+    def test_histogram_by_n(self):
+        trace = CallTrace()
+        for n in (8, 8, 4, 16, 8):
+            trace.record(n, 4, n * 4.0, 0.0)
+        assert trace.histogram_by_n() == {8: 3, 4: 1, 16: 1}
+
+    def test_clear(self):
+        trace = CallTrace()
+        trace.record(8, 4, 35.0, 3.0, "x")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace == []
+
+    def test_out_of_range(self):
+        trace = CallTrace()
+        with pytest.raises(IndexError):
+            trace[0]
+
+
+class TestAggregateMode:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="trace_calls"):
+            CostLedger(trace_calls="everything")
+
+    @pytest.mark.parametrize("mode", [0, 1, 2, None])
+    def test_int_modes_rejected(self, mode):
+        """1 == True and 0 == False, but every mode check is identity:
+        accepting ints would silently trace nothing."""
+        with pytest.raises(ValueError, match="trace_calls"):
+            CostLedger(trace_calls=mode)
+
+    def test_trace_extend_bulk_preserves_sections(self):
+        a, b = CostLedger(), CostLedger()
+        with a.section("alpha"):
+            a.charge_tensor(8, 4, 1.0)
+        with b.section("beta"):
+            b.charge_tensor(4, 4, 2.0)
+        merged = a.merged_with(b)
+        assert [c.section for c in merged.calls] == ["alpha", "beta"]
+
+    def test_counters_exact_with_empty_trace(self, rng):
+        tcu = TCUMachine(m=16, ell=5.0, trace_calls="aggregate")
+        matmul(tcu, rng.random((16, 16)), rng.random((16, 16)))
+        assert len(tcu.ledger.calls) == 0
+        assert tcu.ledger.tensor_calls == 16
+        assert tcu.ledger.latency_time == 5.0 * 16
+
+    def test_shape_totals_match_full_trace(self, rng):
+        full = TCUMachine(m=16, ell=5.0)
+        agg = TCUMachine(m=16, ell=5.0, trace_calls="aggregate")
+        A = rng.random((24, 20))
+        B = rng.random((20, 12))
+        matmul(full, A, B)
+        matmul(agg, A, B)
+        assert agg.ledger.call_shape_totals() == full.ledger.call_shape_totals()
+
+    def test_shape_totals_require_tracing(self):
+        led = CostLedger(trace_calls=False)
+        led.charge_tensor(4, 4, 0.0)
+        with pytest.raises(LedgerError, match="trace"):
+            led.call_shape_totals()
+
+    def test_extmem_replay_from_aggregate(self, rng):
+        full = TCUMachine(m=16, ell=2.0)
+        agg = TCUMachine(m=16, ell=2.0, trace_calls="aggregate")
+        A = rng.random((20, 20))
+        B = rng.random((20, 20))
+        matmul(full, A, B)
+        matmul(agg, A, B)
+        sim_full = simulate_ledger_io(full.ledger, weak=True)
+        sim_agg = simulate_ledger_io(agg.ledger, weak=True)
+        assert sim_agg.tensor_ios == sim_full.tensor_ios
+        assert sim_agg.cpu_ios == sim_full.cpu_ios
+
+    def test_merged_with_degrades_to_aggregate(self):
+        a = CostLedger(trace_calls=True)
+        b = CostLedger(trace_calls="aggregate")
+        a.charge_tensor(8, 4, 1.0)
+        b.charge_tensor(8, 4, 1.0)
+        merged = a.merged_with(b)
+        assert merged.trace_calls == "aggregate"
+        assert merged.call_shape_totals() == {(8, 4): (2, 66.0, 2.0)}
+
+    def test_merged_with_false_wins(self):
+        a = CostLedger(trace_calls=False)
+        b = CostLedger(trace_calls=True)
+        merged = a.merged_with(b)
+        assert merged.trace_calls is False
+
+    def test_reset_clears_aggregate(self):
+        led = CostLedger(trace_calls="aggregate")
+        led.charge_tensor(8, 4, 1.0)
+        led.reset()
+        assert led.call_shape_totals() == {}
+
+
+class TestCallsSummary:
+    def test_summary_full_mode(self, rng):
+        tcu = TCUMachine(m=16, ell=3.0)
+        matmul(tcu, rng.random((16, 16)), rng.random((16, 16)))
+        summary = tcu.ledger.calls_summary()
+        assert summary["count"] == 16
+        assert summary["total_time"] == tcu.ledger.tensor_total
+        assert summary["histogram"] == {16: 16}
+
+    def test_summary_aggregate_mode(self, rng):
+        tcu = TCUMachine(m=16, ell=3.0, trace_calls="aggregate")
+        matmul(tcu, rng.random((16, 16)), rng.random((16, 16)))
+        summary = tcu.ledger.calls_summary()
+        assert summary["count"] == 16
+        assert summary["histogram"] == {16: 16}
+
+    def test_summary_disabled_mode(self):
+        led = CostLedger(trace_calls=False)
+        led.charge_tensor(8, 4, 1.0)
+        summary = led.calls_summary()
+        assert summary["count"] == 1
+        assert summary["total_time"] == 33.0
+        assert summary["histogram"] is None
+
+    def test_aggregate_memory_is_per_shape(self):
+        led = CostLedger(trace_calls="aggregate")
+        for _ in range(10_000):
+            led.charge_tensor(8, 4, 1.0)
+        assert len(led.calls) == 0
+        assert len(led._agg) == 1
+        assert led.calls_summary()["histogram"] == {8: 10_000}

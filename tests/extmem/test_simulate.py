@@ -1,6 +1,5 @@
 """Theorem 12 simulation tests: TCU time <-> external-memory I/Os."""
 
-import numpy as np
 import pytest
 
 from repro import TCUMachine, WeakTCUMachine

@@ -8,7 +8,6 @@ sharing one ledger.
 
 import numpy as np
 import networkx as nx
-import pytest
 
 from repro import TCUMachine, VOLTA_TC, matmul, sparse_mm
 from repro.analysis.fitting import fit_constant, loglog_slope

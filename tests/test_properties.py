@@ -8,7 +8,6 @@ word/limb discipline, and monotonicity/additivity of the cost model.
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
-from hypothesis.extra.numpy import arrays
 
 from repro import TCUMachine
 from repro.arith.intmul import int_multiply
