@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""Run every benchmark at smoke sizes and write a machine-readable
+``BENCH_PR2.json`` tracking the simulator's performance trajectory.
+
+Three sections are produced:
+
+* ``theorems`` — one direct smoke scenario per theorem: wall-clock
+  seconds, charged model time and tensor-call count, so regressions in
+  either real speed or accounting show up side by side.
+* ``exec_paths`` — the Theorem 2 product timed through all four
+  execution paths (eager, planned-unfused, fused, cost-only) with
+  speedups relative to the planned-unfused baseline — the before/after
+  record for the fused-execution work.
+* ``benches`` — every ``benchmarks/bench_*.py`` file run through pytest
+  with ``--benchmark-disable`` (each timed body executes once): per-file
+  wall clock and pass/fail.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--full] [--skip-benches]
+        [--out BENCH_PR2.json]
+
+``--full`` sizes the exec-path comparison at n=1024 (the ISSUE 2
+acceptance size); the default smoke size is n=256 so CI stays fast.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import ParallelTCUMachine, TCUMachine, matmul  # noqa: E402
+from repro.arith.intmul import int_multiply  # noqa: E402
+from repro.arith.karatsuba import karatsuba_multiply  # noqa: E402
+from repro.arith.polyeval import batch_polyeval  # noqa: E402
+from repro.core.program import TensorProgram, run_program  # noqa: E402
+from repro.extmem.simulate import simulate_ledger_io  # noqa: E402
+from repro.graph.apsd import apsd  # noqa: E402
+from repro.graph.closure import transitive_closure  # noqa: E402
+from repro.linalg.gaussian import ge_solve  # noqa: E402
+from repro.matmul.dense import _emit_theorem2, _pad_operands  # noqa: E402
+from repro.matmul.sparse import sparse_mm  # noqa: E402
+from repro.matmul.strassen import strassen_like_mm  # noqa: E402
+from repro.transform.dft import batched_dft  # noqa: E402
+from repro.transform.stencil import heat_equation_weights, stencil_tcu  # noqa: E402
+
+RNG = np.random.default_rng(190_806_649)
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def theorem_scenarios() -> dict[str, dict]:
+    """One smoke run per theorem: wall seconds + charged model time."""
+    out: dict[str, dict] = {}
+
+    def record(name, machine, fn):
+        wall, _ = timed(fn)
+        out[name] = {
+            "wall_s": round(wall, 6),
+            "model_time": machine.ledger.total_time,
+            "tensor_calls": machine.ledger.tensor_calls,
+        }
+        return machine
+
+    A = RNG.random((96, 96))
+    B = RNG.random((96, 96))
+    t = TCUMachine(m=16, ell=32.0)
+    record("thm1_strassen", t, lambda: strassen_like_mm(t, A, B))
+
+    t2 = TCUMachine(m=64, ell=32.0)
+    record("thm2_dense_mm", t2, lambda: matmul(t2, A, B))
+
+    t3 = TCUMachine(m=16, ell=8.0)
+    S = (RNG.random((64, 64)) < 0.05) * RNG.random((64, 64))
+    record("thm3_sparse_mm", t3, lambda: sparse_mm(t3, S, S.T))
+
+    t4 = TCUMachine(m=16, ell=8.0)
+    M = RNG.random((48, 48)) + 48 * np.eye(48)
+    b = RNG.random(48)
+    record("thm4_gaussian", t4, lambda: ge_solve(t4, M, b))
+
+    t5 = TCUMachine(m=16, ell=8.0)
+    adj = (RNG.random((48, 48)) < 0.08).astype(np.int64)
+    np.fill_diagonal(adj, 0)
+    record("thm5_closure", t5, lambda: transitive_closure(t5, adj))
+
+    t6 = TCUMachine(m=16, ell=8.0)
+    sym = np.triu(RNG.random((32, 32)) < 0.2, 1).astype(np.int64)
+    sym = sym | sym.T
+    record("thm6_apsd", t6, lambda: apsd(t6, sym))
+
+    t7 = TCUMachine(m=16, ell=8.0)
+    X = RNG.random((8, 256)) + 1j * RNG.random((8, 256))
+    record("thm7_dft", t7, lambda: batched_dft(t7, X))
+
+    t8 = TCUMachine(m=16, ell=8.0)
+    grid = RNG.random((32, 32))
+    W = heat_equation_weights()
+    record("thm8_stencil", t8, lambda: stencil_tcu(t8, grid, W, 4))
+
+    t9 = TCUMachine(m=16, ell=8.0)
+    a_int = int(RNG.integers(1, 2**62)) << 512
+    b_int = int(RNG.integers(1, 2**62)) << 512
+    record("thm9_intmul", t9, lambda: int_multiply(t9, a_int, b_int))
+
+    t10 = TCUMachine(m=16, ell=8.0)
+    record("thm10_karatsuba", t10, lambda: karatsuba_multiply(t10, a_int, b_int))
+
+    t11 = TCUMachine(m=16, ell=8.0)
+    coeffs = RNG.random(64)
+    points = RNG.random(32)
+    record("thm11_polyeval", t11, lambda: batch_polyeval(t11, coeffs, points))
+
+    t12 = TCUMachine(m=16, ell=8.0)
+    matmul(t12, A, B)
+    wall, io = timed(lambda: simulate_ledger_io(t12.ledger))
+    out["thm12_extmem_replay"] = {
+        "wall_s": round(wall, 6),
+        "model_time": io.model_time,
+        "tensor_calls": io.tensor_calls,
+        "total_ios": io.total_ios,
+    }
+
+    tp = ParallelTCUMachine(m=64, ell=32.0, units=4)
+    record("parallel_batch", tp, lambda: _planned_product(tp, A, B))
+    return out
+
+
+def _planned_product(machine, A, B):
+    program = TensorProgram()
+    lazy = _emit_theorem2(machine, program, *_pad_operands(machine, A, B, True))
+    run_program(program, machine)
+    return lazy.result()
+
+
+def exec_path_comparison(n: int, m: int = 256, ell: float = 32.0) -> dict:
+    """The Theorem 2 product through all four execution paths."""
+    A = RNG.random((n, n))
+    B = RNG.random((n, n))
+
+    eager = TCUMachine(m=m, ell=ell)
+    wall_eager, _ = timed(lambda: matmul(eager, A, B, plan=False))
+
+    unfused = TCUMachine(m=m, ell=ell)
+
+    def run_unfused():
+        program = TensorProgram()
+        lazy = _emit_theorem2(unfused, program, *_pad_operands(unfused, A, B, True))
+        run_program(program, unfused, fused=False)
+        return lazy.result()
+
+    wall_unfused, _ = timed(run_unfused)
+
+    fused = TCUMachine(m=m, ell=ell)
+    wall_fused, _ = timed(lambda: matmul(fused, A, B, plan=True))
+
+    cost = TCUMachine(m=m, ell=ell, execute="cost-only")
+    wall_cost, _ = timed(lambda: matmul(cost, A, B, plan=True))
+
+    wall_numpy, _ = timed(lambda: A @ B)
+
+    ledgers_equal = (
+        eager.ledger.snapshot()
+        == unfused.ledger.snapshot()
+        == fused.ledger.snapshot()
+        == cost.ledger.snapshot()
+    )
+    return {
+        "n": n,
+        "m": m,
+        "ell": ell,
+        "tensor_calls": fused.ledger.tensor_calls,
+        "model_time": fused.ledger.total_time,
+        "ledgers_identical": ledgers_equal,
+        "wall_s": {
+            "numpy_raw": round(wall_numpy, 6),
+            "eager": round(wall_eager, 6),
+            "planned_unfused": round(wall_unfused, 6),
+            "fused": round(wall_fused, 6),
+            "cost_only": round(wall_cost, 6),
+        },
+        "speedup_vs_planned_unfused": {
+            "fused": round(wall_unfused / wall_fused, 2),
+            "cost_only": round(wall_unfused / wall_cost, 2),
+        },
+        "overhead_vs_numpy": {
+            "fused": round(wall_fused / wall_numpy, 2),
+        },
+    }
+
+
+def run_bench_files() -> dict[str, dict]:
+    """Each bench_*.py once through pytest with benchmarking disabled."""
+    out: dict[str, dict] = {}
+    for bench in sorted(REPO.glob("benchmarks/bench_*.py")):
+        t0 = time.perf_counter()
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(bench),
+                "-q",
+                "--benchmark-disable",
+                "-p",
+                "no:cacheprovider",
+            ],
+            cwd=REPO,
+            env={**os.environ, "PYTHONPATH": str(REPO / "src")},
+            capture_output=True,
+            text=True,
+        )
+        out[bench.stem] = {
+            "wall_s": round(time.perf_counter() - t0, 3),
+            "ok": proc.returncode == 0,
+        }
+        if proc.returncode != 0:
+            out[bench.stem]["tail"] = proc.stdout[-2000:]
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="size the exec-path comparison at n=1024 (acceptance size)",
+    )
+    parser.add_argument(
+        "--skip-benches",
+        action="store_true",
+        help="skip the pytest bench files (theorem + path sections only)",
+    )
+    parser.add_argument("--out", default=str(REPO / "BENCH_PR2.json"))
+    args = parser.parse_args(argv)
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "mode": "full" if args.full else "smoke",
+        },
+        "exec_paths": exec_path_comparison(1024 if args.full else 256),
+        "theorems": theorem_scenarios(),
+    }
+    if not args.skip_benches:
+        report["benches"] = run_bench_files()
+
+    Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    paths = report["exec_paths"]
+    print(f"wrote {args.out}")
+    print(
+        "exec paths @ n={n}: unfused {planned_unfused}s -> fused {fused}s, "
+        "cost-only {cost_only}s".format(n=paths["n"], **paths["wall_s"])
+    )
+    print(
+        "speedups vs planned-unfused: fused {fused}x, cost-only {cost_only}x; "
+        "ledgers identical: {ok}".format(
+            ok=paths["ledgers_identical"], **paths["speedup_vs_planned_unfused"]
+        )
+    )
+    failures = [
+        name
+        for name, entry in report.get("benches", {}).items()
+        if not entry["ok"]
+    ]
+    if failures:
+        print("FAILED benches:", ", ".join(failures))
+        return 1
+    if not paths["ledgers_identical"]:
+        print("FAILED: execution paths charged divergent ledgers")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

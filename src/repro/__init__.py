@@ -46,6 +46,7 @@ from .core import (
     TensorProgram,
     TensorShapeError,
     WeakTCUMachine,
+    placeholder,
     run_program,
 )
 from .matmul import (
@@ -68,6 +69,7 @@ __all__ = [
     "WeakTCUMachine",
     "ParallelTCUMachine",
     "QuantizedTCUMachine",
+    "placeholder",
     "parallel_matmul",
     "CostLedger",
     "SystolicArray",

@@ -9,7 +9,7 @@
 """
 
 from .ledger import CallTrace, CostLedger, LedgerError, TensorCall
-from .machine import TCUMachine, TensorShapeError, WeakTCUMachine
+from .machine import TCUMachine, TensorShapeError, WeakTCUMachine, placeholder
 from .parallel import BatchStats, ParallelTCUMachine
 from .program import (
     Lazy,
@@ -51,6 +51,7 @@ __all__ = [
     "TCUMachine",
     "WeakTCUMachine",
     "TensorShapeError",
+    "placeholder",
     "ParallelTCUMachine",
     "BatchStats",
     "QuantizedTCUMachine",

@@ -35,6 +35,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+import numpy as np
+
 __all__ = ["TensorCall", "CallTrace", "CostLedger", "LedgerError"]
 
 
@@ -93,7 +95,15 @@ class CallTrace:
     and referenced by index.
     """
 
-    __slots__ = ("_n", "_sqrt_m", "_time", "_latency", "_section_ids", "_sections")
+    __slots__ = (
+        "_n",
+        "_sqrt_m",
+        "_time",
+        "_latency",
+        "_section_ids",
+        "_sections",
+        "_section_index",
+    )
 
     def __init__(self) -> None:
         self._n = array("q")
@@ -102,25 +112,59 @@ class CallTrace:
         self._latency = array("d")
         self._section_ids = array("l")
         self._sections: list[str] = [""]
+        self._section_index: dict[str, int] = {"": 0}
 
     # ------------------------------------------------------------------
+    def _intern(self, section: str) -> int:
+        """O(1) section-name interning (a dict, not a list scan)."""
+        sid = self._section_index.get(section)
+        if sid is None:
+            sid = len(self._sections)
+            self._sections.append(section)
+            self._section_index[section] = sid
+        return sid
+
     def record(
         self, n: int, sqrt_m: int, time: float, latency: float, section: str = ""
     ) -> None:
         """Append one call from its primitive fields (no object built)."""
-        if section == "":
-            sid = 0
-        else:
-            try:
-                sid = self._sections.index(section)
-            except ValueError:
-                sid = len(self._sections)
-                self._sections.append(section)
+        sid = self._intern(section)
         self._n.append(int(n))
         self._sqrt_m.append(int(sqrt_m))
         self._time.append(float(time))
         self._latency.append(float(latency))
         self._section_ids.append(sid)
+
+    def record_bulk(
+        self,
+        ns: np.ndarray,
+        sqrt_m: int,
+        times: np.ndarray,
+        latency: float,
+        section: str = "",
+    ) -> None:
+        """Append many calls that share ``sqrt_m``/``latency``/``section``
+        in one columnar write (a handful of buffer copies, not k Python
+        calls) — the trace counterpart of
+        :meth:`CostLedger.charge_tensor_bulk`.
+        """
+        ns = np.ascontiguousarray(ns, dtype=np.int64)
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        if ns.ndim != 1 or times.shape != ns.shape:
+            raise LedgerError(
+                f"record_bulk expects matching 1-D columns, got {ns.shape} and {times.shape}"
+            )
+        k = ns.size
+        if k == 0:
+            return
+        sid = self._intern(section)
+        self._n.frombytes(ns.tobytes())
+        self._sqrt_m.frombytes(np.full(k, int(sqrt_m), dtype=np.int64).tobytes())
+        self._time.frombytes(times.tobytes())
+        self._latency.frombytes(np.full(k, float(latency), dtype=np.float64).tobytes())
+        self._section_ids.frombytes(
+            np.full(k, sid, dtype=np.dtype(f"i{self._section_ids.itemsize}")).tobytes()
+        )
 
     def append(self, call: TensorCall) -> None:
         """List-style append of a materialised :class:`TensorCall`."""
@@ -134,13 +178,7 @@ class CallTrace:
             self._sqrt_m.extend(calls._sqrt_m)
             self._time.extend(calls._time)
             self._latency.extend(calls._latency)
-            remap = []
-            for name in calls._sections:
-                try:
-                    remap.append(self._sections.index(name))
-                except ValueError:
-                    remap.append(len(self._sections))
-                    self._sections.append(name)
+            remap = [self._intern(name) for name in calls._sections]
             self._section_ids.extend(remap[sid] for sid in calls._section_ids)
             return
         for call in calls:
@@ -150,6 +188,8 @@ class CallTrace:
         for col in (self._n, self._sqrt_m, self._time, self._latency, self._section_ids):
             del col[:]
         del self._sections[1:]
+        self._section_index.clear()
+        self._section_index[""] = 0
 
     # ------------------------------------------------------------------
     def columns(self) -> tuple[array, array, array, array]:
@@ -157,12 +197,32 @@ class CallTrace:
         buffers for vectorised consumers such as the Theorem 12 replay)."""
         return self._n, self._sqrt_m, self._time, self._latency
 
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy numpy views of ``(n, sqrt_m, time, latency)``.
+
+        Views alias the live buffers and are only valid until the next
+        append (the ``array`` module may reallocate); consumers should
+        treat them as a snapshot.
+        """
+        if not self._n:
+            empty_i = np.empty(0, dtype=np.int64)
+            empty_f = np.empty(0, dtype=np.float64)
+            return empty_i, empty_i, empty_f, empty_f
+        return (
+            np.frombuffer(self._n, dtype=np.int64),
+            np.frombuffer(self._sqrt_m, dtype=np.int64),
+            np.frombuffer(self._time, dtype=np.float64),
+            np.frombuffer(self._latency, dtype=np.float64),
+        )
+
     def histogram_by_n(self) -> dict[int, int]:
-        """Call count per left-operand height ``n``."""
-        hist: dict[int, int] = {}
-        for n in self._n:
-            hist[n] = hist.get(n, 0) + 1
-        return hist
+        """Call count per left-operand height ``n`` (one ``np.unique``
+        over the columnar buffer, not a Python loop)."""
+        ns = self.as_arrays()[0]
+        if ns.size == 0:
+            return {}
+        values, counts = np.unique(ns, return_counts=True)
+        return dict(zip(values.tolist(), counts.tolist()))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -259,6 +319,44 @@ class CostLedger:
         self.record_call(n, sqrt_m, total, float(latency))
         return total
 
+    def charge_tensor_bulk(self, ns: np.ndarray, sqrt_m: int, latency: float) -> float:
+        """Charge many tensor calls at once: the vectorised counterpart of
+        :meth:`charge_tensor`.
+
+        ``ns`` holds the per-call row counts; every call shares
+        ``sqrt_m`` and ``latency``.  Counters advance by the same totals
+        a loop of :meth:`charge_tensor` would produce and the trace gets
+        the same k rows, but via one columnar append instead of k Python
+        calls.  Totals are bit-identical to the sequential loop whenever
+        the charges are integer-valued floats (every call cost in the
+        model is ``n*sqrt_m + l`` with integer ``n*sqrt_m``), which the
+        path-equivalence tests pin down.
+
+        Returns the total model time charged.
+        """
+        ns = np.asarray(ns, dtype=np.int64)
+        if ns.ndim != 1:
+            raise LedgerError(f"charge_tensor_bulk expects a 1-D row-count array, got {ns.shape}")
+        k = int(ns.size)
+        if k == 0:
+            return 0.0
+        s = int(sqrt_m)
+        if int(ns.min()) < s:
+            raise LedgerError(
+                f"tensor call requires n >= sqrt(m); got min n={int(ns.min())}, sqrt(m)={s}"
+            )
+        if latency < 0:
+            raise LedgerError(f"negative latency {latency!r}")
+        throughput = float(int(ns.sum()) * s)
+        latency_total = float(latency) * k
+        self.tensor_time += throughput
+        self.latency_time += latency_total
+        self.tensor_calls += k
+        total = throughput + latency_total
+        self._bump_sections(total)
+        self.record_calls_bulk(ns, s, ns * float(s) + float(latency), float(latency))
+        return total
+
     def record_call(self, n: int, sqrt_m: int, time: float, latency: float) -> None:
         """Trace one call under the active mode (no counters touched).
 
@@ -275,6 +373,28 @@ class CostLedger:
             bucket[0] += 1
             bucket[1] += time
             bucket[2] += latency
+
+    def record_calls_bulk(
+        self, ns: np.ndarray, sqrt_m: int, times: np.ndarray, latency: float
+    ) -> None:
+        """Bulk trace append under the active mode (no counters touched):
+        the vectorised counterpart of :meth:`record_call`, used by
+        :meth:`charge_tensor_bulk` and the parallel batch executor."""
+        if self.trace_calls is True:
+            section = self._section_stack[-1] if self._section_stack else ""
+            self.calls.record_bulk(ns, int(sqrt_m), times, latency, section)
+        elif self.trace_calls == "aggregate":
+            ns = np.asarray(ns, dtype=np.int64)
+            times = np.asarray(times, dtype=np.float64)
+            values, inverse, counts = np.unique(
+                ns, return_inverse=True, return_counts=True
+            )
+            time_sums = np.bincount(inverse, weights=times)
+            for v, c, t in zip(values.tolist(), counts.tolist(), time_sums.tolist()):
+                bucket = self._agg.setdefault((v, int(sqrt_m)), [0, 0.0, 0.0])
+                bucket[0] += c
+                bucket[1] += t
+                bucket[2] += latency * c
 
     def charge_cpu(self, ops: float) -> float:
         """Charge ``ops`` units of RAM-model work (one unit per word op)."""
@@ -323,14 +443,23 @@ class CostLedger:
         if self.trace_calls == "aggregate":
             return {k: (int(v[0]), v[1], v[2]) for k, v in self._agg.items()}
         if self.trace_calls is True:
-            out: dict[tuple[int, int], list[float]] = {}
-            n_col, s_col, t_col, l_col = self.calls.columns()
-            for n, s, t, lat in zip(n_col, s_col, t_col, l_col):
-                bucket = out.setdefault((n, s), [0, 0.0, 0.0])
-                bucket[0] += 1
-                bucket[1] += t
-                bucket[2] += lat
-            return {k: (int(v[0]), v[1], v[2]) for k, v in out.items()}
+            n, s, t, lat = self.calls.as_arrays()
+            if n.size == 0:
+                return {}
+            # vectorised group-by over the columnar buffers: unique
+            # (n, sqrt_m) pairs, then bincount-reduced time and latency
+            keys = np.stack([n, s], axis=1)
+            uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+            inverse = inverse.reshape(-1)
+            counts = np.bincount(inverse)
+            time_sums = np.bincount(inverse, weights=t)
+            lat_sums = np.bincount(inverse, weights=lat)
+            return {
+                (int(un), int(us)): (int(c), float(ts), float(ls))
+                for (un, us), c, ts, ls in zip(
+                    uniq.tolist(), counts.tolist(), time_sums.tolist(), lat_sums.tolist()
+                )
+            }
         raise LedgerError(
             "ledger was created with trace_calls=False; no per-shape totals"
         )

@@ -32,11 +32,26 @@ from .ledger import CostLedger
 from .systolic import SystolicArray
 from .words import WordSpec, check_no_overflow
 
-__all__ = ["TCUMachine", "WeakTCUMachine", "TensorShapeError"]
+__all__ = ["TCUMachine", "WeakTCUMachine", "TensorShapeError", "placeholder"]
 
 
 class TensorShapeError(ValueError):
     """Operand shapes violate the tensor-unit interface of Section 3."""
+
+
+def placeholder(shape, dtype=np.float64) -> np.ndarray:
+    """A read-only, O(1)-storage stand-in array for ``execute="cost-only"`` runs.
+
+    A zero-strided broadcast view of a single zero scalar: it carries a
+    real ``shape``/``dtype`` (so shape validation, dtype promotion and
+    complex-cost detection behave exactly as with data) and reads as all
+    zeros, but occupies constant memory no matter how large the shape —
+    cost studies can therefore be driven at sizes where numeric operands
+    would no longer fit.  Writes fail (the view is read-only); reshapes
+    that cannot be expressed as views fall back to (cheap, data-sized)
+    copies of zeros.
+    """
+    return np.broadcast_to(np.zeros((), dtype=np.dtype(dtype)), tuple(shape))
 
 
 class TCUMachine:
@@ -65,6 +80,14 @@ class TCUMachine:
         ``"numpy"`` executes tensor calls with ``@``; ``"systolic"``
         executes them cycle-by-cycle on :class:`SystolicArray` (slow,
         used to validate that the primitive matches Figure 1).
+    execute:
+        ``"numeric"`` (default) computes every tensor-call product;
+        ``"cost-only"`` charges the identical model time and call trace
+        but skips all numeric tensor work, returning O(1)-storage
+        :func:`placeholder` arrays instead of products.  Cost/latency
+        studies then run at ledger speed and scale to sizes where the
+        numeric arrays would no longer fit; outputs are meaningless (all
+        zeros), only the accounting is preserved.
     check_overflow:
         When true, integer tensor-call outputs are checked against the
         kappa-bit accumulator bound.
@@ -82,6 +105,7 @@ class TCUMachine:
         max_rows: int | None = None,
         complex_cost_factor: int = 1,
         backend: Literal["numpy", "systolic"] = "numpy",
+        execute: Literal["numeric", "cost-only"] = "numeric",
         check_overflow: bool = False,
         ledger: CostLedger | None = None,
         trace_calls: bool = True,
@@ -101,6 +125,8 @@ class TCUMachine:
             raise ValueError("complex_cost_factor must be >= 1")
         if backend not in ("numpy", "systolic"):
             raise ValueError(f"unknown backend {backend!r}")
+        if execute not in ("numeric", "cost-only"):
+            raise ValueError(f"unknown execute mode {execute!r}")
         self.m = int(m)
         self.sqrt_m = sqrt_m
         self.ell = float(ell)
@@ -108,6 +134,7 @@ class TCUMachine:
         self.max_rows = max_rows
         self.complex_cost_factor = int(complex_cost_factor)
         self.backend = backend
+        self.execute = execute
         self.check_overflow = bool(check_overflow)
         self.ledger = ledger if ledger is not None else CostLedger(trace_calls=trace_calls)
         self._words: WordSpec | None = None
@@ -172,6 +199,8 @@ class TCUMachine:
         if is_complex and calls >= 4:
             # two extra real additions of n x sqrt(m) partial products
             self.ledger.charge_cpu(2 * n * s)
+        if self.execute == "cost-only":
+            return placeholder((n, s), np.result_type(A.dtype, B.dtype))
         if self.backend == "systolic":
             C = self._systolic_mm(A, B)
         else:
@@ -205,7 +234,134 @@ class TCUMachine:
                 pieces.append(self._mm_single(chunk, B))
         if len(pieces) > 1:
             self.ledger.charge_cpu(n * s)
+        if self.execute == "cost-only":
+            return placeholder((n, s), np.result_type(A.dtype, B.dtype))
         return np.vstack(pieces)
+
+    @property
+    def fusable(self) -> bool:
+        """True when stacked grid products are exactly equivalent to a
+        loop of single calls on this machine: the numpy backend with an
+        unmodified call entry point and kernel.  Subclasses that
+        customise either the interface (the weak model's square-only
+        ``mm``) or the per-call numerics (quantisation) are
+        automatically excluded, so the fused executors fall back to the
+        scalar primitive for them.
+        """
+        return (
+            self.backend == "numpy"
+            and type(self).mm is TCUMachine.mm
+            and type(self)._mm_single is TCUMachine._mm_single
+        )
+
+    def charge_mm_grid(self, n: int, k: int, dtype) -> None:
+        """Charge ``k`` tensor calls of ``n`` rows each in one vectorised
+        ledger append — the bulk-charging rule of :meth:`mm_grid`,
+        shared with fused kernels (e.g. the Theorem 2 contraction in
+        :func:`repro.matmul.dense.matmul`) that compute the same grid by
+        other numeric means.  Applies the complex-cost factor exactly as
+        the scalar :meth:`mm` does, including the two extra real
+        additions per 4-product complex call.
+        """
+        s = self.sqrt_m
+        is_complex = np.issubdtype(np.dtype(dtype), np.complexfloating)
+        factor = self.complex_cost_factor if is_complex else 1
+        self.ledger.charge_tensor_bulk(
+            np.full(k * factor, n, dtype=np.int64), s, self.ell
+        )
+        if is_complex and factor >= 4:
+            # two extra real additions of n x sqrt(m) partials per call
+            self.ledger.charge_cpu(2 * n * s * k)
+
+    def mm_grid(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """A whole grid of independent tensor calls as one stacked product.
+
+        ``A`` is ``(..., n, sqrt(m))`` and ``B`` is
+        ``(..., sqrt(m), sqrt(m))``; the leading dimensions broadcast
+        under numpy rules and every broadcast element is one tensor-unit
+        invocation of ``n`` rows.  The entire grid is charged through a
+        single vectorised
+        :meth:`~repro.core.ledger.CostLedger.charge_tensor_bulk` (one
+        columnar trace append, not k Python-level charges) and executed
+        as one ``np.matmul`` — this is how the Theorem 2 strip-by-block
+        grid and the planned-program levels run at hardware speed.
+        Charges, traces and results are identical to looping
+        :meth:`mm` over the grid elements.
+
+        Grids the fast path cannot express exactly — streams longer than
+        ``max_rows`` (the hardware splits them), the systolic backend,
+        or a subclass with custom call numerics — fall back to that loop
+        transparently.  In ``execute="cost-only"`` mode the product is
+        skipped and an O(1)-storage :func:`placeholder` is returned.
+        """
+        A = np.asarray(A)
+        B = np.asarray(B)
+        s = self.sqrt_m
+        if A.ndim < 2 or B.ndim < 2:
+            raise TensorShapeError(
+                f"grid operands must be at least 2-D, got {A.ndim}-D and {B.ndim}-D"
+            )
+        n = A.shape[-2]
+        if A.shape[-1] != s:
+            raise TensorShapeError(
+                f"left operands must have sqrt(m)={s} columns, got {A.shape[-1]}"
+            )
+        if B.shape[-2:] != (s, s):
+            raise TensorShapeError(
+                f"right operands must be {s}x{s}, got {B.shape[-2]}x{B.shape[-1]}"
+            )
+        if n < s:
+            raise TensorShapeError(
+                f"left operands must have n >= sqrt(m)={s} rows, got {n}"
+            )
+        try:
+            lead = np.broadcast_shapes(A.shape[:-2], B.shape[:-2])
+        except ValueError as exc:
+            raise TensorShapeError(
+                f"grid shapes {A.shape} and {B.shape} do not broadcast"
+            ) from exc
+        dtype = np.result_type(A.dtype, B.dtype)
+        out_shape = lead + (n, s)
+        k = 1
+        for dim in lead:
+            k *= dim
+        if k == 0:
+            return np.zeros(out_shape, dtype=dtype)
+
+        # Cost-only charging never depends on the numeric kernel, so only
+        # a hardware row bound (whose splits change the charge structure)
+        # forces the per-element path there; numeric execution also falls
+        # back for non-fusable kernels (systolic, quantised, ...).
+        splits = self.max_rows is not None and n > self.max_rows
+        if splits or (self.execute != "cost-only" and not self.fusable):
+            # element-by-element through the scalar primitive: identical
+            # charges (including per-chunk stream splits) and semantics
+            Ab = np.broadcast_to(A, lead + (n, s))
+            Bb = np.broadcast_to(B, lead + (s, s))
+            if self.execute == "cost-only":
+                for idx in np.ndindex(*lead):
+                    self.mm(Ab[idx], Bb[idx])
+                return placeholder(out_shape, dtype)
+            out = np.empty(out_shape, dtype=dtype)
+            for idx in np.ndindex(*lead):
+                out[idx] = self.mm(Ab[idx], Bb[idx])
+            return out
+
+        self.charge_mm_grid(n, k, dtype)
+        if self.execute == "cost-only":
+            return placeholder(out_shape, dtype)
+        if A.ndim == 2 and B.ndim == 3:
+            # one shared stream against k resident blocks: a single GEMM
+            # against the horizontally concatenated blocks beats k tiny
+            # batched products by an order of magnitude
+            kb = B.shape[0]
+            C2 = A @ B.transpose(1, 0, 2).reshape(s, kb * s)
+            C = C2.reshape(n, kb, s).transpose(1, 0, 2)
+        else:
+            C = np.matmul(A, B)
+        if self.check_overflow and np.issubdtype(C.dtype, np.integer):
+            check_no_overflow(C, self.words)
+        return C
 
     def _systolic_mm(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         if self._systolic is None or self._systolic.sqrt_m != self.sqrt_m:
@@ -243,6 +399,7 @@ class TCUMachine:
             max_rows=self.max_rows,
             complex_cost_factor=self.complex_cost_factor,
             backend=self.backend,
+            execute=self.execute,
             check_overflow=self.check_overflow,
             trace_calls=self.ledger.trace_calls,
         )
@@ -273,6 +430,16 @@ class WeakTCUMachine(TCUMachine):
                 f"(sqrt(m)={self.sqrt_m}); split the stream explicitly"
             )
         return super().mm(A, B)
+
+    def mm_grid(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        A = np.asarray(A)
+        if A.ndim >= 2 and A.shape[-2] != self.sqrt_m:
+            raise TensorShapeError(
+                "weak TCU model multiplies only sqrt(m) x sqrt(m) matrices; "
+                f"got grid left operands with {A.shape[-2]} rows "
+                f"(sqrt(m)={self.sqrt_m}); split the streams explicitly"
+            )
+        return super().mm_grid(A, B)
 
     def mm_tall(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
         """The Section 5 simulation of a tall call: split ``A`` into

@@ -28,11 +28,12 @@ The obvious consequences the benches measure:
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from .machine import TCUMachine, TensorShapeError
+from .machine import TCUMachine, TensorShapeError, placeholder
 
 __all__ = ["ParallelTCUMachine", "BatchStats"]
 
@@ -94,10 +95,10 @@ class ParallelTCUMachine(TCUMachine):
             self.last_batch = BatchStats(0, 0.0, 0.0, 0)
             return []
         s = self.sqrt_m
-        costs = []
-        for A, B in pairs:
-            A = np.asarray(A)
-            B = np.asarray(B)
+        k = len(pairs)
+        pairs = [(np.asarray(A), np.asarray(B)) for A, B in pairs]
+        ns = np.empty(k, dtype=np.int64)
+        for i, (A, B) in enumerate(pairs):
             if A.ndim != 2 or A.shape[1] != s or B.shape != (s, s):
                 raise TensorShapeError(
                     f"batch operand shapes {A.shape} @ {B.shape} violate the "
@@ -107,43 +108,63 @@ class ParallelTCUMachine(TCUMachine):
                 raise TensorShapeError(
                     f"batch left operand has {A.shape[0]} rows < sqrt(m)={s}"
                 )
-            costs.append(float(A.shape[0]) * s + self.ell)
+            ns[i] = A.shape[0]
+        costs = ns * float(s) + self.ell
 
-        # LPT: sort decreasing, assign to the earliest-free unit.
-        order = sorted(range(len(costs)), key=lambda i: -costs[i])
-        heap = [(0.0, u) for u in range(min(self.units, len(costs)))]
-        heapq.heapify(heap)
-        finish = [0.0] * len(costs)
-        used = set()
-        for idx in order:
-            free_at, unit = heapq.heappop(heap)
-            finish[idx] = free_at + costs[idx]
-            used.add(unit)
-            heapq.heappush(heap, (finish[idx], unit))
-        makespan = max(finish)
-        serial = sum(costs)
+        if k <= self.units:
+            # every call gets its own unit
+            makespan = float(costs.max())
+            used = k
+        elif np.all(ns == ns[0]):
+            # equal-cost batch: LPT degenerates to round-robin, so the
+            # makespan is ceil(k / p) sequential calls on the fullest
+            # unit (summed term by term, matching the heap exactly)
+            rounds = math.ceil(k / self.units)
+            cost = float(costs[0])
+            makespan = 0.0
+            for _ in range(rounds):
+                makespan += cost
+            used = min(self.units, k)
+        else:
+            # LPT: sort decreasing, assign to the earliest-free unit.
+            order = np.argsort(-costs, kind="stable")
+            heap = [(0.0, u) for u in range(min(self.units, k))]
+            heapq.heapify(heap)
+            makespan = 0.0
+            used_units = set()
+            for idx in order:
+                free_at, unit = heapq.heappop(heap)
+                finish = free_at + float(costs[idx])
+                makespan = max(makespan, finish)
+                used_units.add(unit)
+                heapq.heappush(heap, (finish, unit))
+            used = len(used_units)
+        serial = float(costs.sum())
 
         # Charge the makespan, split between throughput and latency in
         # the same proportion as the serial costs, keeping call counts
-        # exact for trace-based consumers.
+        # exact for trace-based consumers.  The trace rows land in one
+        # columnar append, not k Python calls.
         scale = makespan / serial if serial else 0.0
-        throughput_total = sum(c - self.ell for c in costs)
+        throughput_total = float(int(ns.sum()) * s)
         self.ledger.tensor_time += throughput_total * scale
-        self.ledger.latency_time += self.ell * len(costs) * scale
-        self.ledger.tensor_calls += len(costs)
+        self.ledger.latency_time += self.ell * k * scale
+        self.ledger.tensor_calls += k
         self.ledger._bump_sections(makespan)
-        for (A, _), cost in zip(pairs, costs):
-            self.ledger.record_call(
-                int(np.asarray(A).shape[0]), s, cost * scale, self.ell * scale
-            )
+        self.ledger.record_calls_bulk(ns, s, costs * scale, self.ell * scale)
 
         self.last_batch = BatchStats(
-            calls=len(costs),
+            calls=k,
             serial_time=serial,
             makespan=makespan,
-            units_used=len(used),
+            units_used=used,
         )
-        return [np.asarray(A) @ np.asarray(B) for A, B in pairs]
+        if self.execute == "cost-only":
+            return [
+                placeholder((A.shape[0], s), np.result_type(A.dtype, B.dtype))
+                for A, B in pairs
+            ]
+        return [A @ B for A, B in pairs]
 
     def fork(self) -> "ParallelTCUMachine":
         """A machine with identical parameters (including the unit
@@ -156,6 +177,7 @@ class ParallelTCUMachine(TCUMachine):
             max_rows=self.max_rows,
             complex_cost_factor=self.complex_cost_factor,
             backend=self.backend,
+            execute=self.execute,
             check_overflow=self.check_overflow,
             trace_calls=self.ledger.trace_calls,
         )

@@ -57,7 +57,7 @@ from typing import Callable, Iterable, Sequence, Union
 
 import numpy as np
 
-from .machine import TCUMachine, TensorShapeError
+from .machine import TCUMachine, TensorShapeError, placeholder
 from .parallel import ParallelTCUMachine
 
 __all__ = [
@@ -319,6 +319,13 @@ class Plan:
     stats: PlanStats
 
 
+def _buffer_key(arr: np.ndarray) -> tuple:
+    """Identity of an ndarray's memory (data pointer, shape, strides,
+    typestr): two arrays with equal keys alias the same elements."""
+    iface = arr.__array_interface__
+    return (iface["data"][0], arr.shape, iface["strides"], iface["typestr"])
+
+
 def _resident_key(op: TensorOp) -> tuple:
     """Identity of an mm op's resident block plus cost-relevant dtype
     information, used to decide merge groups.
@@ -332,8 +339,7 @@ def _resident_key(op: TensorOp) -> tuple:
     if isinstance(b, TensorOp):
         b_key: tuple = ("op", id(b))
     else:
-        iface = b.__array_interface__
-        b_key = ("arr", iface["data"][0], b.shape, iface["strides"], iface["typestr"])
+        b_key = ("arr",) + _buffer_key(b)
     return b_key + (np.dtype(op.dtype).str,)
 
 
@@ -472,51 +478,173 @@ def _scatter_group(group: list[TensorOp], out: np.ndarray) -> None:
         offset += rows
 
 
-def execute_plan(plan: Plan, machine: TCUMachine) -> None:
-    """Run a plan, charging the machine's ledger through the ordinary
-    eager entry points (`mm` / `mm_batch`), and populate ``op.value`` on
-    every node.
+def _scatter_placeholders(group: list[TensorOp]) -> None:
+    for op in group:
+        op.value = placeholder(op.shape, op.dtype)
 
-    On a :class:`~repro.core.parallel.ParallelTCUMachine`, each level's
-    merged calls are issued as one :meth:`mm_batch` (LPT over the ready
-    ops); on a sequential machine they run in program order.
+
+def _group_rows(group: list[TensorOp]) -> int:
+    return sum(op.shape[0] for op in group)
+
+
+def _dispatch_parallel(
+    groups: list[list[TensorOp]], machine: ParallelTCUMachine, cost_only: bool
+) -> None:
+    """One level on a parallel machine: a single LPT batch when the
+    batch pricing matches machine semantics, scalar calls otherwise."""
+    s = machine.sqrt_m
+    if cost_only:
+        pairs = [
+            (
+                placeholder((_group_rows(g), s), g[0].dtype),
+                placeholder((s, s), g[0].dtype),
+            )
+            for g in groups
+        ]
+    else:
+        pairs = [(_group_operands(g), _resolve(g[0].b)) for g in groups]
+    # mm_batch prices every call at n*sqrt(m) + l with a plain numpy
+    # product; route through the single-call primitive instead whenever
+    # that would skip machine semantics (complex cost factors, hardware
+    # row bounds, overflow checks, the systolic backend).
+    batchable = (
+        machine.backend == "numpy"
+        and machine.max_rows is None
+        and not machine.check_overflow
+        and not any(np.iscomplexobj(A) or np.iscomplexobj(B) for A, B in pairs)
+    )
+    if batchable:
+        results = machine.mm_batch(pairs)
+        for g, out in zip(groups, results):
+            if cost_only:
+                _scatter_placeholders(g)
+            else:
+                _scatter_group(g, out)
+    else:
+        for g, (A, B) in zip(groups, pairs):
+            out = machine.mm(A, B)
+            if cost_only:
+                _scatter_placeholders(g)
+            else:
+                _scatter_group(g, out)
+
+
+def _dispatch_grid(groups: list[list[TensorOp]], machine: TCUMachine) -> None:
+    """One level on a sequential machine, fused: bucket the merged call
+    groups and issue each bucket as one :meth:`TCUMachine.mm_grid`.
+
+    Calls sharing a left operand buffer (e.g. the same Theorem 2 strip
+    streamed against many resident blocks) become one broadcast grid —
+    their stacked right operands ride a single ``np.matmul`` without
+    duplicating the stream — and the remaining equal-height calls are
+    stacked into one grid per ``(rows, dtype)`` bucket.  Charges equal
+    the per-op loop exactly; trace rows may land in a different order
+    within the level (the per-shape totals are unchanged).
     """
+    s = machine.sqrt_m
+    cost_only = machine.execute == "cost-only"
+    if cost_only:
+        buckets: dict[tuple, list[list[TensorOp]]] = {}
+        for g in groups:
+            n_g = _group_rows(g)
+            if machine.max_rows is not None and n_g > machine.max_rows:
+                # the hardware would split this stream: scalar call so
+                # the per-chunk charges match the eager path
+                dt = np.dtype(g[0].dtype)
+                machine.mm(placeholder((n_g, s), dt), placeholder((s, s), dt))
+                _scatter_placeholders(g)
+                continue
+            buckets.setdefault((n_g, np.dtype(g[0].dtype).str), []).append(g)
+        for (n_g, _), bucket in buckets.items():
+            dt = np.dtype(bucket[0][0].dtype)
+            machine.mm_grid(
+                placeholder((len(bucket), n_g, s), dt),
+                placeholder((len(bucket), s, s), dt),
+            )
+            for g in bucket:
+                _scatter_placeholders(g)
+        return
+
+    by_a: dict[tuple, list[tuple[list[TensorOp], np.ndarray, np.ndarray]]] = {}
+    for g in groups:
+        A = _group_operands(g)
+        B = _resolve(g[0].b)
+        if not machine.fusable or (
+            machine.max_rows is not None and A.shape[0] > machine.max_rows
+        ):
+            _scatter_group(g, machine.mm(A, B))
+            continue
+        key = _buffer_key(A) + (np.result_type(A, B).str,)
+        by_a.setdefault(key, []).append((g, A, B))
+
+    singles: dict[tuple, list[tuple[list[TensorOp], np.ndarray, np.ndarray]]] = {}
+    for items in by_a.values():
+        if len(items) == 1:
+            g, A, B = items[0]
+            singles.setdefault((A.shape[0], np.result_type(A, B).str), []).append(
+                items[0]
+            )
+            continue
+        # shared stream: broadcast it against the stacked resident blocks
+        A = items[0][1]
+        out = machine.mm_grid(A, np.stack([B for _, _, B in items]))
+        for (g, _, _), C in zip(items, out):
+            _scatter_group(g, C)
+    for items in singles.values():
+        if len(items) == 1:
+            g, A, B = items[0]
+            _scatter_group(g, machine.mm_grid(A, B))
+            continue
+        out = machine.mm_grid(
+            np.stack([A for _, A, _ in items]), np.stack([B for _, _, B in items])
+        )
+        for (g, _, _), C in zip(items, out):
+            _scatter_group(g, C)
+
+
+def execute_plan(plan: Plan, machine: TCUMachine, *, fused: bool = True) -> None:
+    """Run a plan, charging the machine's ledger, and populate
+    ``op.value`` on every node.
+
+    With ``fused=True`` (default) each level's merged call groups are
+    bucketed and issued through the bulk :meth:`TCUMachine.mm_grid`
+    primitive — one stacked numpy product and one vectorised ledger
+    charge per bucket instead of a Python-level call per op.
+    ``fused=False`` replays the per-group scalar schedule (the
+    pre-fusion executor, kept as the equivalence reference).  On a
+    :class:`~repro.core.parallel.ParallelTCUMachine`, each level's
+    merged calls are issued as one :meth:`mm_batch` (LPT over the ready
+    ops) in either mode.
+
+    On a machine with ``execute="cost-only"`` all numeric work is
+    skipped: call groups are charged from their shapes alone and every
+    op's value becomes an O(1)-storage placeholder, so programs whose
+    arrays would not fit in memory still charge exact ledger totals.
+    """
+    cost_only = machine.execute == "cost-only"
     for groups, others in plan.levels:
         if groups:
             if isinstance(machine, ParallelTCUMachine) and len(groups) > 1:
-                pairs = [
-                    (_group_operands(g), _resolve(g[0].b)) for g in groups
-                ]
-                # mm_batch prices every call at n*sqrt(m) + l with a
-                # plain numpy product; route through the single-call
-                # primitive instead whenever that would skip machine
-                # semantics (complex cost factors, hardware row bounds,
-                # overflow checks, the systolic backend).
-                batchable = (
-                    machine.backend == "numpy"
-                    and machine.max_rows is None
-                    and not machine.check_overflow
-                    and not any(
-                        np.iscomplexobj(A) or np.iscomplexobj(B) for A, B in pairs
-                    )
-                )
-                if batchable:
-                    results = machine.mm_batch(pairs)
-                    for g, out in zip(groups, results):
-                        _scatter_group(g, out)
-                else:
-                    for g, (A, B) in zip(groups, pairs):
-                        _scatter_group(g, machine.mm(A, B))
+                _dispatch_parallel(groups, machine, cost_only)
+            elif fused:
+                _dispatch_grid(groups, machine)
             else:
                 for g in groups:
                     out = machine.mm(_group_operands(g), _resolve(g[0].b))
-                    _scatter_group(g, out)
+                    if cost_only:
+                        _scatter_placeholders(g)
+                    else:
+                        _scatter_group(g, out)
         for op in others:
+            words = 1
+            for dim in op.shape:
+                words *= dim
             if op.kind == "add":
+                if cost_only:
+                    machine.charge_cpu(words * len(op.terms))
+                    op.value = placeholder(op.shape, op.dtype)
+                    continue
                 out = np.zeros(op.shape, dtype=op.dtype)
-                words = 1
-                for dim in op.shape:
-                    words *= dim
                 for coef, src in op.terms:
                     val = _resolve(src)
                     if coef == 1.0:
@@ -528,6 +656,10 @@ def execute_plan(plan: Plan, machine: TCUMachine) -> None:
                     machine.charge_cpu(words)
                 op.value = out
             elif op.kind == "copy":
+                if cost_only:
+                    machine.charge_cpu(words)
+                    op.value = placeholder(op.shape, op.dtype)
+                    continue
                 val = _resolve(op.a)
                 op.value = np.array(val, copy=True)
                 machine.charge_cpu(op.value.size)
@@ -540,8 +672,9 @@ def run_program(
     machine: TCUMachine,
     *,
     merge: bool = True,
+    fused: bool = True,
 ) -> Plan:
     """Plan then execute a program; returns the plan (for its stats)."""
     plan = plan_program(program, machine, merge=merge)
-    execute_plan(plan, machine)
+    execute_plan(plan, machine, fused=fused)
     return plan

@@ -89,10 +89,11 @@ def simulate_ledger_io(ledger: CostLedger, *, weak: bool = True) -> TCUSimulatio
                 _call_ios(np.int64(n), np.int64(s), weak)
             )
     else:
-        n_col, s_col, _, _ = ledger.calls.columns()
-        n = np.asarray(n_col, dtype=np.int64)
-        s = np.asarray(s_col, dtype=np.int64)
-        tensor_ios = int(_call_ios(n, s, weak).sum()) if len(n) else 0
+        # zero-copy views of the columnar trace: the replay reads the
+        # ledger's buffers directly, so even million-call (or bulk
+        # cost-only) traces replay in a few vectorised passes
+        n, s, _, _ = ledger.calls.as_arrays()
+        tensor_ios = int(_call_ios(n, s, weak).sum()) if n.size else 0
     cpu_ios = int(ledger.cpu_time)
     return TCUSimulationIO(
         tensor_ios=tensor_ios,

@@ -72,6 +72,12 @@ def seidel(
     the recursion exceeds the ceil(log2 n) + 1 levels a connected graph
     can need) or the adjacency matrix is not symmetric 0/1.
     """
+    if tcu.execute == "cost-only":
+        raise ValueError(
+            "Seidel's recursion depth depends on the squared-graph values, "
+            "so execute='cost-only' cannot reproduce its charges; use a "
+            "numeric machine (the fused executor still batches its leaves)"
+        )
     A = np.asarray(adjacency)
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
         raise ValueError(f"adjacency must be square, got {A.shape}")

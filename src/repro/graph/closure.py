@@ -44,6 +44,9 @@ __all__ = ["transitive_closure"]
 def _closure_block(tcu: TCUMachine, X: np.ndarray) -> None:
     """Kernel A: in-place closure of the diagonal block (Figure 7)."""
     s = X.shape[0]
+    if tcu.execute == "cost-only":
+        tcu.charge_cpu(2 * s * s * s)
+        return
     for k in range(s):
         X |= np.outer(X[:, k], X[k, :])
         tcu.charge_cpu(s * s * 2)
@@ -52,6 +55,9 @@ def _closure_block(tcu: TCUMachine, X: np.ndarray) -> None:
 def _row_block(tcu: TCUMachine, X: np.ndarray, Y: np.ndarray) -> None:
     """Kernel B: ``X_kj |= X_kk-paths``, in place."""
     s = X.shape[0]
+    if tcu.execute == "cost-only":
+        tcu.charge_cpu(2 * s * s * s)
+        return
     for k in range(s):
         X |= np.outer(Y[:, k], X[k, :])
         tcu.charge_cpu(s * s * 2)
@@ -60,6 +66,9 @@ def _row_block(tcu: TCUMachine, X: np.ndarray, Y: np.ndarray) -> None:
 def _col_block(tcu: TCUMachine, X: np.ndarray, Y: np.ndarray) -> None:
     """Kernel C: ``X_ik |= paths-through-X_kk``, in place."""
     s = X.shape[0]
+    if tcu.execute == "cost-only":
+        tcu.charge_cpu(2 * s * s * s)
+        return
     for k in range(s):
         X |= np.outer(X[:, k], Y[k, :])
         tcu.charge_cpu(s * s * 2)
@@ -88,6 +97,11 @@ def transitive_closure(
 
     The vertex count need not divide by ``sqrt(m)``; padding vertices
     are isolated and cropped from the result.
+
+    Every iteration's structure is value-independent, so on a machine
+    with ``execute="cost-only"`` the full Figure 7 cost is charged (all
+    kernels and trailing tensor calls) while the numeric closure work is
+    skipped; the returned matrix is then meaningless.
     """
     A = np.asarray(adjacency)
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
@@ -141,9 +155,10 @@ def transitive_closure(
                     tasks.append((jj, seg, op))
             run_program(program, tcu)
             for jj, seg, op in tasks:
-                strip = work[seg, jj]
                 # X <- min(X + Y*Z, 1): integer product + clamp
-                np.minimum(strip + op.result(), 1, out=strip)
+                if tcu.execute != "cost-only":
+                    strip = work[seg, jj]
+                    np.minimum(strip + op.result(), 1, out=strip)
                 tcu.charge_cpu(2 * (seg.stop - seg.start) * s)
             continue
         for j in range(nb):
@@ -157,6 +172,7 @@ def transitive_closure(
                 prod = tcu.mm(tall, Z)
                 strip = work[seg, jj]
                 # X <- min(X + Y*Z, 1): integer product + clamp
-                np.minimum(strip + prod, 1, out=strip)
+                if tcu.execute != "cost-only":
+                    np.minimum(strip + prod, 1, out=strip)
                 tcu.charge_cpu(2 * (seg.stop - seg.start) * s)
     return work[:n, :n]

@@ -80,6 +80,12 @@ def ge_forward(tcu: TCUMachine, X: np.ndarray, *, overwrite: bool = False) -> np
     with an identity block, which eliminates trivially and is cropped
     from the result.
     """
+    if tcu.execute == "cost-only":
+        raise ValueError(
+            "Gaussian elimination divides by the pivot values it computes, "
+            "so execute='cost-only' cannot reproduce its charges; use a "
+            "numeric machine"
+        )
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2 or X.shape[0] != X.shape[1]:
         raise ValueError(f"ge_forward expects a square matrix, got {X.shape}")

@@ -32,7 +32,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.machine import TCUMachine
+from ..core.machine import TCUMachine, placeholder
+from ..core.parallel import ParallelTCUMachine
 from ..core.program import Lazy, TensorProgram, run_program
 from .schedule import ceil_to_multiple, pad_matrix, padded_copy_cost, theorem2_tasks
 
@@ -100,6 +101,35 @@ def _emit_theorem2(
     return Lazy(assemble)
 
 
+def _charge_theorem2_grid(tcu: TCUMachine, p_pad: int, kq: int, kr: int, dtype) -> None:
+    """Charge the whole Theorem 2 grid — ``kq * kr`` tall calls of
+    ``p_pad`` rows (the machine's bulk grid rule) plus the per-partial
+    strip accumulations — exactly as the per-task loop would."""
+    tcu.charge_mm_grid(p_pad, kq * kr, dtype)
+    tcu.charge_cpu(kq * kr * p_pad * tcu.sqrt_m)  # the C_{i,j} accumulations
+
+
+def _matmul_fused(tcu: TCUMachine, Ap: np.ndarray, Bp: np.ndarray) -> np.ndarray:
+    """The Theorem 2 strip-by-block grid as one fused contraction.
+
+    The strips ``A_i`` and blocks ``B_{i,j}`` are strided views of the
+    padded operands, so the whole grid is a single tensordot (which
+    lowers to one GEMM) — the per-call products and the ``sum_i C_{i,j}``
+    strip accumulations fuse into it.  Charges are identical to issuing
+    the ``kq * kr`` calls through :meth:`TCUMachine.mm` one by one.
+    """
+    s = tcu.sqrt_m
+    p_pad, q_pad = Ap.shape
+    r_pad = Bp.shape[1]
+    kq, kr = q_pad // s, r_pad // s
+    dtype = np.result_type(Ap.dtype, Bp.dtype)
+    _charge_theorem2_grid(tcu, p_pad, kq, kr, dtype)
+    strips = Ap.reshape(p_pad, kq, s).transpose(1, 0, 2)  # (i, p, k) views
+    blocks = Bp.reshape(kq, s, kr, s).transpose(0, 2, 1, 3)  # (i, j, k, t)
+    C = np.tensordot(strips, blocks, axes=((0, 2), (0, 2)))  # (p, j, t)
+    return C.reshape(p_pad, r_pad)
+
+
 def matmul(
     tcu: TCUMachine,
     A: np.ndarray,
@@ -120,10 +150,20 @@ def matmul(
         Charge the RAM-model cost of materialising padded copies (on by
         default; disable only inside algorithms that pre-pad).
     plan:
-        Build the schedule as a lazy program and execute it through the
-        planner (the default; cost-identical for a lone product, batched
-        on parallel machines).  ``False`` executes each tensor call
-        eagerly as the schedule produces it.
+        Dispatch the whole schedule through the fused grid kernel (the
+        default): one vectorised ledger charge and one stacked numpy
+        contraction for the entire strip-by-block grid, cost-identical
+        to the eager loop.  Machines the fused kernel cannot express
+        exactly (parallel batch accounting, hardware row bounds that
+        split the stream, the systolic backend, quantised kernels) fall
+        back to the planned :class:`~repro.core.program.TensorProgram`
+        path.  ``False`` executes each tensor call eagerly as the
+        schedule produces it.
+
+    On a machine with ``execute="cost-only"`` the product is never
+    computed: the schedule's exact model cost is charged from shapes
+    alone and an O(1)-storage placeholder is returned, so sweeps can run
+    at ledger speed on operands that are themselves placeholders.
 
     Notes
     -----
@@ -137,8 +177,40 @@ def matmul(
     _, r = B.shape
     if p == 0 or q == 0 or r == 0:
         return np.zeros((p, r), dtype=np.result_type(A.dtype, B.dtype))
-    Ap, Bp = _pad_operands(tcu, A, B, charge_padding)
     s = tcu.sqrt_m
+    p_pad = max(p, s)
+    q_pad = ceil_to_multiple(q, s)
+    r_pad = ceil_to_multiple(r, s)
+    cost_only = tcu.execute == "cost-only"
+    direct = (
+        plan
+        and not isinstance(tcu, ParallelTCUMachine)
+        and (tcu.max_rows is None or p_pad <= tcu.max_rows)
+        # machines that restrict the call interface itself (the weak
+        # model's square-only mm) must keep validating every call
+        and type(tcu).mm is TCUMachine.mm
+        # the fused contraction sums partials before any value exists to
+        # check, so overflow-checked machines take the program path
+        # (whose grid primitive checks every stacked product)
+        and not tcu.check_overflow
+        and (cost_only or tcu.fusable)
+    )
+
+    if direct and cost_only:
+        # never materialise the padded copies: charge the schedule from
+        # shapes alone (the operands may themselves be placeholders)
+        if charge_padding:
+            tcu.charge_cpu(
+                padded_copy_cost(A, p_pad, q_pad) + padded_copy_cost(B, q_pad, r_pad)
+            )
+        dtype = np.result_type(A.dtype, B.dtype)
+        _charge_theorem2_grid(tcu, p_pad, q_pad // s, r_pad // s, dtype)
+        return placeholder((p, r), dtype)
+
+    Ap, Bp = _pad_operands(tcu, A, B, charge_padding)
+
+    if direct:
+        return _matmul_fused(tcu, Ap, Bp)[:p, :r]
 
     if plan:
         program = TensorProgram()

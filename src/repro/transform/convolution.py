@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.machine import TCUMachine
+from ..core.machine import TCUMachine, placeholder
 from .dft import batched_dft, batched_idft
 
 __all__ = [
@@ -46,11 +46,14 @@ def circular_convolve(
         )
     fa = batched_dft(tcu, a[None, :], plan=plan)
     fb = batched_dft(tcu, b[None, :], plan=plan)
-    prod = fa * fb
+    cost_only = tcu.execute == "cost-only"
+    prod = placeholder(fa.shape, np.complex128) if cost_only else fa * fb
     tcu.charge_cpu(a.size)
     out = batched_idft(tcu, prod, plan=plan)[0]
     if not (np.iscomplexobj(a) or np.iscomplexobj(b)):
-        out = out.real
+        # real inputs give a real result (dtype preserved in cost-only
+        # so downstream consumers see the same array kind)
+        out = placeholder(out.shape, np.float64) if cost_only else out.real
         tcu.charge_cpu(a.size)
     return out
 
@@ -58,10 +61,16 @@ def circular_convolve(
 def dft2(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
     """2-D DFT of a ``(batch, S, S)`` stack: row transforms then column
     transforms, each as one batched (tall) 1-D DFT."""
-    X = np.asarray(X, dtype=np.complex128)
+    X = np.asarray(X)
     if X.ndim != 3 or X.shape[1] != X.shape[2]:
         raise ValueError(f"dft2 expects a (batch, S, S) stack, got {X.shape}")
     T, S, _ = X.shape
+    if tcu.execute == "cost-only":
+        # shape-only: two batched transform passes, no re-arrangements
+        batched_dft(tcu, placeholder((T * S, S), np.complex128), plan=plan)
+        batched_dft(tcu, placeholder((T * S, S), np.complex128), plan=plan)
+        return placeholder((T, S, S), np.complex128)
+    X = np.asarray(X, dtype=np.complex128)
     # axis re-arrangements are index arithmetic (fused in a RAM
     # implementation); the transform passes below carry the cost.
     rows = batched_dft(tcu, X.reshape(T * S, S), plan=plan).reshape(T, S, S)
@@ -72,10 +81,15 @@ def dft2(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
 
 def idft2(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
     """Inverse 2-D DFT of a ``(batch, S, S)`` stack."""
-    X = np.asarray(X, dtype=np.complex128)
+    X = np.asarray(X)
     if X.ndim != 3 or X.shape[1] != X.shape[2]:
         raise ValueError(f"idft2 expects a (batch, S, S) stack, got {X.shape}")
     T, S, _ = X.shape
+    if tcu.execute == "cost-only":
+        batched_idft(tcu, placeholder((T * S, S), np.complex128), plan=plan)
+        batched_idft(tcu, placeholder((T * S, S), np.complex128), plan=plan)
+        return placeholder((T, S, S), np.complex128)
+    X = np.asarray(X, dtype=np.complex128)
     rows = batched_idft(tcu, X.reshape(T * S, S), plan=plan).reshape(T, S, S)
     cols = rows.transpose(0, 2, 1).reshape(T * S, S)
     out = batched_idft(tcu, cols, plan=plan).reshape(T, S, S).transpose(0, 2, 1)
@@ -149,12 +163,17 @@ def batched_circular_convolve2d(
     reversed_ker[np.ix_(idx, idx)] = embedded  # reversed_ker[-t, -u] = embedded[t, u]
     tcu.charge_cpu(2 * S * S)
 
+    cost_only = tcu.execute == "cost-only"
     f_tiles = dft2(tcu, tiles, plan=plan)
     f_ker = dft2(tcu, reversed_ker[None, :, :], plan=plan)[0]
-    prod = f_tiles * f_ker[None, :, :]
+    if cost_only:
+        prod = placeholder(f_tiles.shape, np.complex128)
+    else:
+        prod = f_tiles * f_ker[None, :, :]
     tcu.charge_cpu(tiles.size)
     out = idft2(tcu, prod, plan=plan)
     if not (np.iscomplexobj(tiles) or np.iscomplexobj(kernel)):
-        out = out.real
+        # real inputs give a real result (dtype preserved in cost-only)
+        out = placeholder(out.shape, np.float64) if cost_only else out.real
         tcu.charge_cpu(tiles.size)
     return out

@@ -29,7 +29,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from ..core.machine import TCUMachine
+from ..core.machine import TCUMachine, placeholder
 from ..matmul.dense import matmul
 
 __all__ = [
@@ -81,9 +81,15 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndar
     ``plan=False`` is the eager escape hatch, threaded down to
     :func:`repro.matmul.dense.matmul`.
     """
-    X = np.asarray(X, dtype=np.complex128)
+    X = np.asarray(X)
     if X.ndim != 2:
         raise ValueError(f"batched_dft expects a 2-D (batch, size) array, got {X.shape}")
+    if tcu.execute == "cost-only":
+        # only the shape matters; casting would materialise a full-size
+        # complex copy of what may be an O(1)-storage placeholder
+        X = placeholder(X.shape, np.complex128)
+    else:
+        X = np.asarray(X, dtype=np.complex128)
     B, size = X.shape
     if size == 0 or B == 0:
         return X.copy()
@@ -98,22 +104,29 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndar
             "sqrt(m) | size at every recursion level (use power-of-two sizes)"
         )
     n1, n2 = s, size // s
+    cost_only = tcu.execute == "cost-only"
 
     # Column DFTs: view each row as an n1 x n2 matrix; its columns,
     # transposed, form a tall (B*n2) x n1 operand against W_{n1}.
     # The strided re-arrangements are index arithmetic in the RAM model
     # (a real implementation fuses them into the next pass), so only
     # the twiddle multiplication is charged per element per level.
-    cols = X.reshape(B, n1, n2).transpose(0, 2, 1).reshape(B * n2, n1)
+    if cost_only:
+        cols = placeholder((B * n2, n1), np.complex128)
+    else:
+        cols = X.reshape(B, n1, n2).transpose(0, 2, 1).reshape(B * n2, n1)
     tcu.charge_cpu(n1 * n1)
     G = matmul(tcu, cols, dft_matrix(n1), plan=plan)  # row b*n2+c holds DFT of column c
 
     # Twiddle factors: entry (r=p, c) of each n1 x n2 matrix gets
     # exp(-2*pi*i * p*c / size).
+    tcu.charge_cpu(B * size)
+    if cost_only:
+        batched_dft(tcu, placeholder((B * n1, n2), np.complex128), plan=plan)
+        return placeholder((B, size), np.complex128)
     c_idx = np.tile(np.arange(n2), B)[:, None]
     p_idx = np.arange(n1)[None, :]
     G = G * np.exp(-2j * np.pi * (c_idx * p_idx) / size)
-    tcu.charge_cpu(B * size)
 
     # Row DFTs: rows of the n1 x n2 matrices, batch B*n1, size n2.
     rows = G.reshape(B, n2, n1).transpose(0, 2, 1).reshape(B * n1, n2)
@@ -126,12 +139,18 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndar
 
 def batched_idft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
     """Inverse DFT of every row (conjugation trick; same cost bound)."""
-    X = np.asarray(X, dtype=np.complex128)
+    X = np.asarray(X)
     if X.ndim != 2:
         raise ValueError(f"batched_idft expects a 2-D array, got {X.shape}")
+    if tcu.execute != "cost-only":
+        X = np.asarray(X, dtype=np.complex128)
     size = X.shape[1]
     if size == 0:
-        return X.copy()
+        return np.zeros(X.shape, dtype=np.complex128)
+    if tcu.execute == "cost-only":
+        batched_dft(tcu, placeholder(X.shape, np.complex128), plan=plan)
+        tcu.charge_cpu(X.size)
+        return placeholder(X.shape, np.complex128)
     out = np.conj(batched_dft(tcu, np.conj(X), plan=plan)) / size
     tcu.charge_cpu(X.size)
     return out
