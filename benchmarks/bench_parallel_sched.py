@@ -1,0 +1,213 @@
+"""E19 (extension) — multi-unit scheduling sweep, writing ``BENCH_PR3.json``.
+
+Three sections back the ISSUE 3 batch-cost-semantics fix:
+
+* ``policies`` — LPT / round-robin / greedy-online makespans against the
+  exact brute-force oracle on small batches, with the Graham
+  (4/3 - 1/(3p)) guarantee checked on every instance;
+* ``speedups`` — planned theorem kernels (dense MM, DFT, stencil,
+  transitive closure) swept over the unit count p, recording model time
+  and speedup-vs-p curves;
+* ``parity`` — batch-vs-serial ledger parity per machine configuration
+  (plain, max_rows, complex-cost, cost-only): hardware call counts,
+  per-shape trace totals and CPU charges must be identical, so any
+  divergence fails the bench (and the CI job that runs it).
+
+Smoke-sized by default so CI stays fast; set ``BENCH_SCHED_FULL=1`` for
+the larger sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import utilization_table
+from repro.analysis.tables import render_table
+from repro.core.machine import TCUMachine
+from repro.core.parallel import ParallelTCUMachine
+from repro.core.scheduling import lpt_bound, schedule_batch
+from repro.graph.apsd import apsd
+from repro.graph.closure import transitive_closure
+from repro.matmul.dense import matmul
+from repro.matmul.strassen import strassen_like_mm
+from repro.transform.dft import batched_dft
+from repro.transform.stencil import heat_equation_weights, stencil_tcu
+
+REPO = Path(__file__).resolve().parent.parent
+FULL = bool(int(os.environ.get("BENCH_SCHED_FULL", "0")))
+SIDE = 96 if FULL else 32
+UNIT_SWEEP = (1, 2, 4, 8, 16) if FULL else (1, 2, 4, 8)
+
+REPORT: dict = {
+    "mode": "full" if FULL else "smoke",
+    "policies": {},
+    "speedups": {},
+    "parity": {},
+}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def write_bench_pr3():
+    """Dump whatever the session accumulated, pass or fail."""
+    yield
+    out = REPO / "BENCH_PR3.json"
+    out.write_text(json.dumps(REPORT, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+
+
+def _kernels(rng):
+    """Cost-only-safe planned kernels (one per theorem family)."""
+    A = rng.random((SIDE, SIDE))
+    B = rng.random((SIDE, SIDE))
+    X = rng.random((8, 64)) + 1j * rng.random((8, 64))
+    grid = rng.random((16, 16))
+    adj = (rng.random((24, 24)) < 0.15).astype(np.int64)
+    np.fill_diagonal(adj, 0)
+    W = heat_equation_weights()
+    return {
+        "thm2_dense_mm": lambda mach: matmul(mach, A, B),
+        "thm7_dft": lambda mach: batched_dft(mach, X),
+        "thm8_stencil": lambda mach: stencil_tcu(mach, grid, W, 2),
+        "thm5_closure": lambda mach: transitive_closure(mach, adj),
+    }
+
+
+def _numeric_only_kernels(rng):
+    """Value-dependent / numeric-path kernels (reject cost-only)."""
+    A = rng.random((32, 32))
+    B = rng.random((32, 32))
+    n = 20
+    sym = np.zeros((n, n), dtype=np.int64)
+    for i in range(n):  # connected ring plus random chords for Seidel
+        sym[i, (i + 1) % n] = 1
+    chords = rng.integers(0, n, size=(8, 2))
+    for a, b in chords:
+        if a != b:
+            sym[a, b] = 1
+    sym = sym | sym.T
+    return {
+        "thm1_strassen": lambda mach: strassen_like_mm(mach, A, B),
+        "thm6_apsd": lambda mach: apsd(mach, sym),
+    }
+
+
+def test_policy_comparison_against_exact_oracle(benchmark, rng, record):
+    batches = {
+        "equal": np.full(9, 40.0),
+        "skewed": rng.integers(8, 200, size=9).astype(float),
+        "two_giants": np.array([400.0, 380.0, 20.0, 20.0, 20.0, 20.0, 20.0]),
+    }
+    units = 3
+    benchmark(lambda: schedule_batch(batches["skewed"], units, "lpt"))
+
+    rows = []
+    for name, costs in batches.items():
+        opt = schedule_batch(costs, units, "exact")
+        entry = {"units": units, "exact_makespan": opt.makespan}
+        for policy in ("lpt", "greedy", "round-robin"):
+            sched = schedule_batch(costs, units, policy)
+            gap = sched.makespan / opt.makespan
+            entry[policy] = {
+                "makespan": sched.makespan,
+                "utilization": round(sched.utilization, 4),
+                "gap_vs_exact": round(gap, 4),
+            }
+            rows.append([name, policy, sched.makespan, sched.utilization, gap])
+            if policy == "lpt":
+                assert sched.makespan <= lpt_bound(units) * opt.makespan + 1e-9
+            assert opt.makespan <= sched.makespan + 1e-9
+        REPORT["policies"][name] = entry
+    record(
+        "e19_policies",
+        render_table(
+            ["batch", "policy", "makespan", "utilisation", "gap vs exact"],
+            rows,
+            title=f"E19: scheduling policies vs the exact oracle, p={units}",
+        ),
+    )
+
+
+def test_speedup_vs_units_per_theorem(benchmark, rng, record):
+    kernels = _kernels(rng)
+    benchmark(lambda: kernels["thm2_dense_mm"](ParallelTCUMachine(m=16, ell=16.0, units=4)))
+
+    kernels.update(_numeric_only_kernels(rng))
+    rows = []
+    for name, fn in kernels.items():
+        times = {}
+        for p in UNIT_SWEEP:
+            machine = ParallelTCUMachine(m=16, ell=16.0, units=p)
+            fn(machine)
+            times[p] = machine.time
+        base = times[UNIT_SWEEP[0]]
+        REPORT["speedups"][name] = {
+            str(p): {"model_time": times[p], "speedup": round(base / times[p], 4)}
+            for p in UNIT_SWEEP
+        }
+        for p in UNIT_SWEEP:
+            rows.append([name, p, times[p], base / times[p]])
+        # more units never slow the wall clock down
+        ordered = [times[p] for p in UNIT_SWEEP]
+        assert all(a >= b - 1e-9 for a, b in zip(ordered, ordered[1:]))
+    record(
+        "e19_speedup_vs_p",
+        render_table(
+            ["kernel", "units p", "model time", "speedup vs p=1"],
+            rows,
+            title=f"E19: planned theorem kernels over the unit sweep (side={SIDE})",
+        ),
+    )
+
+
+CONFIGS = {
+    "plain": {},
+    "max_rows": {"max_rows": 20},
+    "complex_cost": {"complex_cost_factor": 4},
+    "cost_only": {"execute": "cost-only"},
+}
+
+
+@pytest.mark.parametrize("config", list(CONFIGS))
+def test_batch_vs_serial_ledger_parity(rng, config):
+    """The acceptance gate CI runs: for every machine configuration the
+    planned parallel run charges the same hardware calls, per-shape
+    trace totals and CPU work as the serial machine — only the clock
+    (makespan vs serial sum) may differ."""
+    params = dict(m=16, ell=16.0, **CONFIGS[config])
+    kernels = dict(_kernels(rng))
+    if config != "cost_only":  # Seidel/Strassen paths are value-dependent
+        kernels.update(_numeric_only_kernels(rng))
+    for name, fn in kernels.items():
+        serial = TCUMachine(**params)
+        fn(serial)
+        par = ParallelTCUMachine(units=4, **params)
+        fn(par)
+        checks = {
+            "tensor_calls_equal": par.ledger.tensor_calls == serial.ledger.tensor_calls,
+            "shape_totals_equal": par.ledger.call_shape_totals()
+            == serial.ledger.call_shape_totals(),
+            "cpu_time_equal": par.ledger.cpu_time == serial.ledger.cpu_time,
+            "clock_not_slower": par.time <= serial.time + 1e-9,
+            "model_time_serial": serial.time,
+            "model_time_parallel": par.time,
+        }
+        REPORT["parity"][f"{config}/{name}"] = checks
+        assert checks["tensor_calls_equal"], f"{config}/{name}: call counts diverge"
+        assert checks["shape_totals_equal"], f"{config}/{name}: trace totals diverge"
+        assert checks["cpu_time_equal"], f"{config}/{name}: CPU charges diverge"
+        assert checks["clock_not_slower"], f"{config}/{name}: batch slower than serial"
+
+
+def test_utilization_report_rendered(rng, record):
+    machine = ParallelTCUMachine(m=16, ell=8.0, units=4)
+    machine.mm_batch(
+        [(rng.random((8 * (1 + i % 3), 4)), rng.random((4, 4))) for i in range(10)]
+    )
+    text = utilization_table(machine.last_schedule)
+    assert "makespan" in text
+    record("e19_utilization", text)

@@ -35,19 +35,24 @@ from .core import (
     TEST_UNIT,
     TPU_V1,
     VOLTA_TC,
+    BatchStats,
     CostLedger,
     MachineSpec,
     ParallelTCUMachine,
     Plan,
     PlanStats,
     QuantizedTCUMachine,
+    Schedule,
     SystolicArray,
     TCUMachine,
     TensorProgram,
     TensorShapeError,
     WeakTCUMachine,
+    available_schedulers,
+    get_scheduler,
     placeholder,
     run_program,
+    schedule_batch,
 )
 from .matmul import (
     CLASSICAL_2X2,
@@ -69,6 +74,11 @@ __all__ = [
     "WeakTCUMachine",
     "ParallelTCUMachine",
     "QuantizedTCUMachine",
+    "BatchStats",
+    "Schedule",
+    "schedule_batch",
+    "get_scheduler",
+    "available_schedulers",
     "placeholder",
     "parallel_matmul",
     "CostLedger",

@@ -25,7 +25,7 @@ from .formulas import (
     thm10_karatsuba,
     thm11_polyeval,
 )
-from .report import compile_report
+from .report import compile_report, utilization_table
 from .tables import format_number, render_kv, render_table
 
 __all__ = [
@@ -54,4 +54,5 @@ __all__ = [
     "render_kv",
     "format_number",
     "compile_report",
+    "utilization_table",
 ]

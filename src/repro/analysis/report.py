@@ -15,7 +15,11 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
-__all__ = ["compile_report", "main"]
+import numpy as np
+
+from .tables import render_table
+
+__all__ = ["compile_report", "utilization_table", "main"]
 
 _SECTION_ORDER = [
     ("e1_", "Figure 1 / Section 2.2 — systolic array"),
@@ -36,7 +40,45 @@ _SECTION_ORDER = [
     ("e16_", "Extension — parallel tensor units"),
     ("e17_", "Extension — limited precision"),
     ("e18_", "Extension — scan / reduction / triangles"),
+    ("e19_", "Extension — multi-unit scheduling"),
 ]
+
+
+def utilization_table(schedule, *, title: str | None = None) -> str:
+    """Per-unit utilisation report for one scheduled batch.
+
+    Takes the :class:`~repro.core.scheduling.Schedule` a
+    :class:`~repro.core.parallel.ParallelTCUMachine` exposes as
+    ``last_schedule`` and renders each unit's timeline — calls served,
+    busy time, busy share of the makespan — followed by the batch-level
+    makespan, pool utilisation and the policy's optimality-gap bound.
+    ``None`` (what ``last_schedule`` holds before any batch, or after
+    an empty one) renders as a one-line stub instead of crashing.
+    """
+    if schedule is None:
+        return (title or "per-unit utilisation") + "\n(no batch scheduled)"
+    counts = np.bincount(schedule.assignment, minlength=schedule.units)
+    span = schedule.makespan
+    rows = [
+        [
+            u,
+            int(counts[u]),
+            float(schedule.unit_times[u]),
+            float(schedule.unit_times[u]) / span if span else 0.0,
+        ]
+        for u in range(schedule.units)
+    ]
+    header = title or (
+        f"per-unit utilisation — policy={schedule.policy}, p={schedule.units}"
+    )
+    table = render_table(["unit", "calls", "busy time", "busy share"], rows, title=header)
+    gap = "n/a" if schedule.gap_bound is None else f"{schedule.gap_bound:.4g}"
+    summary = (
+        f"makespan {schedule.makespan:g} | serial {schedule.serial_time:g} | "
+        f"speedup {schedule.speedup:.3g} | utilisation {schedule.utilization:.3g} | "
+        f"gap bound {gap}"
+    )
+    return table + "\n" + summary
 
 
 def compile_report(results_dir: Path) -> str:

@@ -1,16 +1,30 @@
 """Core of the reproduction: the simulated (m, l)-TCU machine.
 
-* :mod:`repro.core.ledger`   -- model-time accounting
-* :mod:`repro.core.program`  -- lazy TensorProgram IR, planner, executor
-* :mod:`repro.core.machine`  -- the (m, l)-TCU and the weak model of §5
-* :mod:`repro.core.systolic` -- cycle-level systolic array (Figure 1)
-* :mod:`repro.core.words`    -- kappa-bit word discipline (§4.7)
-* :mod:`repro.core.presets`  -- TPUv1 / Volta-TC parameterisations (§3.1)
+* :mod:`repro.core.ledger`     -- model-time accounting
+* :mod:`repro.core.program`    -- lazy TensorProgram IR, planner, executor
+* :mod:`repro.core.machine`    -- the (m, l)-TCU and the weak model of §5
+* :mod:`repro.core.scheduling` -- multi-unit scheduling policies (§6)
+* :mod:`repro.core.systolic`   -- cycle-level systolic array (Figure 1)
+* :mod:`repro.core.words`      -- kappa-bit word discipline (§4.7)
+* :mod:`repro.core.presets`    -- TPUv1 / Volta-TC parameterisations (§3.1)
 """
 
 from .ledger import CallTrace, CostLedger, LedgerError, TensorCall
 from .machine import TCUMachine, TensorShapeError, WeakTCUMachine, placeholder
 from .parallel import BatchStats, ParallelTCUMachine
+from .scheduling import (
+    BruteForceScheduler,
+    GreedyOnlineScheduler,
+    LPTScheduler,
+    RoundRobinScheduler,
+    Schedule,
+    SchedulerPolicy,
+    available_schedulers,
+    get_scheduler,
+    lpt_bound,
+    register_scheduler,
+    schedule_batch,
+)
 from .program import (
     Lazy,
     Plan,
@@ -54,6 +68,17 @@ __all__ = [
     "placeholder",
     "ParallelTCUMachine",
     "BatchStats",
+    "Schedule",
+    "SchedulerPolicy",
+    "LPTScheduler",
+    "RoundRobinScheduler",
+    "GreedyOnlineScheduler",
+    "BruteForceScheduler",
+    "schedule_batch",
+    "get_scheduler",
+    "register_scheduler",
+    "available_schedulers",
+    "lpt_bound",
     "QuantizedTCUMachine",
     "QuantizationErrorStats",
     "quantize_array",

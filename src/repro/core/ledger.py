@@ -65,6 +65,10 @@ class TensorCall:
     section:
         Name of the innermost ledger section active at call time
         (empty string when none), useful for attributing cost.
+    unit:
+        Tensor unit the call ran on when it was issued through a
+        scheduled :meth:`~repro.core.parallel.ParallelTCUMachine.mm_batch`
+        (``-1`` for serial calls, which all run on the single unit).
     """
 
     n: int
@@ -72,6 +76,7 @@ class TensorCall:
     time: float
     latency: float
     section: str = ""
+    unit: int = -1
 
     @property
     def words_moved(self) -> int:
@@ -101,6 +106,7 @@ class CallTrace:
         "_time",
         "_latency",
         "_section_ids",
+        "_units",
         "_sections",
         "_section_index",
     )
@@ -111,6 +117,7 @@ class CallTrace:
         self._time = array("d")
         self._latency = array("d")
         self._section_ids = array("l")
+        self._units = array("q")
         self._sections: list[str] = [""]
         self._section_index: dict[str, int] = {"": 0}
 
@@ -125,7 +132,13 @@ class CallTrace:
         return sid
 
     def record(
-        self, n: int, sqrt_m: int, time: float, latency: float, section: str = ""
+        self,
+        n: int,
+        sqrt_m: int,
+        time: float,
+        latency: float,
+        section: str = "",
+        unit: int = -1,
     ) -> None:
         """Append one call from its primitive fields (no object built)."""
         sid = self._intern(section)
@@ -134,19 +147,25 @@ class CallTrace:
         self._time.append(float(time))
         self._latency.append(float(latency))
         self._section_ids.append(sid)
+        self._units.append(int(unit))
 
     def record_bulk(
         self,
         ns: np.ndarray,
         sqrt_m: int,
         times: np.ndarray,
-        latency: float,
+        latency: float | np.ndarray,
         section: str = "",
+        units: np.ndarray | None = None,
     ) -> None:
-        """Append many calls that share ``sqrt_m``/``latency``/``section``
-        in one columnar write (a handful of buffer copies, not k Python
-        calls) — the trace counterpart of
-        :meth:`CostLedger.charge_tensor_bulk`.
+        """Append many calls that share ``sqrt_m``/``section`` in one
+        columnar write (a handful of buffer copies, not k Python calls)
+        — the trace counterpart of
+        :meth:`CostLedger.charge_tensor_bulk`.  ``latency`` is a shared
+        scalar or a per-call column (batch executors replay captured
+        traces whose rows may carry differing latencies).  ``units``
+        optionally carries the per-call tensor-unit assignment of a
+        scheduled batch (``-1``, the default, marks serial calls).
         """
         ns = np.ascontiguousarray(ns, dtype=np.int64)
         times = np.ascontiguousarray(times, dtype=np.float64)
@@ -157,18 +176,35 @@ class CallTrace:
         k = ns.size
         if k == 0:
             return
+        if np.ndim(latency) == 0:
+            lat_col = np.full(k, float(latency), dtype=np.float64)
+        else:
+            lat_col = np.ascontiguousarray(latency, dtype=np.float64)
+            if lat_col.shape != ns.shape:
+                raise LedgerError(
+                    f"record_bulk latency column has shape {lat_col.shape}, expected {ns.shape}"
+                )
+        if units is None:
+            unit_col = np.full(k, -1, dtype=np.int64)
+        else:
+            unit_col = np.ascontiguousarray(units, dtype=np.int64)
+            if unit_col.shape != ns.shape:
+                raise LedgerError(
+                    f"record_bulk units column has shape {unit_col.shape}, expected {ns.shape}"
+                )
         sid = self._intern(section)
         self._n.frombytes(ns.tobytes())
         self._sqrt_m.frombytes(np.full(k, int(sqrt_m), dtype=np.int64).tobytes())
         self._time.frombytes(times.tobytes())
-        self._latency.frombytes(np.full(k, float(latency), dtype=np.float64).tobytes())
+        self._latency.frombytes(lat_col.tobytes())
         self._section_ids.frombytes(
             np.full(k, sid, dtype=np.dtype(f"i{self._section_ids.itemsize}")).tobytes()
         )
+        self._units.frombytes(unit_col.tobytes())
 
     def append(self, call: TensorCall) -> None:
         """List-style append of a materialised :class:`TensorCall`."""
-        self.record(call.n, call.sqrt_m, call.time, call.latency, call.section)
+        self.record(call.n, call.sqrt_m, call.time, call.latency, call.section, call.unit)
 
     def extend(self, calls: "CallTrace | list[TensorCall]") -> None:
         if isinstance(calls, CallTrace):
@@ -178,6 +214,7 @@ class CallTrace:
             self._sqrt_m.extend(calls._sqrt_m)
             self._time.extend(calls._time)
             self._latency.extend(calls._latency)
+            self._units.extend(calls._units)
             remap = [self._intern(name) for name in calls._sections]
             self._section_ids.extend(remap[sid] for sid in calls._section_ids)
             return
@@ -185,7 +222,14 @@ class CallTrace:
             self.append(call)
 
     def clear(self) -> None:
-        for col in (self._n, self._sqrt_m, self._time, self._latency, self._section_ids):
+        for col in (
+            self._n,
+            self._sqrt_m,
+            self._time,
+            self._latency,
+            self._section_ids,
+            self._units,
+        ):
             del col[:]
         del self._sections[1:]
         self._section_index.clear()
@@ -215,6 +259,17 @@ class CallTrace:
             np.frombuffer(self._latency, dtype=np.float64),
         )
 
+    def unit_ids(self) -> np.ndarray:
+        """Zero-copy view of the per-call tensor-unit assignments.
+
+        ``-1`` marks calls issued serially; a scheduled batch records
+        the unit each call ran on.  Same snapshot caveat as
+        :meth:`as_arrays`.
+        """
+        if not self._units:
+            return np.empty(0, dtype=np.int64)
+        return np.frombuffer(self._units, dtype=np.int64)
+
     def histogram_by_n(self) -> dict[int, int]:
         """Call count per left-operand height ``n`` (one ``np.unique``
         over the columnar buffer, not a Python loop)."""
@@ -235,6 +290,7 @@ class CallTrace:
             time=self._time[i],
             latency=self._latency[i],
             section=self._sections[self._section_ids[i]],
+            unit=self._units[i],
         )
 
     def __getitem__(self, index):
@@ -357,7 +413,9 @@ class CostLedger:
         self.record_calls_bulk(ns, s, ns * float(s) + float(latency), float(latency))
         return total
 
-    def record_call(self, n: int, sqrt_m: int, time: float, latency: float) -> None:
+    def record_call(
+        self, n: int, sqrt_m: int, time: float, latency: float, unit: int = -1
+    ) -> None:
         """Trace one call under the active mode (no counters touched).
 
         Used internally by :meth:`charge_tensor` and by batch executors
@@ -367,7 +425,7 @@ class CostLedger:
         """
         if self.trace_calls is True:
             section = self._section_stack[-1] if self._section_stack else ""
-            self.calls.record(int(n), int(sqrt_m), time, latency, section)
+            self.calls.record(int(n), int(sqrt_m), time, latency, section, unit)
         elif self.trace_calls == "aggregate":
             bucket = self._agg.setdefault((int(n), int(sqrt_m)), [0, 0.0, 0.0])
             bucket[0] += 1
@@ -375,26 +433,38 @@ class CostLedger:
             bucket[2] += latency
 
     def record_calls_bulk(
-        self, ns: np.ndarray, sqrt_m: int, times: np.ndarray, latency: float
+        self,
+        ns: np.ndarray,
+        sqrt_m: int,
+        times: np.ndarray,
+        latency: float | np.ndarray,
+        units: np.ndarray | None = None,
     ) -> None:
         """Bulk trace append under the active mode (no counters touched):
         the vectorised counterpart of :meth:`record_call`, used by
-        :meth:`charge_tensor_bulk` and the parallel batch executor."""
+        :meth:`charge_tensor_bulk` and the parallel batch executor.
+        ``latency`` is a shared scalar or a per-call column; ``units``
+        optionally records per-call unit assignments (ignored by the
+        aggregate histogram, which is keyed on shape alone)."""
         if self.trace_calls is True:
             section = self._section_stack[-1] if self._section_stack else ""
-            self.calls.record_bulk(ns, int(sqrt_m), times, latency, section)
+            self.calls.record_bulk(ns, int(sqrt_m), times, latency, section, units)
         elif self.trace_calls == "aggregate":
             ns = np.asarray(ns, dtype=np.int64)
             times = np.asarray(times, dtype=np.float64)
+            lats = np.broadcast_to(np.asarray(latency, dtype=np.float64), ns.shape)
             values, inverse, counts = np.unique(
                 ns, return_inverse=True, return_counts=True
             )
             time_sums = np.bincount(inverse, weights=times)
-            for v, c, t in zip(values.tolist(), counts.tolist(), time_sums.tolist()):
+            lat_sums = np.bincount(inverse, weights=lats)
+            for v, c, t, lat in zip(
+                values.tolist(), counts.tolist(), time_sums.tolist(), lat_sums.tolist()
+            ):
                 bucket = self._agg.setdefault((v, int(sqrt_m)), [0, 0.0, 0.0])
                 bucket[0] += c
                 bucket[1] += t
-                bucket[2] += latency * c
+                bucket[2] += lat
 
     def charge_cpu(self, ops: float) -> float:
         """Charge ``ops`` units of RAM-model work (one unit per word op)."""

@@ -5,15 +5,35 @@ model's major simplification (a Titan RTX carries >500 tensor cores).
 :class:`ParallelTCUMachine` extends the (m, l)-TCU with ``p`` identical
 units: *independent* tensor calls issued through :meth:`mm_batch` may
 run concurrently, and the model time charged for the batch is the
-**makespan** of a longest-processing-time (LPT) schedule rather than
+**makespan** of a scheduled assignment of calls to units rather than
 the serial sum.  Everything else — the CPU, memory, the cost of one
 call — is unchanged, so every single-unit algorithm still runs and the
 p = 1 machine is exactly the paper's model.
 
-Scheduling background: LPT on identical machines is a classical
-(4/3 - 1/(3p))-approximation of the optimal makespan, which is good
-enough for cost *accounting*; the guarantee is recorded on the batch
-stats so experiments can reason about it.
+Two invariants pin the batch semantics to the scalar model:
+
+* **True per-call costs.**  A batched call is priced exactly as the
+  scalar :meth:`~repro.core.machine.TCUMachine.mm` path prices it —
+  max-rows stream splitting, complex cost factors, overflow checking,
+  the systolic backend and any subclass per-call semantics included.
+  Machines whose calls are plain ``n*sqrt(m) + l`` products take a
+  vectorised fast path; every other configuration routes each call
+  through the machine's own primitive against a scratch ledger, so the
+  numerics stay bit-correct and the measured costs *are* the serial
+  costs.
+* **Trace = hardware work, clock = wall time.**  The call trace records
+  every hardware call at its true cost with a ``unit_id`` (so per-shape
+  totals and the Theorem 12 I/O replay are identical to a serial run),
+  while the ledger's time counters advance by the makespan — the wall
+  clock of the p-unit machine.  CPU-side work captured during the batch
+  (padding copies, the extra adds of a 4-product complex multiply,
+  reassembly) stays serial: there is still one CPU.
+
+Scheduling is delegated to :mod:`repro.core.scheduling`: the default
+LPT policy is a classical (4/3 - 1/(3p))-approximation of the optimal
+makespan; round-robin, greedy-online and an exact oracle are available
+by name, and :attr:`ParallelTCUMachine.last_schedule` exposes the
+per-unit timelines for utilisation reporting.
 
 The obvious consequences the benches measure:
 
@@ -27,13 +47,13 @@ The obvious consequences the benches measure:
 
 from __future__ import annotations
 
-import heapq
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from .ledger import CostLedger
 from .machine import TCUMachine, TensorShapeError, placeholder
+from .scheduling import Schedule, SchedulerPolicy, get_scheduler, schedule_batch
 
 __all__ = ["ParallelTCUMachine", "BatchStats"]
 
@@ -45,19 +65,38 @@ class BatchStats:
     Attributes
     ----------
     calls:
-        Number of tensor calls in the batch.
+        Number of logical tensor calls in the batch (batch elements).
     serial_time:
-        Sum of the individual call costs (what a single unit would pay).
+        Sum of the individual true call costs — exactly what the serial
+        ledger would charge for the same calls on a single unit.
     makespan:
-        The batch's charged model time under the LPT schedule.
+        The batch's charged model time under the scheduled assignment.
     units_used:
         Distinct units that received at least one call.
+    policy:
+        Name of the scheduling policy that produced the assignment.
+    hardware_calls:
+        Tensor-unit invocations actually issued (max-rows splitting and
+        complex cost factors make this exceed ``calls``).
+    cpu_time:
+        Serial CPU work charged alongside the batch (padding copies,
+        complex-multiply adds, reassembly).
+    utilization:
+        Busy fraction of the whole pool, ``serial / (p * makespan)``.
+    gap_bound:
+        The policy's worst-case makespan / optimum ratio (``None`` when
+        the policy carries no guarantee).
     """
 
     calls: int
     serial_time: float
     makespan: float
     units_used: int
+    policy: str = ""
+    hardware_calls: int = 0
+    cpu_time: float = 0.0
+    utilization: float = 1.0
+    gap_bound: float | None = None
 
     @property
     def speedup(self) -> float:
@@ -69,30 +108,60 @@ class ParallelTCUMachine(TCUMachine):
 
     Single calls through :meth:`mm` behave exactly like the sequential
     model (one unit active, full cost).  Independent calls batched
-    through :meth:`mm_batch` are LPT-scheduled across the units and the
-    ledger is charged the makespan: the throughput and latency columns
-    are scaled so that ``ledger.total_time`` advances by the makespan
-    while per-call counters (``tensor_calls``) stay exact.
+    through :meth:`mm_batch` are scheduled across the units by
+    ``scheduler`` (a :mod:`repro.core.scheduling` policy name or
+    instance; LPT by default) and the ledger clock advances by the
+    makespan, while the call trace keeps every hardware call at its
+    true serial cost tagged with its ``unit_id``.
     """
 
-    def __init__(self, m: int, ell: float = 0.0, *, units: int = 2, **kwargs) -> None:
+    def __init__(
+        self,
+        m: int,
+        ell: float = 0.0,
+        *,
+        units: int = 2,
+        scheduler: str | SchedulerPolicy = "lpt",
+        **kwargs,
+    ) -> None:
         if units < 1:
             raise ValueError(f"units must be >= 1, got {units}")
         super().__init__(m, ell, **kwargs)
         self.units = int(units)
+        self.scheduler = get_scheduler(scheduler)
         self.last_batch: BatchStats | None = None
+        self.last_schedule: Schedule | None = None
 
     # ------------------------------------------------------------------
-    def mm_batch(self, pairs: list[tuple[np.ndarray, np.ndarray]]) -> list[np.ndarray]:
+    def mm_batch(
+        self,
+        pairs: list[tuple[np.ndarray, np.ndarray]],
+        *,
+        policy: str | SchedulerPolicy | None = None,
+    ) -> list[np.ndarray]:
         """Execute independent products concurrently; returns their results.
 
         Each pair must satisfy the single-call interface (``n x sqrt(m)``
         by ``sqrt(m) x sqrt(m)``, ``n >= sqrt(m)``).  The caller asserts
         independence (no result feeds another operand) — exactly the
-        guarantee the Theorem 2 grid and the DFT levels provide.
+        guarantee the Theorem 2 grid and the DFT levels provide.  A call
+        whose stream exceeds ``max_rows`` is one *logical* job: its
+        hardware chunks run back-to-back on the unit it is assigned to,
+        exactly as the scalar splitting primitive issues them.
+
+        ``policy`` overrides the machine's scheduler for this batch.
         """
+        sched_policy = self.scheduler if policy is None else get_scheduler(policy)
         if not pairs:
-            self.last_batch = BatchStats(0, 0.0, 0.0, 0)
+            self.last_batch = BatchStats(
+                0,
+                0.0,
+                0.0,
+                0,
+                policy=sched_policy.name,
+                gap_bound=sched_policy.gap_bound(self.units),
+            )
+            self.last_schedule = None
             return []
         s = self.sqrt_m
         k = len(pairs)
@@ -109,56 +178,101 @@ class ParallelTCUMachine(TCUMachine):
                     f"batch left operand has {A.shape[0]} rows < sqrt(m)={s}"
                 )
             ns[i] = A.shape[0]
-        costs = ns * float(s) + self.ell
 
-        if k <= self.units:
-            # every call gets its own unit
-            makespan = float(costs.max())
-            used = k
-        elif np.all(ns == ns[0]):
-            # equal-cost batch: LPT degenerates to round-robin, so the
-            # makespan is ceil(k / p) sequential calls on the fullest
-            # unit (summed term by term, matching the heap exactly)
-            rounds = math.ceil(k / self.units)
-            cost = float(costs[0])
-            makespan = 0.0
-            for _ in range(rounds):
-                makespan += cost
-            used = min(self.units, k)
+        # Fast path: machines whose calls are plain n*sqrt(m) + l numpy
+        # products.  Anything that changes per-call cost or numerics —
+        # hardware row bounds, complex cost factors, overflow checks,
+        # the systolic backend, subclass overrides — is measured and
+        # executed through the machine's own scalar primitive below.
+        plain = (
+            self.fusable
+            and self.max_rows is None
+            and not self.check_overflow
+            and (
+                # at factor 1 complex calls price and execute exactly
+                # like real ones, so the fast path stays valid
+                self.complex_cost_factor == 1
+                or not any(np.iscomplexobj(A) or np.iscomplexobj(B) for A, B in pairs)
+            )
+        )
+        results: list[np.ndarray] | None = None
+        row_lats: float | np.ndarray
+        if plain:
+            costs = ns * float(s) + self.ell
+            serial_throughput = float(int(ns.sum()) * s)
+            serial_latency = self.ell * k
+            hardware_calls = k
+            row_ns, row_times = ns, costs
+            row_lats = self.ell
+            rows_per_call = None
+            cpu_total = 0.0
         else:
-            # LPT: sort decreasing, assign to the earliest-free unit.
-            order = np.argsort(-costs, kind="stable")
-            heap = [(0.0, u) for u in range(min(self.units, k))]
-            heapq.heapify(heap)
-            makespan = 0.0
-            used_units = set()
-            for idx in order:
-                free_at, unit = heapq.heappop(heap)
-                finish = free_at + float(costs[idx])
-                makespan = max(makespan, finish)
-                used_units.add(unit)
-                heapq.heappush(heap, (finish, unit))
-            used = len(used_units)
-        serial = float(costs.sum())
+            # Route every call through the machine's own primitive with
+            # charges captured on a scratch ledger: the per-call deltas
+            # are the true serial costs (chunk latencies, complex
+            # factors, subclass semantics included) and the results are
+            # bit-identical to a serial run.
+            scratch = CostLedger(trace_calls=True)
+            saved = self.ledger
+            self.ledger = scratch
+            results = []
+            costs = np.empty(k)
+            call_rows = np.empty(k + 1, dtype=np.int64)
+            call_rows[0] = 0
+            prev = 0.0
+            try:
+                for i, (A, B) in enumerate(pairs):
+                    results.append(self.mm(A, B))
+                    cum = scratch.tensor_time + scratch.latency_time
+                    costs[i] = cum - prev
+                    prev = cum
+                    call_rows[i + 1] = len(scratch.calls)
+            finally:
+                self.ledger = saved
+            serial_throughput = scratch.tensor_time
+            serial_latency = scratch.latency_time
+            hardware_calls = scratch.tensor_calls
+            row_ns, _, row_times, row_lats = scratch.calls.as_arrays()
+            rows_per_call = np.diff(call_rows)
+            cpu_total = scratch.cpu_time
 
-        # Charge the makespan, split between throughput and latency in
-        # the same proportion as the serial costs, keeping call counts
-        # exact for trace-based consumers.  The trace rows land in one
-        # columnar append, not k Python calls.
+        schedule = schedule_batch(costs, self.units, sched_policy)
+        makespan = schedule.makespan
+        serial = serial_throughput + serial_latency
+
+        # The ledger clock advances by the makespan, split between the
+        # throughput and latency columns in the same proportion as the
+        # serial costs; the trace keeps every hardware call at its true
+        # cost with its unit id, so per-shape totals and the Theorem 12
+        # replay match a serial run exactly.  Captured CPU work stays
+        # serial (one CPU).
         scale = makespan / serial if serial else 0.0
-        throughput_total = float(int(ns.sum()) * s)
-        self.ledger.tensor_time += throughput_total * scale
-        self.ledger.latency_time += self.ell * k * scale
-        self.ledger.tensor_calls += k
+        self.ledger.tensor_time += serial_throughput * scale
+        self.ledger.latency_time += serial_latency * scale
+        self.ledger.tensor_calls += hardware_calls
         self.ledger._bump_sections(makespan)
-        self.ledger.record_calls_bulk(ns, s, costs * scale, self.ell * scale)
+        if rows_per_call is None:
+            row_units = schedule.assignment
+        else:
+            row_units = np.repeat(schedule.assignment, rows_per_call)
+        self.ledger.record_calls_bulk(row_ns, s, row_times, row_lats, units=row_units)
+        if cpu_total:
+            self.ledger.charge_cpu(cpu_total)
 
+        self.last_schedule = schedule
         self.last_batch = BatchStats(
             calls=k,
             serial_time=serial,
             makespan=makespan,
-            units_used=used,
+            units_used=schedule.units_used,
+            policy=schedule.policy,
+            hardware_calls=hardware_calls,
+            cpu_time=cpu_total,
+            utilization=schedule.utilization,
+            gap_bound=schedule.gap_bound,
         )
+        if results is not None:
+            return results
         if self.execute == "cost-only":
             return [
                 placeholder((A.shape[0], s), np.result_type(A.dtype, B.dtype))
@@ -168,11 +282,12 @@ class ParallelTCUMachine(TCUMachine):
 
     def fork(self) -> "ParallelTCUMachine":
         """A machine with identical parameters (including the unit
-        count) and a fresh ledger."""
-        return ParallelTCUMachine(
+        count and scheduling policy) and a fresh ledger."""
+        return type(self)(
             self.m,
             self.ell,
             units=self.units,
+            scheduler=self.scheduler,
             kappa=self.kappa,
             max_rows=self.max_rows,
             complex_cost_factor=self.complex_cost_factor,
@@ -184,5 +299,6 @@ class ParallelTCUMachine(TCUMachine):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"ParallelTCUMachine(m={self.m}, ell={self.ell}, units={self.units})"
+            f"ParallelTCUMachine(m={self.m}, ell={self.ell}, "
+            f"units={self.units}, scheduler={self.scheduler.name!r})"
         )

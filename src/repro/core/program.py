@@ -20,7 +20,11 @@ reorder or fuse.  This module introduces the missing seam:
    through the ordinary :meth:`mm` / :meth:`mm_batch` entry points, so
    traces still feed :func:`repro.extmem.simulate.simulate_ledger_io`
    unchanged.  On a :class:`~repro.core.parallel.ParallelTCUMachine`
-   each level's calls are issued as one LPT batch automatically.
+   each level's calls are issued as one scheduled batch (LPT by
+   default; see :mod:`repro.core.scheduling`) on every machine
+   configuration — the batch prices calls from the machine's own
+   primitive, so row bounds, complex cost factors and overflow checks
+   parallelise instead of silently serialising.
 
 Gathering the row streams of a merged call is index arithmetic in the
 RAM model (the unit consumes rows wherever they live — the same
@@ -490,8 +494,14 @@ def _group_rows(group: list[TensorOp]) -> int:
 def _dispatch_parallel(
     groups: list[list[TensorOp]], machine: ParallelTCUMachine, cost_only: bool
 ) -> None:
-    """One level on a parallel machine: a single LPT batch when the
-    batch pricing matches machine semantics, scalar calls otherwise."""
+    """One level on a parallel machine: always a single scheduled batch.
+
+    :meth:`~repro.core.parallel.ParallelTCUMachine.mm_batch` obtains
+    true per-call costs from the machine itself (max-rows chunking,
+    complex cost factors, overflow checks, the systolic backend), so
+    every level parallelises on every machine configuration — there is
+    no serialising guard here any more.
+    """
     s = machine.sqrt_m
     if cost_only:
         pairs = [
@@ -503,30 +513,12 @@ def _dispatch_parallel(
         ]
     else:
         pairs = [(_group_operands(g), _resolve(g[0].b)) for g in groups]
-    # mm_batch prices every call at n*sqrt(m) + l with a plain numpy
-    # product; route through the single-call primitive instead whenever
-    # that would skip machine semantics (complex cost factors, hardware
-    # row bounds, overflow checks, the systolic backend).
-    batchable = (
-        machine.backend == "numpy"
-        and machine.max_rows is None
-        and not machine.check_overflow
-        and not any(np.iscomplexobj(A) or np.iscomplexobj(B) for A, B in pairs)
-    )
-    if batchable:
-        results = machine.mm_batch(pairs)
-        for g, out in zip(groups, results):
-            if cost_only:
-                _scatter_placeholders(g)
-            else:
-                _scatter_group(g, out)
-    else:
-        for g, (A, B) in zip(groups, pairs):
-            out = machine.mm(A, B)
-            if cost_only:
-                _scatter_placeholders(g)
-            else:
-                _scatter_group(g, out)
+    results = machine.mm_batch(pairs)
+    for g, out in zip(groups, results):
+        if cost_only:
+            _scatter_placeholders(g)
+        else:
+            _scatter_group(g, out)
 
 
 def _dispatch_grid(groups: list[list[TensorOp]], machine: TCUMachine) -> None:
@@ -613,8 +605,10 @@ def execute_plan(plan: Plan, machine: TCUMachine, *, fused: bool = True) -> None
     ``fused=False`` replays the per-group scalar schedule (the
     pre-fusion executor, kept as the equivalence reference).  On a
     :class:`~repro.core.parallel.ParallelTCUMachine`, each level's
-    merged calls are issued as one :meth:`mm_batch` (LPT over the ready
-    ops) in either mode.
+    merged calls are issued as one :meth:`mm_batch` (scheduled over the
+    units by the machine's policy) in either mode and on every machine
+    configuration, including row-bounded, complex-cost, systolic and
+    overflow-checked machines.
 
     On a machine with ``execute="cost-only"`` all numeric work is
     skipped: call groups are charged from their shapes alone and every

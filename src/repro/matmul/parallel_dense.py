@@ -9,6 +9,12 @@ can be batched: expected model time
 until the call count ``n/m`` drops below p, after which extra units are
 idle.  The reduction ``C_j = sum_i C_{i,j}`` stays CPU work, exactly as
 in the sequential schedule.
+
+The batch is priced by :meth:`~repro.core.parallel.ParallelTCUMachine.
+mm_batch` from the machine's *own* per-call costs, so row-bounded,
+complex-cost, systolic and overflow-checked machines charge (and
+compute) exactly what a serial loop of ``mm`` calls would — only the
+clock advances by the scheduled makespan instead of the serial sum.
 """
 
 from __future__ import annotations

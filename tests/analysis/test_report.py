@@ -1,8 +1,11 @@
 """Report compiler tests."""
 
+import numpy as np
 import pytest
 
-from repro.analysis.report import compile_report, main
+from repro.analysis.report import compile_report, main, utilization_table
+from repro.core.parallel import ParallelTCUMachine
+from repro.core.scheduling import schedule_batch
 
 
 @pytest.fixture
@@ -44,6 +47,33 @@ class TestCompile:
         d.mkdir()
         with pytest.raises(FileNotFoundError, match="benchmark"):
             compile_report(d)
+
+
+class TestUtilizationTable:
+    def test_renders_per_unit_rows_and_summary(self):
+        sched = schedule_batch(np.array([8.0, 4.0, 4.0]), 2, "lpt")
+        text = utilization_table(sched)
+        assert "policy=lpt, p=2" in text
+        assert "unit" in text and "busy share" in text
+        assert "makespan 8" in text
+        assert "utilisation 1" in text
+        assert "gap bound 1.167" in text
+
+    def test_machine_last_schedule_feeds_report(self):
+        rng = np.random.default_rng(5)
+        machine = ParallelTCUMachine(m=16, ell=2.0, units=3)
+        machine.mm_batch([(rng.random((8, 4)), rng.random((4, 4))) for _ in range(5)])
+        text = utilization_table(machine.last_schedule, title="batch report")
+        assert text.startswith("batch report")
+        # 5 calls spread over the 3 units appear in the calls column
+        lines = [ln.split() for ln in text.splitlines() if ln.strip()[:1].isdigit()]
+        assert sum(int(ln[1].replace(",", "")) for ln in lines) == 5
+
+    def test_none_schedule_renders_stub(self):
+        machine = ParallelTCUMachine(m=16, units=2)
+        machine.mm_batch([])
+        text = utilization_table(machine.last_schedule)
+        assert "no batch scheduled" in text
 
 
 class TestMain:

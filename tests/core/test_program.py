@@ -330,8 +330,11 @@ class TestPlannedVersusEager:
         # cpu is the 5 accumulation adds only — no split/reassembly copies
         assert planned.ledger.cpu_time == 5 * 8 * 4
 
-    def test_parallel_complex_charges_match_eager(self, rng):
-        """The batch fast path must not bypass complex cost factors."""
+    def test_parallel_complex_batches_with_true_costs(self, rng):
+        """Complex batches parallelise *and* keep per-call parity: the
+        batch charges the 4x complex factor and the extra CPU adds
+        exactly as the eager serial path, then advances the clock by
+        the makespan instead of the serial sum."""
         A = (rng.random((16, 16)) + 1j * rng.random((16, 16))).astype(complex)
         B = (rng.random((16, 16)) + 1j * rng.random((16, 16))).astype(complex)
         eager = ParallelTCUMachine(m=16, ell=5.0, units=4, complex_cost_factor=4)
@@ -339,11 +342,15 @@ class TestPlannedVersusEager:
         Ce = matmul(eager, A, B, plan=False)
         Cp = matmul(planned, A, B, plan=True)
         assert np.allclose(Ce, Cp)
-        assert planned.ledger.snapshot() == eager.ledger.snapshot()
+        assert planned.ledger.tensor_calls == eager.ledger.tensor_calls
+        assert planned.ledger.call_shape_totals() == eager.ledger.call_shape_totals()
+        assert planned.ledger.cpu_time == eager.ledger.cpu_time
+        # 16 equal independent grid calls on 4 units: 4x on the clock
+        assert planned.ledger.tensor_total == eager.ledger.tensor_total / 4
 
     def test_parallel_max_rows_split_matches_eager(self, rng):
-        """Row-bounded parallel machines fall back to the splitting
-        primitive instead of the bound-blind batch path."""
+        """A single over-bound logical call cannot parallelise: the
+        split chunks run back-to-back and charges equal the eager path."""
         A = rng.random((40, 8))
         B = rng.random((8, 8))
         eager = ParallelTCUMachine(m=64, ell=3.0, units=4, max_rows=16)
@@ -352,6 +359,22 @@ class TestPlannedVersusEager:
         Cp = matmul(planned, A, B, plan=True)
         assert np.allclose(Ce, Cp)
         assert planned.ledger.snapshot() == eager.ledger.snapshot()
+
+    def test_parallel_max_rows_grid_parallelises(self, rng):
+        """Row-bounded machines no longer serialise whole levels: the
+        grid's independent calls (each split into chunks by the bound)
+        are scheduled across units with per-call parity preserved."""
+        A = rng.random((32, 16))
+        B = rng.random((16, 16))
+        eager = ParallelTCUMachine(m=16, ell=3.0, units=4, max_rows=20)
+        planned = ParallelTCUMachine(m=16, ell=3.0, units=4, max_rows=20)
+        Ce = matmul(eager, A, B, plan=False)
+        Cp = matmul(planned, A, B, plan=True)
+        assert np.allclose(Ce, Cp)
+        assert planned.ledger.tensor_calls == eager.ledger.tensor_calls
+        assert planned.ledger.call_shape_totals() == eager.ledger.call_shape_totals()
+        assert planned.ledger.cpu_time == eager.ledger.cpu_time
+        assert planned.ledger.tensor_total < eager.ledger.tensor_total
 
     def test_extmem_replays_merged_matmul_trace_identically(self, rng):
         W = rng.random((4, 4))
