@@ -1,0 +1,165 @@
+"""E20 (extension) — the online serving simulator, writing ``BENCH_PR4.json``.
+
+Three sections back the PR4 serving subsystem:
+
+* ``replay`` — the cost-only engine drains a 100k-request Poisson
+  stream end-to-end (arrivals -> continuous batching -> cost-only
+  execution -> metrics), recording the wall-clock replay rate.  The
+  smoke gate requires >= 100k simulated requests.
+* ``policy_ablation`` — size-1 serving vs timeout batching at the same
+  offered load on a latency-bound preset (TPUv1: ``ell`` enormous).
+  The gate requires timeout batching to beat size-1 on p99 while
+  matching or exceeding its achieved throughput — the dynamic-batching
+  claim, measured.
+* ``parity`` — a served run on a multi-unit machine replayed serially
+  (fused path, one-unit ``mm_batch`` path, cost-only path): per-shape
+  tensor/latency totals and call counts must be bit-identical, so any
+  accounting drift in the serving layer fails the bench and the CI job.
+
+Smoke-sized by default (seconds); set ``BENCH_SERVE_FULL=1`` for a
+500k-request replay and a denser load sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import latency_table
+from repro.core.machine import TCUMachine
+from repro.core.parallel import ParallelTCUMachine
+from repro.core.presets import TPU_V1
+from repro.serve import (
+    ContinuousBatcher,
+    PoissonWorkload,
+    ServingEngine,
+    TimeoutBatcher,
+    compute_metrics,
+    replay_batches,
+    size1_capacity,
+    tpu_mlp_request_type,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+FULL = bool(int(os.environ.get("BENCH_SERVE_FULL", "0")))
+REPLAY_REQUESTS = 500_000 if FULL else 100_000
+ABLATION_REQUESTS = 3000 if FULL else 1200
+
+REPORT: dict = {
+    "mode": "full" if FULL else "smoke",
+    "replay": {},
+    "policy_ablation": {},
+    "parity": {},
+}
+
+# the §2.2 TPU workload: a 2-layer MLP, one resident 256x256 block per
+# layer on the TPUv1 preset (shared with examples/serving_sim.py)
+MLP_TPU = tpu_mlp_request_type()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def write_bench_pr4():
+    """Dump whatever the session accumulated, pass or fail."""
+    yield
+    out = REPO / "BENCH_PR4.json"
+    out.write_text(json.dumps(REPORT, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+
+
+def test_replay_rate_100k_requests():
+    """Cost-only engine sustains >= 100k simulated requests end-to-end."""
+    machine = TCUMachine(m=4096, ell=2048.0, execute="cost-only", trace_calls=False)
+    workload = PoissonWorkload(
+        rate=1.0 / 800.0, total=REPLAY_REQUESTS, kind="matmul", rows=64, seed=0
+    )
+    engine = ServingEngine(machine, ContinuousBatcher(max_size=256))
+    t0 = time.perf_counter()
+    result = engine.serve(workload)
+    wall = time.perf_counter() - t0
+    metrics = compute_metrics(result)
+    REPORT["replay"] = {
+        "requests": result.completed,
+        "batches": len(result.batches),
+        "wall_s": round(wall, 3),
+        "requests_per_s": round(result.completed / wall),
+        "model_time": result.clock,
+        "mean_batch": round(metrics.batch_size_mean, 2),
+        "utilization": round(metrics.utilization, 6),
+        "policy": "continuous",
+    }
+    assert result.completed >= 100_000
+    result.check_conservation()
+
+
+def test_timeout_beats_size1_on_latency_bound_preset():
+    """At a fixed offered load past the size-1 capacity of a
+    latency-bound unit, timeout batching must dominate: >= the achieved
+    throughput at a strictly lower p99."""
+    period = size1_capacity() / 1.5  # 1.5x the size-1 capacity
+    runs = {}
+    for label, policy in (
+        ("size-1", ContinuousBatcher(max_size=1)),
+        ("timeout", TimeoutBatcher(timeout=2e6, max_size=64)),
+    ):
+        machine = TPU_V1.create(execute="cost-only", trace_calls=False)
+        workload = PoissonWorkload(
+            rate=1.0 / period,
+            total=ABLATION_REQUESTS,
+            kind=MLP_TPU.name,
+            rows=256,
+            slo=8e6,
+            seed=1,
+        )
+        result = ServingEngine(machine, policy).serve(workload)
+        metrics = compute_metrics(result)
+        runs[label] = metrics
+        REPORT["policy_ablation"][label] = {
+            "throughput": metrics.throughput,
+            "p50": metrics.latency_p50,
+            "p99": metrics.latency_p99,
+            "mean_batch": round(metrics.batch_size_mean, 2),
+            "slo_attainment": metrics.slo_attainment,
+        }
+    REPORT["policy_ablation"]["preset"] = "tpu-v1 (cost-only)"
+    REPORT["policy_ablation"]["offered_period"] = period
+    REPORT["policy_ablation"]["requests"] = ABLATION_REQUESTS
+    gate = (
+        runs["timeout"].throughput >= runs["size-1"].throughput
+        and runs["timeout"].latency_p99 < runs["size-1"].latency_p99
+    )
+    REPORT["policy_ablation"]["timeout_beats_size1"] = gate
+    print(latency_table(runs.items(), title="p99-at-fixed-load, TPUv1 cost-only"))
+    assert gate, "timeout batching failed to dominate size-1 serving"
+
+
+def test_served_charges_replay_bit_identically():
+    """Parity gate: a multi-unit served run replayed serially charges
+    the same hardware work, shape by shape, bit for bit."""
+    machine = ParallelTCUMachine(m=16, ell=32.0, units=4)
+    workload = PoissonWorkload(
+        rate=1e-3, total=200, kind="mlp", rows=8, seed=2
+    )
+    result = ServingEngine(machine, TimeoutBatcher(timeout=2e3, max_size=16)).serve(workload)
+    reference = machine.ledger.call_shape_totals()
+
+    replays = {
+        "serial-fused": TCUMachine(m=16, ell=32.0),
+        "mm_batch-1unit": ParallelTCUMachine(m=16, ell=32.0, units=1),
+        "serial-cost-only": TCUMachine(m=16, ell=32.0, execute="cost-only"),
+    }
+    ok = True
+    for name, fork in replays.items():
+        replay_batches(result.batches, fork)
+        same = (
+            fork.ledger.call_shape_totals() == reference
+            and fork.ledger.tensor_calls == machine.ledger.tensor_calls
+        )
+        REPORT["parity"][name] = bool(same)
+        ok = ok and same
+    REPORT["parity"]["requests"] = result.completed
+    REPORT["parity"]["batches"] = len(result.batches)
+    assert ok, "served charges diverged from a serial replay"

@@ -14,6 +14,10 @@ Three sections are produced:
 * ``benches`` — every ``benchmarks/bench_*.py`` file run through pytest
   with ``--benchmark-disable`` (each timed body executes once): per-file
   wall clock and pass/fail.
+* ``serving`` — the headline numbers from ``BENCH_PR4.json`` (written by
+  ``bench_serving.py`` during the bench pass): cost-only replay rate
+  over a 100k-request stream, the timeout-vs-size-1 p99 gate on the
+  latency-bound preset, and the served-vs-replayed parity gate.
 
 Usage::
 
@@ -234,6 +238,26 @@ def run_bench_files() -> dict[str, dict]:
     return out
 
 
+def serving_summary() -> dict | None:
+    """Headline serving numbers from the BENCH_PR4.json the bench pass
+    just wrote (None when the file is missing, e.g. --skip-benches)."""
+    path = REPO / "BENCH_PR4.json"
+    if not path.is_file():
+        return None
+    data = json.loads(path.read_text())
+    replay = data.get("replay", {})
+    ablation = data.get("policy_ablation", {})
+    parity = data.get("parity", {})
+    parity_flags = [value for value in parity.values() if isinstance(value, bool)]
+    return {
+        "replay_requests": replay.get("requests"),
+        "replay_requests_per_s": replay.get("requests_per_s"),
+        "timeout_beats_size1": ablation.get("timeout_beats_size1"),
+        # no recorded parity evidence counts as a failure, not a pass
+        "parity_ok": bool(parity_flags) and all(parity_flags),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -261,6 +285,9 @@ def main(argv=None) -> int:
     }
     if not args.skip_benches:
         report["benches"] = run_bench_files()
+        serving = serving_summary()
+        if serving is not None:
+            report["serving"] = serving
 
     Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     paths = report["exec_paths"]
@@ -275,6 +302,13 @@ def main(argv=None) -> int:
             ok=paths["ledgers_identical"], **paths["speedup_vs_planned_unfused"]
         )
     )
+    serving = report.get("serving")
+    if serving is not None:
+        print(
+            "serving: {replay_requests} cost-only requests at "
+            "{replay_requests_per_s}/s; timeout beats size-1: "
+            "{timeout_beats_size1}; replay parity: {parity_ok}".format(**serving)
+        )
     failures = [
         name
         for name, entry in report.get("benches", {}).items()
@@ -285,6 +319,11 @@ def main(argv=None) -> int:
         return 1
     if not paths["ledgers_identical"]:
         print("FAILED: execution paths charged divergent ledgers")
+        return 1
+    if serving is not None and not (
+        serving["timeout_beats_size1"] and serving["parity_ok"]
+    ):
+        print("FAILED: serving gates (policy ablation / replay parity)")
         return 1
     return 0
 

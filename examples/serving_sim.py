@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Online inference serving on the TPUv1 preset — dynamic batching vs SLOs.
+
+The (m, l)-TCU prices every tensor call at ``n*sqrt(m) + l``, and the
+TPUv1 preset makes ``l`` enormous (the weight matrix is re-encoded
+through TensorFlow per invocation, §3.1).  Serving one request per call
+therefore pays ~l per request; dynamic batching amortises it — at the
+price of queueing early arrivals.  This walkthrough sweeps offered load
+on a cost-only TPUv1 and compares three batching policies:
+
+* ``size-1``     — no batching (a fresh call per request);
+* ``timeout``    — release when the oldest request has aged T;
+* ``continuous`` — serve whatever is queued the moment the unit frees.
+
+Everything is model time from the CostLedger, so the numbers are exact
+and machine-independent; the cost-only engine replays thousands of
+requests in milliseconds of wall clock.
+
+Run:  python examples/serving_sim.py
+"""
+
+from repro.analysis.report import latency_table
+from repro.analysis.tables import render_table
+from repro.core.presets import TPU_V1
+from repro.serve import (
+    ContinuousBatcher,
+    PoissonWorkload,
+    ServingEngine,
+    TimeoutBatcher,
+    compute_metrics,
+    size1_capacity,
+    tpu_mlp_request_type,
+)
+
+# A 2-layer 256-wide MLP: each layer is exactly one resident 256x256
+# block on the TPU (sqrt(m)=256), so a batch pays one latency per layer.
+# (Shared with benchmarks/bench_serving.py via repro.serve.scenarios;
+# size1_capacity() measures ~5.9e5 model time per unbatched request —
+# two tensor calls at 256*256 + l each, the ReLU, and the charged
+# padding copies, with the preset's l=131072.)
+MLP = tpu_mlp_request_type()
+
+REQUESTS = 1200
+SLO = 8e6  # end-to-end latency objective
+
+
+def run(policy, period, seed=0):
+    machine = TPU_V1.create(execute="cost-only", trace_calls=False)
+    workload = PoissonWorkload(
+        rate=1.0 / period,
+        total=REQUESTS,
+        kind=MLP.name,
+        rows=256,
+        slo=SLO,
+        seed=seed,
+    )
+    result = ServingEngine(machine, policy).serve(workload)
+    return compute_metrics(result)
+
+
+def main() -> None:
+    capacity = size1_capacity()
+    loads = [
+        ("light  (0.6x)", capacity / 0.6),
+        ("at size-1 cap", capacity / 1.0),
+        ("heavy  (1.5x)", capacity / 1.5),
+    ]
+    policies = [
+        ("size-1", lambda: ContinuousBatcher(max_size=1)),
+        ("timeout T=2e6", lambda: TimeoutBatcher(timeout=2e6, max_size=64)),
+        ("continuous", lambda: ContinuousBatcher(max_size=64)),
+    ]
+
+    for policy_name, make_policy in policies:
+        entries = [(label, run(make_policy(), period)) for label, period in loads]
+        print(latency_table(entries, title=f"TPUv1 cost-only serving — policy: {policy_name}"))
+        print()
+
+    # head-to-head at the overload point: batching keeps the tail flat
+    rows = []
+    for policy_name, make_policy in policies:
+        m = run(make_policy(), capacity / 1.5)
+        rows.append(
+            [policy_name, m.batch_size_mean, m.throughput * 1e6, m.latency_p99, m.slo_attainment]
+        )
+    print(render_table(
+        ["policy", "mean batch", "thr x1e6", "p99 latency", "SLO attainment"],
+        rows,
+        title="1.5x the size-1 capacity: latency amortisation is the whole game",
+    ))
+    print()
+    print(
+        "Reading the tables: past one request per size-1 service time the\n"
+        "size-1 queue diverges and its p99 explodes, while the batching\n"
+        "policies amortise the TPU's huge per-call latency over the whole\n"
+        "batch and absorb ~2x the load with a bounded tail — the Theorem 2\n"
+        "latency-amortisation argument, played out as a serving policy.\n"
+        "Continuous batching even wins at light load (batching is free when\n"
+        "the queue is non-empty); the timeout policy deliberately trades p50\n"
+        "for fuller batches, which pays off only once the unit saturates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,7 @@ arith     integer multiplication, polynomial evaluation (Thms 9-11)
 extmem    external-memory model and the Theorem 12 simulation
 analysis  theorem cost formulas, curve fitting, tables
 baselines RAM-model reference implementations
+serve     online inference serving: arrivals, dynamic batching, SLOs
 """
 
 from .core import (
@@ -66,6 +67,17 @@ from .matmul import (
     square_mm,
     strassen_like_mm,
 )
+from .serve import (
+    BurstyWorkload,
+    ClosedLoopWorkload,
+    PoissonWorkload,
+    Request,
+    ServeMetrics,
+    ServeResult,
+    ServingEngine,
+    compute_metrics,
+    replay_batches,
+)
 
 __version__ = "1.1.0"
 
@@ -102,5 +114,14 @@ __all__ = [
     "BilinearAlgorithm",
     "CLASSICAL_2X2",
     "STRASSEN_2X2",
+    "ServingEngine",
+    "ServeResult",
+    "ServeMetrics",
+    "Request",
+    "PoissonWorkload",
+    "BurstyWorkload",
+    "ClosedLoopWorkload",
+    "compute_metrics",
+    "replay_batches",
     "__version__",
 ]

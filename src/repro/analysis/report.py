@@ -19,7 +19,7 @@ import numpy as np
 
 from .tables import render_table
 
-__all__ = ["compile_report", "utilization_table", "main"]
+__all__ = ["compile_report", "utilization_table", "latency_table", "main"]
 
 _SECTION_ORDER = [
     ("e1_", "Figure 1 / Section 2.2 — systolic array"),
@@ -41,7 +41,52 @@ _SECTION_ORDER = [
     ("e17_", "Extension — limited precision"),
     ("e18_", "Extension — scan / reduction / triangles"),
     ("e19_", "Extension — multi-unit scheduling"),
+    ("e20_", "Extension — online serving"),
 ]
+
+
+def latency_table(entries, *, title: str | None = None) -> str:
+    """Render serving scenarios side by side — one row per scenario.
+
+    ``entries`` is an iterable of ``(label, metrics)`` pairs where each
+    ``metrics`` is a :class:`~repro.serve.metrics.ServeMetrics` (or a
+    dict mapping labels to them).  Columns are the capacity-planning
+    staples: completed requests, throughput, the latency percentiles,
+    mean wait, SLO goodput and engine utilisation.  Latencies and
+    throughput are model time, so tables are machine-reproducible.
+    """
+    if isinstance(entries, dict):
+        entries = entries.items()
+    rows = []
+    for label, m in entries:
+        rows.append(
+            [
+                label,
+                m.requests,
+                m.throughput,
+                m.latency_p50,
+                m.latency_p95,
+                m.latency_p99,
+                m.wait_mean,
+                "n/a" if m.goodput is None else m.goodput,
+                m.utilization,
+            ]
+        )
+    return render_table(
+        [
+            "scenario",
+            "requests",
+            "throughput",
+            "p50",
+            "p95",
+            "p99",
+            "mean wait",
+            "goodput",
+            "util",
+        ],
+        rows,
+        title=title or "serving latency / throughput",
+    )
 
 
 def utilization_table(schedule, *, title: str | None = None) -> str:

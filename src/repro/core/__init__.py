@@ -9,7 +9,7 @@
 * :mod:`repro.core.presets`    -- TPUv1 / Volta-TC parameterisations (§3.1)
 """
 
-from .ledger import CallTrace, CostLedger, LedgerError, TensorCall
+from .ledger import CallTrace, CostLedger, LedgerError, LedgerSpan, TensorCall
 from .machine import TCUMachine, TensorShapeError, WeakTCUMachine, placeholder
 from .parallel import BatchStats, ParallelTCUMachine
 from .scheduling import (
@@ -52,6 +52,7 @@ __all__ = [
     "CostLedger",
     "CallTrace",
     "LedgerError",
+    "LedgerSpan",
     "TensorCall",
     "TensorProgram",
     "TensorOp",

@@ -37,7 +37,7 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["TensorCall", "CallTrace", "CostLedger", "LedgerError"]
+__all__ = ["TensorCall", "CallTrace", "CostLedger", "LedgerError", "LedgerSpan"]
 
 
 class LedgerError(RuntimeError):
@@ -318,6 +318,27 @@ class CallTrace:
 
 
 @dataclass
+class LedgerSpan:
+    """A window of the ledger clock opened by :meth:`CostLedger.stopwatch`.
+
+    While the window is open :attr:`elapsed` reads live against the
+    ledger; once the ``with`` block exits it freezes, so the span can be
+    kept as a record (the serving engine stores one per executed batch
+    to derive batch service time from the model clock).
+    """
+
+    ledger: "CostLedger"
+    start: float
+    end: float | None = None
+
+    @property
+    def elapsed(self) -> float:
+        """Model time charged since the span opened (frozen at exit)."""
+        end = self.end if self.end is not None else self.ledger.total_time
+        return end - self.start
+
+
+@dataclass
 class CostLedger:
     """Accumulates TCU-model time.
 
@@ -485,6 +506,17 @@ class CostLedger:
         return self.tensor_time + self.latency_time + self.cpu_time
 
     @property
+    def clock(self) -> float:
+        """The model clock, as online consumers read it.
+
+        An alias of :attr:`total_time` named for its role: discrete-event
+        layers (e.g. :mod:`repro.serve`) advance *their* simulated clock
+        by deltas of this one, so "the time the machine has charged" and
+        "the time the serving clock shows" are the same quantity.
+        """
+        return self.total_time
+
+    @property
     def tensor_total(self) -> float:
         """Tensor-unit time including latency (sum of all call costs)."""
         return self.tensor_time + self.latency_time
@@ -558,6 +590,21 @@ class CostLedger:
     # ------------------------------------------------------------------
     # structure
     # ------------------------------------------------------------------
+    @contextmanager
+    def stopwatch(self) -> Iterator[LedgerSpan]:
+        """Measure the model time charged inside a block.
+
+        Yields a :class:`LedgerSpan` whose :attr:`~LedgerSpan.elapsed`
+        reads live inside the block and freezes when it exits.  This is
+        the clock primitive online layers build on: a batch's service
+        time is exactly the span of ledger clock its execution charged.
+        """
+        span = LedgerSpan(self, self.total_time)
+        try:
+            yield span
+        finally:
+            span.end = self.total_time
+
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
         """Attribute all charges inside the block to ``name`` (nestable)."""

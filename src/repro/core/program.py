@@ -338,10 +338,23 @@ def _resident_key(op: TensorOp) -> tuple:
     (or the same producing op) and their operands promote to the same
     result dtype — so a merged call is charged exactly as the separate
     calls would be (complex-cost factors included).
+
+    A fully zero-strided view of a scalar — what
+    :func:`~repro.core.machine.placeholder` returns for cost-only runs —
+    is keyed by *object* identity instead: every placeholder of a shape
+    aliases the same zero scalar, so merging by buffer would fuse
+    resident blocks that stand for different hypothetical data and
+    charge fewer latencies than the numeric run.  Passing the *same*
+    view object to several ops (the documented way to request shared
+    residency) still merges; distinct placeholder objects never do.
+    Partially broadcast numeric views keep the buffer key: equal
+    pointer/strides/shape still implies equal elements there.
     """
     b = op.b
     if isinstance(b, TensorOp):
         b_key: tuple = ("op", id(b))
+    elif b.size and all(stride == 0 for stride in b.strides):
+        b_key = ("broadcast", id(b))
     else:
         b_key = ("arr",) + _buffer_key(b)
     return b_key + (np.dtype(op.dtype).str,)

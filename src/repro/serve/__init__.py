@@ -1,0 +1,83 @@
+"""Online inference serving on the (m, l)-TCU — arrivals, dynamic
+batching, execution, SLO metrics.
+
+The paper's cost model prices every tensor call at ``n*sqrt(m) + l``;
+its algorithms win by amortising the invocation latency ``l`` over
+taller calls.  Online serving faces the same trade-off *in time*:
+batching requests amortises ``l`` but makes early arrivals wait.  This
+package is a discrete-event simulator for that tension, layered
+entirely on the existing machine stack:
+
+* :mod:`repro.serve.workload`  -- requests, request types (MLP, dense
+  matmul, DFT, stencil — all lowering through the planned kernels),
+  and seeded arrival processes (Poisson, bursty MMPP, closed-loop);
+* :mod:`repro.serve.batcher`   -- pluggable dynamic-batching policies
+  (continuous, size-triggered, timeout) behind a name registry;
+* :mod:`repro.serve.engine`    -- the event loop: queues -> batches ->
+  :class:`~repro.core.machine.TCUMachine` /
+  :class:`~repro.core.parallel.ParallelTCUMachine` execution, with the
+  simulated clock driven by the :class:`~repro.core.ledger.CostLedger`
+  and an exact batch-replay harness;
+* :mod:`repro.serve.metrics`   -- throughput, p50/p95/p99 latency, SLO
+  goodput, engine and per-unit utilisation.
+"""
+
+from .batcher import (
+    BatchPolicy,
+    ContinuousBatcher,
+    SizeBatcher,
+    TimeoutBatcher,
+    available_batchers,
+    get_batcher,
+    register_batcher,
+)
+from .engine import BatchRecord, ServeError, ServeResult, ServingEngine, replay_batches
+from .metrics import ServeMetrics, compute_metrics
+from .scenarios import size1_capacity, tpu_mlp_request_type
+from .workload import (
+    BurstyWorkload,
+    ClosedLoopWorkload,
+    DFTRequestType,
+    MatmulRequestType,
+    MLPRequestType,
+    PoissonWorkload,
+    Request,
+    RequestType,
+    StencilRequestType,
+    Workload,
+    available_request_types,
+    get_request_type,
+    register_request_type,
+)
+
+__all__ = [
+    "Request",
+    "RequestType",
+    "MatmulRequestType",
+    "MLPRequestType",
+    "DFTRequestType",
+    "StencilRequestType",
+    "register_request_type",
+    "get_request_type",
+    "available_request_types",
+    "Workload",
+    "PoissonWorkload",
+    "BurstyWorkload",
+    "ClosedLoopWorkload",
+    "BatchPolicy",
+    "ContinuousBatcher",
+    "SizeBatcher",
+    "TimeoutBatcher",
+    "register_batcher",
+    "get_batcher",
+    "available_batchers",
+    "ServingEngine",
+    "ServeResult",
+    "BatchRecord",
+    "ServeError",
+    "replay_batches",
+    "ServeMetrics",
+    "compute_metrics",
+    "size1_capacity",
+    "tpu_mlp_request_type",
+]

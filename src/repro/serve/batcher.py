@@ -1,0 +1,166 @@
+"""Dynamic-batching policies — when does a queue become a batch?
+
+The paper's cost model makes the trade-off exact: a tensor call costs
+``n*sqrt(m) + l``, so serving requests one-by-one pays the invocation
+latency ``l`` per request while a batch of k pays it once per call —
+but every queued request *waits* for the batch to form.  A batching
+policy is the rule that resolves this tension; this module owns it,
+decoupled from the engine, behind the same name registry idiom as
+:mod:`repro.core.scheduling`.
+
+Policies
+--------
+``continuous``
+    Release whenever the engine is free and the queue is non-empty,
+    taking everything queued (up to ``max_size``) — continuous batching
+    as modern serving stacks practice it.  ``max_size=1`` degenerates
+    to no batching at all (the size-1 baseline the benches compare
+    against).
+``size``
+    Size-triggered: hold the queue until ``size`` requests are waiting,
+    then release exactly that many.  Maximises amortisation, unbounded
+    wait at low load (the engine's drain flag flushes the remainder
+    when the arrival stream ends).
+``timeout``
+    Deadline-triggered: release when the *oldest* queued request has
+    waited ``timeout`` model-time units, or earlier if ``max_size``
+    requests accumulate.  The classic bounded-wait compromise.
+
+The engine calls :meth:`BatchPolicy.release_time` with the current
+model clock whenever the machine is idle; the returned time is the
+earliest the policy would release a batch from that queue *assuming no
+further arrivals* (``inf`` for "not without more requests").  New
+arrivals re-trigger the question, so policies stay pure functions of
+the queue state.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from .workload import Request
+
+__all__ = [
+    "BatchPolicy",
+    "ContinuousBatcher",
+    "SizeBatcher",
+    "TimeoutBatcher",
+    "register_batcher",
+    "get_batcher",
+    "available_batchers",
+]
+
+
+class BatchPolicy:
+    """Base class: decide when a kind's FIFO queue releases a batch.
+
+    Policies are stateless (configuration only); all queue state lives
+    in the engine, so one policy instance can drive many engines.
+    """
+
+    name = "abstract"
+    max_size: int = 2**31
+
+    def release_time(self, queue: deque, now: float, draining: bool) -> float:
+        """Earliest model time a batch should launch from ``queue``,
+        assuming no further arrivals; ``math.inf`` for "not yet".
+
+        ``draining`` is set by the engine once the arrival stream is
+        exhausted and nothing is in flight — every policy must release
+        a non-empty queue then, or the simulation could not terminate.
+        """
+        raise NotImplementedError
+
+    def take(self, queue: deque, now: float) -> list[Request]:
+        """Pop and return the batch to launch now (FIFO prefix)."""
+        count = min(len(queue), self.max_size)
+        return [queue.popleft() for _ in range(count)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ContinuousBatcher(BatchPolicy):
+    """Serve whatever is queued the moment the engine is free."""
+
+    name = "continuous"
+
+    def __init__(self, max_size: int = 64) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.max_size = int(max_size)
+
+    def release_time(self, queue: deque, now: float, draining: bool) -> float:
+        return now if queue else math.inf
+
+
+class SizeBatcher(BatchPolicy):
+    """Hold the queue until ``size`` requests are waiting."""
+
+    name = "size"
+
+    def __init__(self, size: int = 16) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = int(size)
+        self.max_size = int(size)
+
+    def release_time(self, queue: deque, now: float, draining: bool) -> float:
+        if not queue:
+            return math.inf
+        if len(queue) >= self.size or draining:
+            return now
+        return math.inf
+
+
+class TimeoutBatcher(BatchPolicy):
+    """Bounded wait: release when the head request has aged ``timeout``
+    (or ``max_size`` requests accumulate, whichever happens first)."""
+
+    name = "timeout"
+
+    def __init__(self, timeout: float = 1024.0, max_size: int = 64) -> None:
+        if timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {timeout}")
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        self.timeout = float(timeout)
+        self.max_size = int(max_size)
+
+    def release_time(self, queue: deque, now: float, draining: bool) -> float:
+        if not queue:
+            return math.inf
+        if len(queue) >= self.max_size or draining:
+            return now
+        return max(now, queue[0].arrival + self.timeout)
+
+
+_REGISTRY: dict[str, BatchPolicy] = {}
+
+
+def register_batcher(policy: BatchPolicy) -> BatchPolicy:
+    """Add a policy instance to the name registry (last write wins)."""
+    _REGISTRY[policy.name] = policy
+    return policy
+
+
+for _policy in (ContinuousBatcher(), SizeBatcher(), TimeoutBatcher()):
+    register_batcher(_policy)
+
+
+def available_batchers() -> tuple[str, ...]:
+    """Registered policy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_batcher(policy: str | BatchPolicy) -> BatchPolicy:
+    """Resolve a policy by name (or pass an instance through)."""
+    if isinstance(policy, BatchPolicy):
+        return policy
+    try:
+        return _REGISTRY[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown batching policy {policy!r}; available: {available_batchers()}"
+        ) from None

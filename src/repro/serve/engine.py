@@ -1,0 +1,344 @@
+"""The serving engine: a discrete-event loop over the ledger clock.
+
+:class:`ServingEngine` turns the repo's offline machinery into an
+online simulator: requests arrive (from a :class:`~repro.serve.workload.Workload`),
+queue per kind, are grouped by a :class:`~repro.serve.batcher.BatchPolicy`,
+and each released batch is executed on the engine's machine through the
+request type's ordinary planned kernels.  The simulated clock is the
+model clock: a batch's service time is the span of
+:attr:`~repro.core.ledger.CostLedger.clock` its execution charges
+(measured with :meth:`~repro.core.ledger.CostLedger.stopwatch`), so on
+a :class:`~repro.core.parallel.ParallelTCUMachine` the clock advances
+by scheduled makespans while the call trace keeps the true per-call
+hardware work — exactly the PR3 invariant, now driven by live traffic.
+
+Two conservation properties pin the engine to the offline model (see
+:meth:`ServeResult.check_conservation` and the replay tests):
+
+* **Clock conservation.**  Batches execute back-to-back on one engine:
+  every launch is at or after the previous completion, each request's
+  completion is bit-identical to its batch's ``launch + service``, the
+  engine's busy time is the ledger-clock span of the whole run, and the
+  final clock is the last completion.
+* **Work conservation.**  A request type's model cost depends only on
+  the batch's shapes, so replaying the recorded
+  :class:`BatchRecord` stream through :func:`replay_batches` on *any*
+  equivalently-parameterised machine — serial, parallel via
+  :meth:`~repro.core.parallel.ParallelTCUMachine.mm_batch`, numeric or
+  cost-only — reproduces the served run's per-shape tensor and latency
+  charges bit-identically.
+
+Quickstart::
+
+    >>> from repro.core.machine import TCUMachine
+    >>> from repro.serve import PoissonWorkload, ServingEngine
+    >>> machine = TCUMachine(m=16, ell=64.0)
+    >>> wl = PoissonWorkload(rate=1e-4, total=32, kind="matmul", rows=8, seed=1)
+    >>> result = ServingEngine(machine, batcher="continuous").serve(wl)
+    >>> result.completed, result.clock > 0
+    (32, True)
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import count
+
+from ..core.ledger import CostLedger
+from ..core.machine import TCUMachine
+from .batcher import BatchPolicy, get_batcher
+from .workload import Request, Workload, get_request_type
+
+__all__ = ["ServingEngine", "ServeResult", "BatchRecord", "ServeError", "replay_batches"]
+
+
+class ServeError(RuntimeError):
+    """Raised on invalid serving states (non-monotone arrivals, a policy
+    refusing to drain, a violated conservation invariant)."""
+
+
+@dataclass(frozen=True, slots=True)
+class BatchRecord:
+    """One executed batch: its composition and its place on the clock.
+
+    The ``(kind, rows)`` pair is a complete recipe for re-executing the
+    batch — request types charge from shapes alone — so a list of these
+    records is an exact replay script for the whole served run.
+    """
+
+    index: int
+    kind: str
+    rids: tuple[int, ...]
+    rows: tuple[int, ...]
+    launch: float
+    service: float
+
+    @property
+    def size(self) -> int:
+        return len(self.rids)
+
+    @property
+    def completion(self) -> float:
+        return self.launch + self.service
+
+
+@dataclass
+class ServeResult:
+    """Everything a served run produced: per-request records, per-batch
+    records, and the run-level clock accounting."""
+
+    requests: list[Request]
+    batches: list[BatchRecord]
+    clock: float
+    busy_time: float
+    ledger_time: float
+    policy: str
+    machine: TCUMachine
+    trace_start: int = 0
+    trace_end: int = 0
+    kind_time: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return len(self.requests)
+
+    def check_conservation(self, rel_tol: float = 1e-9) -> None:
+        """Verify the engine-clock invariants; raises :class:`ServeError`.
+
+        * every request completed, launched at/after arrival, and its
+          completion is *bit-identical* to its batch's
+          ``launch + service``;
+        * batches are serial: each launch >= the previous completion;
+        * the busy time (sum of services) matches the ledger-clock span
+          of the run, and the final clock is the last completion;
+        * the per-request identity sum(latency) = sum(wait) + sum over
+          batches of size * service holds (up to float accumulation).
+        """
+        by_index = {b.index: b for b in self.batches}
+        for req in self.requests:
+            if not req.done:
+                raise ServeError(f"request {req.rid} never completed")
+            if req.launch < req.arrival:
+                raise ServeError(
+                    f"request {req.rid} launched at {req.launch} before its "
+                    f"arrival {req.arrival}"
+                )
+            batch = by_index.get(req.batch)
+            if batch is None:
+                raise ServeError(f"request {req.rid} has no batch record")
+            if req.completion != batch.launch + batch.service:
+                raise ServeError(
+                    f"request {req.rid} completion {req.completion} != its "
+                    f"batch's launch+service {batch.launch + batch.service}"
+                )
+        prev_completion = 0.0
+        for batch in self.batches:
+            if batch.launch < prev_completion:
+                raise ServeError(
+                    f"batch {batch.index} launched at {batch.launch} while the "
+                    f"engine was busy until {prev_completion}"
+                )
+            prev_completion = batch.completion
+        if self.batches and self.clock != self.batches[-1].completion:
+            raise ServeError(
+                f"final clock {self.clock} != last completion "
+                f"{self.batches[-1].completion}"
+            )
+        if not math.isclose(
+            self.busy_time, self.ledger_time, rel_tol=rel_tol, abs_tol=rel_tol
+        ):
+            raise ServeError(
+                f"busy time {self.busy_time} diverged from the ledger-clock "
+                f"span {self.ledger_time}"
+            )
+        total_latency = sum(r.latency for r in self.requests)
+        total_wait = sum(r.wait for r in self.requests)
+        total_service = sum(b.size * b.service for b in self.batches)
+        if not math.isclose(
+            total_latency,
+            total_wait + total_service,
+            rel_tol=rel_tol,
+            abs_tol=rel_tol,
+        ):
+            raise ServeError(
+                f"sum(latency)={total_latency} != sum(wait)+sum(size*service)="
+                f"{total_wait + total_service}"
+            )
+
+
+class ServingEngine:
+    """One machine, one batching policy, serving a workload to completion.
+
+    The event loop advances the simulated clock over exactly three event
+    kinds — request arrival, batch release, batch completion — and asks
+    the policy for the next release time whenever the machine is idle.
+    Batches execute back-to-back (the machine serves one batch at a
+    time; parallelism lives *inside* a batch, across the machine's
+    tensor units).
+    """
+
+    def __init__(self, machine: TCUMachine, batcher: str | BatchPolicy = "continuous") -> None:
+        self.machine = machine
+        self.batcher = get_batcher(batcher)
+
+    def serve(self, workload: Workload, *, validate: bool = True) -> ServeResult:
+        machine = self.machine
+        ledger = machine.ledger
+        policy = self.batcher
+        queues: dict[str, deque[Request]] = {}
+        injected: list[tuple[float, int, Request]] = []
+        seq = count()
+        base = iter(workload.requests())
+        base_head = next(base, None)
+        last_arrival = -math.inf
+
+        def next_arrival_time() -> float:
+            bt = base_head.arrival if base_head is not None else math.inf
+            it = injected[0][0] if injected else math.inf
+            return min(bt, it)
+
+        def pop_arrival() -> Request:
+            nonlocal base_head, last_arrival
+            bt = base_head.arrival if base_head is not None else math.inf
+            it = injected[0][0] if injected else math.inf
+            if bt <= it:
+                req = base_head
+                base_head = next(base, None)
+            else:
+                req = heapq.heappop(injected)[2]
+            if req.arrival < last_arrival:
+                raise ServeError(
+                    f"arrival stream is not time-ordered: {req.arrival} after "
+                    f"{last_arrival}"
+                )
+            last_arrival = req.arrival
+            return req
+
+        clock = 0.0
+        active: list[Request] | None = None
+        busy_until = math.inf
+        finished: list[Request] = []
+        batches: list[BatchRecord] = []
+        trace_start = len(ledger.calls) if ledger.trace_calls is True else 0
+        ledger_start = ledger.clock
+        busy_time = 0.0
+        # per-run section baselines: ledger sections are cumulative over
+        # the machine's lifetime, results report only this run's share
+        kind_base: dict[str, float] = {}
+
+        while True:
+            na = next_arrival_time()
+            if active is not None:
+                # one event: whichever of completion / arrival is sooner
+                if busy_until <= na:
+                    clock = busy_until
+                    for req in active:
+                        req.completion = clock
+                        finished.append(req)
+                        for new in workload.on_complete(req, clock):
+                            heapq.heappush(injected, (new.arrival, next(seq), new))
+                    active = None
+                else:
+                    clock = na
+                    req = pop_arrival()
+                    queues.setdefault(req.kind, deque()).append(req)
+                continue
+
+            # machine idle: earliest release across the kind queues,
+            # tie-broken by oldest head request then kind name
+            draining = na == math.inf
+            best: tuple[float, float, str] | None = None
+            for kind, queue in queues.items():
+                if not queue:
+                    continue
+                release = policy.release_time(queue, clock, draining)
+                if release == math.inf:
+                    continue
+                candidate = (release, queue[0].arrival, kind)
+                if best is None or candidate < best:
+                    best = candidate
+
+            # strict <: an arrival at the release instant is admitted
+            # first, so simultaneous arrivals batch together instead of
+            # splitting into a size-1 batch plus a remainder
+            if best is not None and best[0] < na:
+                release, _, kind = best
+                clock = max(clock, release)
+                batch = policy.take(queues[kind], clock)
+                if not batch:
+                    raise ServeError(f"policy {policy.name!r} released an empty batch")
+                rtype = get_request_type(kind)
+                kind_base.setdefault(kind, ledger.section_time(f"serve:{kind}"))
+                with ledger.stopwatch() as span, ledger.section(f"serve:{kind}"):
+                    rtype.serve(machine, [r.rows for r in batch])
+                service = span.elapsed
+                record = BatchRecord(
+                    index=len(batches),
+                    kind=kind,
+                    rids=tuple(r.rid for r in batch),
+                    rows=tuple(r.rows for r in batch),
+                    launch=clock,
+                    service=service,
+                )
+                batches.append(record)
+                for req in batch:
+                    req.launch = clock
+                    req.batch = record.index
+                busy_until = clock + service
+                busy_time += service
+                active = batch
+            elif na < math.inf:
+                clock = na
+                req = pop_arrival()
+                queues.setdefault(req.kind, deque()).append(req)
+            else:
+                stranded = sum(len(q) for q in queues.values())
+                if stranded:
+                    raise ServeError(
+                        f"policy {policy.name!r} refused to drain "
+                        f"{stranded} queued request(s)"
+                    )
+                break
+
+        result = ServeResult(
+            requests=finished,
+            batches=batches,
+            clock=clock if batches else 0.0,
+            busy_time=busy_time,
+            ledger_time=ledger.clock - ledger_start,
+            policy=policy.name,
+            machine=machine,
+            trace_start=trace_start,
+            trace_end=len(ledger.calls) if ledger.trace_calls is True else 0,
+            kind_time={
+                kind: ledger.section_time(f"serve:{kind}") - base
+                for kind, base in kind_base.items()
+            },
+        )
+        if validate:
+            result.check_conservation()
+        return result
+
+
+def replay_batches(
+    batches: list[BatchRecord], machine: TCUMachine
+) -> CostLedger:
+    """Re-execute a served run's batches, in order, on ``machine``.
+
+    Because request types charge from shapes alone, the replayed
+    ledger's *hardware work* — per-shape call totals, call count, and
+    (on serial machines) the tensor/latency time columns — is
+    bit-identical to the served run's, whatever mix of numeric,
+    cost-only, serial or multi-unit machines the two sides use.  This
+    is the serving layer's equivalent of the batch-vs-serial parity the
+    scheduler tests pin: dynamic batching changes *when* work happens,
+    never *how much*.
+
+    Returns the machine's ledger for inspection.
+    """
+    for batch in batches:
+        get_request_type(batch.kind).serve(machine, batch.rows)
+    return machine.ledger

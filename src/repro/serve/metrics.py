@@ -1,0 +1,171 @@
+"""SLO-facing metrics for a served run.
+
+Turns a :class:`~repro.serve.engine.ServeResult` into the numbers a
+capacity planner asks for: throughput, the latency distribution
+(p50/p95/p99), SLO attainment and goodput, engine utilisation, and —
+on multi-unit machines with a full call trace — the per-tensor-unit
+busy shares recovered from the ledger's ``unit_id`` column.
+
+All quantities are in model time (the ledger clock), so two runs on
+different hosts produce identical metrics for identical (workload,
+machine, policy) triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.parallel import ParallelTCUMachine
+from .engine import ServeResult
+
+__all__ = ["ServeMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class ServeMetrics:
+    """Aggregate serving statistics for one run.
+
+    Attributes
+    ----------
+    requests, batches:
+        Completed requests and executed batches.
+    clock:
+        Final engine clock (model time of the last completion).
+    throughput:
+        Completed requests per unit of model time.
+    latency_mean / latency_p50 / latency_p95 / latency_p99 / latency_max:
+        The end-to-end (wait + service) latency distribution.
+    wait_mean, service_mean:
+        Mean queueing delay and mean in-machine time per request.
+    batch_size_mean:
+        Requests per executed batch.
+    slo:
+        The latency objective the SLO numbers were computed against:
+        the caller's fallback if given, else the single distinct
+        per-request objective (``None`` when objectives were absent or
+        mixed — attainment/goodput still reflect the per-request ones).
+    slo_attainment:
+        Fraction of requests whose latency met their objective.
+    goodput:
+        SLO-meeting completions per unit of model time.
+    utilization:
+        Engine busy fraction: busy time / final clock.
+    unit_busy_share:
+        Per-tensor-unit busy fraction of the clock, recovered from the
+        trace's ``unit_id`` column (key ``-1`` collects serially issued
+        calls).  ``None`` unless the machine is a
+        :class:`~repro.core.parallel.ParallelTCUMachine` with a full
+        call trace.
+    kind_time:
+        Model time charged per request kind *during this run* (the
+        engine snapshots its ``serve:<kind>`` ledger sections per run,
+        so reusing one machine across serves never double-counts).
+    """
+
+    requests: int
+    batches: int
+    clock: float
+    throughput: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    latency_max: float
+    wait_mean: float
+    service_mean: float
+    batch_size_mean: float
+    slo: float | None
+    slo_attainment: float | None
+    goodput: float | None
+    utilization: float
+    unit_busy_share: dict[int, float] | None
+    kind_time: dict[str, float]
+
+
+def _unit_busy_share(result: ServeResult) -> dict[int, float] | None:
+    machine = result.machine
+    if not isinstance(machine, ParallelTCUMachine):
+        return None
+    ledger = machine.ledger
+    if ledger.trace_calls is not True or result.clock <= 0:
+        return None
+    units = ledger.calls.unit_ids()[result.trace_start : result.trace_end]
+    times = ledger.calls.as_arrays()[2][result.trace_start : result.trace_end]
+    if units.size == 0:
+        return {}
+    busy: dict[int, float] = {}
+    for unit in np.unique(units):
+        busy[int(unit)] = float(times[units == unit].sum()) / result.clock
+    return busy
+
+
+def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMetrics:
+    """Summarise a served run; ``slo`` is the fallback latency objective
+    for requests that did not carry their own."""
+    n = len(result.requests)
+    clock = result.clock
+    if n == 0:
+        return ServeMetrics(
+            requests=0,
+            batches=0,
+            clock=0.0,
+            throughput=0.0,
+            latency_mean=0.0,
+            latency_p50=0.0,
+            latency_p95=0.0,
+            latency_p99=0.0,
+            latency_max=0.0,
+            wait_mean=0.0,
+            service_mean=0.0,
+            batch_size_mean=0.0,
+            slo=slo,
+            slo_attainment=None,
+            goodput=None,
+            utilization=0.0,
+            unit_busy_share=None,
+            kind_time={},
+        )
+    latencies = np.array([r.latency for r in result.requests])
+    waits = np.array([r.wait for r in result.requests])
+    p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
+
+    objectives = np.array(
+        [r.slo if r.slo is not None else (slo if slo is not None else np.nan)
+         for r in result.requests]
+    )
+    with_slo = ~np.isnan(objectives)
+    effective_slo = slo
+    if with_slo.any():
+        met = int((latencies[with_slo] <= objectives[with_slo]).sum())
+        attainment = met / int(with_slo.sum())
+        goodput = met / clock if clock else 0.0
+        if effective_slo is None:
+            distinct = np.unique(objectives[with_slo])
+            if distinct.size == 1:
+                effective_slo = float(distinct[0])
+    else:
+        attainment = None
+        goodput = None
+
+    return ServeMetrics(
+        requests=n,
+        batches=len(result.batches),
+        clock=clock,
+        throughput=n / clock if clock else 0.0,
+        latency_mean=float(latencies.mean()),
+        latency_p50=float(p50),
+        latency_p95=float(p95),
+        latency_p99=float(p99),
+        latency_max=float(latencies.max()),
+        wait_mean=float(waits.mean()),
+        service_mean=float((latencies - waits).mean()),
+        batch_size_mean=n / len(result.batches) if result.batches else 0.0,
+        slo=effective_slo,
+        slo_attainment=attainment,
+        goodput=goodput,
+        utilization=result.busy_time / clock if clock else 0.0,
+        unit_busy_share=_unit_busy_share(result),
+        kind_time=dict(sorted(result.kind_time.items())),
+    )

@@ -1,0 +1,49 @@
+"""Reusable serving scenarios shared by benchmarks and examples.
+
+The TPUv1 MLP scenario is the paper's own serving story (§2.2: the TPU
+exists to serve MLP inference; §3.1: its per-call latency is enormous),
+so both ``benchmarks/bench_serving.py`` and ``examples/serving_sim.py``
+sweep it.  Defining the request type and its measured size-1 capacity
+once keeps the CI gate and the documented walkthrough from drifting
+apart.
+"""
+
+from __future__ import annotations
+
+from ..core.presets import TPU_V1, MachineSpec
+from .workload import (
+    MLPRequestType,
+    RequestType,
+    get_request_type,
+    register_request_type,
+)
+
+__all__ = ["TPU_MLP_NAME", "tpu_mlp_request_type", "size1_capacity"]
+
+TPU_MLP_NAME = "mlp-256-tpu"
+
+
+def tpu_mlp_request_type() -> RequestType:
+    """The §2.2 TPU serving workload: a 2-layer 256-wide MLP whose every
+    layer is exactly one resident 256x256 block on the TPUv1 preset
+    (sqrt(m)=256).  Registered on first use; idempotent."""
+    try:
+        return get_request_type(TPU_MLP_NAME)
+    except ValueError:
+        return register_request_type(
+            MLPRequestType(name=TPU_MLP_NAME, dims=(256, 256, 256), default_rows=256)
+        )
+
+
+def size1_capacity(
+    rtype: RequestType | None = None,
+    spec: MachineSpec = TPU_V1,
+    rows: int = 256,
+) -> float:
+    """Model time one unbatched request costs on ``spec`` — *measured*
+    (a single size-1 serve on a cost-only machine), so offered-load
+    sweeps track any change to the request dims, the preset's ``ell``
+    or the charging rules instead of a hand-derived constant."""
+    machine = spec.create(execute="cost-only", trace_calls=False)
+    (rtype or tpu_mlp_request_type()).serve(machine, [rows])
+    return machine.ledger.total_time

@@ -390,3 +390,87 @@ class TestPlannedVersusEager:
         sim_e = simulate_ledger_io(eager.ledger, weak=True)
         sim_p = simulate_ledger_io(planned.ledger, weak=True)
         assert sim_p.tensor_ios == sim_e.tensor_ios
+
+
+class TestPlaceholderResidents:
+    """Cost-only placeholders must not merge as shared resident blocks.
+
+    Every :func:`~repro.core.machine.placeholder` aliases the same zero
+    scalar, so buffer identity cannot distinguish two placeholder
+    residents standing for different hypothetical weights; merging them
+    would charge fewer latencies than the numeric run.
+    """
+
+    def test_distinct_placeholders_stay_unmerged(self):
+        from repro.core.machine import placeholder
+
+        machine = TCUMachine(m=16, ell=100.0, execute="cost-only")
+        prog = TensorProgram()
+        for _ in range(5):
+            prog.mm(placeholder((8, 4)), placeholder((4, 4)))
+        plan = plan_program(prog, machine)
+        assert plan.stats.tensor_calls_planned == 5
+        assert plan.stats.merged_away == 0
+        execute_plan(plan, machine)
+        assert machine.ledger.latency_time == 500.0
+
+    def test_cost_only_matmul_charges_match_numeric_on_parallel(self, rng):
+        from repro.core.machine import placeholder
+
+        A = rng.random((32, 16))
+        B = rng.random((16, 16))
+        numeric = ParallelTCUMachine(m=16, ell=32.0, units=2)
+        matmul(numeric, A, B)
+        cost = ParallelTCUMachine(m=16, ell=32.0, units=2, execute="cost-only")
+        matmul(cost, placeholder((32, 16)), placeholder((16, 16)))
+        assert cost.ledger.snapshot() == numeric.ledger.snapshot()
+        assert cost.ledger.call_shape_totals() == numeric.ledger.call_shape_totals()
+
+    def test_shared_placeholder_object_still_merges(self):
+        """Reusing the *same* placeholder object signals shared
+        residency (the matmul_lazy contract) and merges exactly like a
+        shared numeric weight matrix would."""
+        from repro.core.machine import placeholder
+
+        W = placeholder((4, 4))
+        machine = TCUMachine(m=16, ell=100.0, execute="cost-only")
+        prog = TensorProgram()
+        for _ in range(5):
+            prog.mm(placeholder((8, 4)), W)
+        plan = plan_program(prog, machine)
+        assert plan.stats.tensor_calls_planned == 1
+        assert plan.stats.merged_away == 4
+        execute_plan(plan, machine)
+        assert machine.ledger.latency_time == 100.0
+
+    def test_distinct_partial_broadcast_views_still_merge(self, rng):
+        """Two distinct partially-broadcast views of the same buffer
+        alias the same elements, so buffer-keying (and merging) stays
+        sound for them — only fully zero-strided scalars opt out."""
+        W_row = rng.random((1, 4))
+        machine = TCUMachine(m=16, ell=50.0)
+        prog = TensorProgram()
+        for _ in range(2):
+            # a fresh view object each time: same pointer, strides (0, 8)
+            prog.mm(rng.random((8, 4)), np.broadcast_to(W_row, (4, 4)))
+        plan = plan_program(prog, machine)
+        assert plan.stats.tensor_calls_planned == 1
+        assert plan.stats.merged_away == 1
+
+    def test_numeric_broadcast_resident_still_sound(self, rng):
+        """A broadcast numeric resident reused across ops merges (same
+        object = shared residency) with numerically identical results."""
+        W_row = rng.random((1, 4))
+        W = np.broadcast_to(W_row, (4, 4))
+        streams = [rng.random((8, 4)) for _ in range(3)]
+        eager = TCUMachine(m=16, ell=7.0)
+        expected = [eager.mm(X, W) for X in streams]
+        planned = TCUMachine(m=16, ell=7.0)
+        prog = TensorProgram()
+        ops = [prog.mm(X, W) for X in streams]
+        plan = run_program(prog, planned)
+        assert plan.stats.tensor_calls_planned == 1  # one latency for all
+        assert planned.ledger.tensor_time == eager.ledger.tensor_time
+        assert planned.ledger.latency_time == 7.0
+        for op, want in zip(ops, expected):
+            assert np.allclose(op.result(), want)

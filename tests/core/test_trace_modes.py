@@ -1,6 +1,7 @@
 """Tests for the columnar CallTrace, the aggregate trace mode and
 ``calls_summary`` — the O(1)-per-shape accounting for long benches."""
 
+import numpy as np
 import pytest
 
 from repro import TCUMachine, matmul
@@ -160,3 +161,99 @@ class TestCallsSummary:
         assert len(led.calls) == 0
         assert len(led._agg) == 1
         assert led.calls_summary()["histogram"] == {8: 10_000}
+
+
+class TestMergeResetUnitInteraction:
+    """merged_with / reset across trace modes and the unit_id column —
+    the accounting paths the serving engine's long multi-unit runs
+    exercise (PR4 satellite coverage)."""
+
+    @staticmethod
+    def _batch_machine(trace_calls=True, units=3):
+        from repro import ParallelTCUMachine
+
+        machine = ParallelTCUMachine(m=16, ell=8.0, units=units, trace_calls=trace_calls)
+        rng = np.random.default_rng(99)
+        pairs = [(rng.random((4 * (i + 1), 4)), rng.random((4, 4))) for i in range(5)]
+        machine.mm_batch(pairs)
+        return machine
+
+    def test_merged_with_preserves_unit_ids(self):
+        a = self._batch_machine().ledger
+        b = self._batch_machine().ledger
+        merged = a.merged_with(b)
+        expected = np.concatenate([a.calls.unit_ids(), b.calls.unit_ids()])
+        assert np.array_equal(merged.calls.unit_ids(), expected)
+        # batched calls actually landed on units (not the serial -1)
+        assert (merged.calls.unit_ids() >= 0).all()
+
+    def test_merged_with_mixes_serial_and_batched_units(self):
+        serial = CostLedger()
+        serial.charge_tensor(8, 4, 8.0)
+        batched = self._batch_machine().ledger
+        merged = serial.merged_with(batched)
+        units = merged.calls.unit_ids()
+        assert units[0] == -1 and (units[1:] >= 0).all()
+
+    def test_reset_clears_unit_column(self):
+        ledger = self._batch_machine().ledger
+        assert ledger.calls.unit_ids().size == 5
+        ledger.reset()
+        assert ledger.calls.unit_ids().size == 0
+        # the ledger is reusable after reset: new batches tag units again
+        from repro import ParallelTCUMachine
+
+        machine = ParallelTCUMachine(m=16, ell=8.0, units=2, ledger=ledger)
+        rng = np.random.default_rng(7)
+        machine.mm_batch([(rng.random((4, 4)), rng.random((4, 4)))])
+        assert ledger.calls.unit_ids().size == 1
+
+    def test_aggregate_batch_merge_matches_full_trace_totals(self):
+        """Aggregate ledgers fed by mm_batch merge to the same per-shape
+        totals as full traces (unit detail is the only loss)."""
+        full = self._batch_machine(trace_calls=True).ledger
+        agg = self._batch_machine(trace_calls="aggregate").ledger
+        assert agg.call_shape_totals() == full.call_shape_totals()
+        merged = full.merged_with(agg)
+        assert merged.trace_calls == "aggregate"
+        expected = {
+            shape: (2 * count, 2 * time, 2 * lat)
+            for shape, (count, time, lat) in full.call_shape_totals().items()
+        }
+        assert merged.call_shape_totals() == expected
+
+    def test_aggregate_reset_then_reuse_then_merge(self):
+        agg = CostLedger(trace_calls="aggregate")
+        agg.charge_tensor(8, 4, 1.0)
+        agg.reset()
+        assert agg.call_shape_totals() == {}
+        agg.charge_tensor(16, 4, 2.0)
+        other = CostLedger(trace_calls="aggregate")
+        other.charge_tensor(16, 4, 2.0)
+        merged = agg.merged_with(other)
+        assert merged.call_shape_totals() == {(16, 4): (2, 132.0, 4.0)}
+        assert merged.tensor_calls == 2
+        # the merge result resets cleanly too
+        merged.reset()
+        assert merged.call_shape_totals() == {} and merged.total_time == 0.0
+
+    def test_merged_ledger_is_independent_of_sources(self):
+        a = CostLedger(trace_calls="aggregate")
+        a.charge_tensor(8, 4, 1.0)
+        b = CostLedger(trace_calls="aggregate")
+        b.charge_tensor(4, 4, 1.0)
+        merged = a.merged_with(b)
+        a.reset()
+        assert merged.tensor_calls == 2
+        assert merged.call_shape_totals() == {
+            (8, 4): (1, 33.0, 1.0),
+            (4, 4): (1, 17.0, 1.0),
+        }
+
+    def test_merge_after_reset_is_identity_of_other(self):
+        a = self._batch_machine().ledger
+        a.reset()
+        b = self._batch_machine().ledger
+        merged = a.merged_with(b)
+        assert merged.snapshot() == b.snapshot()
+        assert np.array_equal(merged.calls.unit_ids(), b.calls.unit_ids())

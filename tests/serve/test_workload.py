@@ -1,0 +1,160 @@
+"""Workload generators and the request-type registry."""
+
+import numpy as np
+import pytest
+
+from repro import TCUMachine
+from repro.serve import (
+    BurstyWorkload,
+    ClosedLoopWorkload,
+    MatmulRequestType,
+    PoissonWorkload,
+    RequestType,
+    available_request_types,
+    get_request_type,
+    register_request_type,
+)
+
+
+def arrivals(workload):
+    return [r.arrival for r in workload.requests()]
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self):
+        names = available_request_types()
+        for kind in ("matmul", "mlp", "dft", "stencil"):
+            assert kind in names
+
+    def test_get_by_name_and_instance(self):
+        rtype = get_request_type("matmul")
+        assert rtype.name == "matmul"
+        assert get_request_type(rtype) is rtype
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown request type"):
+            get_request_type("no-such-kind")
+
+    def test_custom_registration(self):
+        class Custom(RequestType):
+            name = "custom-nop"
+            default_rows = 4
+
+            def serve(self, machine, rows):
+                machine.charge_cpu(float(sum(rows)))
+
+        register_request_type(Custom())
+        assert "custom-nop" in available_request_types()
+        machine = TCUMachine(m=16, ell=0.0)
+        get_request_type("custom-nop").serve(machine, [4, 4])
+        assert machine.ledger.cpu_time == 8.0
+
+
+class TestRequestTypeCharging:
+    def test_cost_only_matches_numeric(self):
+        rows = [8, 4, 12]
+        for kind in ("matmul", "mlp", "dft", "stencil"):
+            numeric = TCUMachine(m=16, ell=8.0)
+            cost = TCUMachine(m=16, ell=8.0, execute="cost-only")
+            get_request_type(kind).serve(numeric, rows)
+            get_request_type(kind).serve(cost, rows)
+            assert numeric.ledger.snapshot() == cost.ledger.snapshot(), kind
+
+    def test_matmul_kind_charges_shape_only(self):
+        a = TCUMachine(m=16, ell=8.0)
+        b = TCUMachine(m=16, ell=8.0)
+        rtype = MatmulRequestType(name="mm-test", width=16, default_rows=8)
+        rtype.serve(a, [8, 8])
+        rtype.serve(b, [16])  # same total rows -> same stacked stream
+        assert a.ledger.snapshot() == b.ledger.snapshot()
+
+    def test_empty_batch_charges_nothing(self):
+        machine = TCUMachine(m=16, ell=8.0)
+        get_request_type("matmul").serve(machine, [])
+        assert machine.ledger.total_time == 0.0
+
+
+class TestPoisson:
+    def test_seeded_determinism(self):
+        wl = PoissonWorkload(rate=0.01, total=50, seed=7)
+        assert arrivals(wl) == arrivals(PoissonWorkload(rate=0.01, total=50, seed=7))
+        assert arrivals(wl) != arrivals(PoissonWorkload(rate=0.01, total=50, seed=8))
+
+    def test_monotone_and_counted(self):
+        times = arrivals(PoissonWorkload(rate=0.05, total=200, seed=1))
+        assert len(times) == 200
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_mean_gap_tracks_rate(self):
+        times = np.array(arrivals(PoissonWorkload(rate=0.02, total=4000, seed=3)))
+        mean_gap = float(np.diff(times, prepend=0.0).mean())
+        assert mean_gap == pytest.approx(50.0, rel=0.1)
+
+    def test_rows_choices_drawn_from_set(self):
+        wl = PoissonWorkload(rate=0.01, total=100, rows=(4, 8, 16), seed=2)
+        rows = {r.rows for r in wl.requests()}
+        assert rows <= {4, 8, 16} and len(rows) > 1
+
+    def test_default_rows_come_from_kind(self):
+        req = next(iter(PoissonWorkload(rate=0.01, total=1, kind="dft", seed=0).requests()))
+        assert req.rows == get_request_type("dft").default_rows
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonWorkload(rate=0.0, total=10)
+        with pytest.raises(ValueError):
+            PoissonWorkload(rate=1.0, total=-1)
+
+
+class TestBursty:
+    def test_seeded_determinism_and_order(self):
+        wl = BurstyWorkload(0.05, 0.005, 300, dwell=500.0, seed=11)
+        times = arrivals(wl)
+        assert times == arrivals(BurstyWorkload(0.05, 0.005, 300, dwell=500.0, seed=11))
+        assert len(times) == 300
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_burstier_than_poisson(self):
+        """Gap dispersion of an MMPP exceeds the exponential's CV of 1."""
+        times = np.array(arrivals(BurstyWorkload(0.1, 0.001, 2000, dwell=2000.0, seed=5)))
+        gaps = np.diff(times, prepend=0.0)
+        cv = float(gaps.std() / gaps.mean())
+        assert cv > 1.3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurstyWorkload(0.0, 0.1, 10, dwell=10.0)
+        with pytest.raises(ValueError):
+            BurstyWorkload(0.1, 0.1, 10, dwell=0.0)
+
+
+class TestClosedLoop:
+    def test_initial_population(self):
+        wl = ClosedLoopWorkload(clients=4, total=20, think=10.0, seed=1)
+        initial = list(wl.requests())
+        assert len(initial) == 4
+        assert all(r.arrival == 0.0 for r in initial)
+
+    def test_on_complete_issues_until_total(self):
+        wl = ClosedLoopWorkload(clients=2, total=5, think=3.0, seed=1)
+        initial = list(wl.requests())
+        issued = list(initial)
+        now = 10.0
+        while True:
+            new = wl.on_complete(issued[0], now)
+            if not new:
+                break
+            assert new[0].arrival == now + 3.0
+            issued.extend(new)
+            now += 1.0
+        assert len(issued) == 5
+        assert sorted(r.rid for r in issued) == list(range(5))
+
+    def test_requests_rearms_the_counter(self):
+        wl = ClosedLoopWorkload(clients=1, total=2, think=0.0, seed=1)
+        first = list(wl.requests())
+        assert len(wl.on_complete(first[0], 1.0)) == 1
+        assert wl.on_complete(first[0], 2.0) == []
+        again = list(wl.requests())  # re-armed
+        assert len(again) == 1
+        assert len(wl.on_complete(again[0], 1.0)) == 1

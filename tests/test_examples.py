@@ -17,7 +17,12 @@ EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
 
 def test_examples_exist():
-    assert len(EXAMPLES) >= 5, "the paper reproduction promises >= 5 examples"
+    assert len(EXAMPLES) >= 7, "the paper reproduction promises >= 7 examples"
+
+
+def test_serving_walkthrough_registered():
+    """PR4 ships an online-serving walkthrough; keep it in the suite."""
+    assert "serving_sim.py" in {path.name for path in EXAMPLES}
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
