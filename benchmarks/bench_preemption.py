@@ -1,0 +1,179 @@
+"""E20 (extension) — preemptible serving gates, writing ``BENCH_PR5.json``.
+
+Three sections back the PR5 preemptible event kernel:
+
+* ``parity`` — the zero-preemption gate: on a single-class workload the
+  armed engine (``preempt=True``, admission unbounded) must reproduce
+  the unarmed one bit-identically — ledger snapshot, per-shape totals,
+  final clock and every completion.  Any drift in the event kernel
+  relative to the run-to-completion semantics fails the bench and CI.
+* ``preemption`` — the two-class TPUv1 scenario
+  (:func:`repro.serve.scenarios.interactive_batch_mix`: priority-2
+  interactive MLP singles vs priority-0 bulk 8-layer forward passes).
+  The gate requires the *high-priority class's p99* to improve under
+  preemption vs run-to-completion FIFO on the latency-bound preset,
+  with the reload overhead explicitly ledgered.
+* ``shedding`` — a shed-rate-vs-offered-load curve under a queue-cap
+  admission policy: no shedding at light load, strictly positive
+  shedding past saturation, goodput recorded alongside.
+
+Smoke-sized by default (seconds); set ``BENCH_PREEMPT_FULL=1`` for a
+denser load curve and more interactive requests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import latency_table
+from repro.core.machine import TCUMachine
+from repro.core.presets import TPU_V1
+from repro.serve import (
+    PoissonWorkload,
+    QueueCapAdmission,
+    ServingEngine,
+    compute_metrics,
+    interactive_batch_mix,
+    size1_capacity,
+    tpu_mlp_request_type,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+FULL = bool(int(os.environ.get("BENCH_PREEMPT_FULL", "0")))
+INTERACTIVE_REQUESTS = 2000 if FULL else 600
+SHED_REQUESTS = 2000 if FULL else 800
+LOADS = (0.5, 0.7, 0.9, 1.0, 1.2, 1.5, 2.0, 3.0) if FULL else (0.5, 0.9, 1.5, 2.5)
+
+REPORT: dict = {
+    "mode": "full" if FULL else "smoke",
+    "parity": {},
+    "preemption": {},
+    "shedding": {},
+}
+
+MLP_TPU = tpu_mlp_request_type()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def write_bench_pr5():
+    """Dump whatever the session accumulated, pass or fail."""
+    yield
+    out = REPO / "BENCH_PR5.json"
+    out.write_text(json.dumps(REPORT, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+
+
+def test_zero_preemption_parity():
+    """Armed-but-idle preemption must change nothing, bit for bit."""
+
+    def run(preempt):
+        machine = TCUMachine(m=16, ell=32.0)
+        workload = PoissonWorkload(rate=1e-3, total=300, kind="mlp", rows=8, seed=0)
+        result = ServingEngine(machine, "timeout", preempt=preempt).serve(workload)
+        return machine, result
+
+    plain_machine, plain = run(False)
+    armed_machine, armed = run(True)
+    gates = {
+        "no_preemptions": armed.preemptions == 0 and armed.reload_time == 0.0,
+        "snapshot_identical": plain_machine.ledger.snapshot()
+        == armed_machine.ledger.snapshot(),
+        "shape_totals_identical": plain_machine.ledger.call_shape_totals()
+        == armed_machine.ledger.call_shape_totals(),
+        "clock_identical": plain.clock == armed.clock,
+        "completions_identical": all(
+            a.completion == b.completion
+            for a, b in zip(plain.requests, armed.requests)
+        ),
+    }
+    REPORT["parity"] = {**gates, "requests": plain.completed}
+    assert all(gates.values()), f"zero-preemption parity violated: {gates}"
+
+
+def test_preemption_beats_fifo_on_high_priority_p99():
+    """The tentpole claim, measured: on the latency-bound TPUv1 preset a
+    preemptible engine strictly improves the interactive class's p99
+    under mixed load, paying only the ledgered reload charges."""
+
+    def run(preempt):
+        machine = TPU_V1.create(execute="cost-only", trace_calls=False)
+        workload = interactive_batch_mix(interactive_total=INTERACTIVE_REQUESTS)
+        result = ServingEngine(machine, "continuous", preempt=preempt).serve(workload)
+        return result, compute_metrics(result)
+
+    fifo_result, fifo = run(False)
+    pre_result, pre = run(True)
+    hi_fifo, hi_pre = fifo.per_class[2], pre.per_class[2]
+    gate = pre_result.preemptions > 0 and hi_pre.latency_p99 < hi_fifo.latency_p99
+    REPORT["preemption"] = {
+        "preset": "tpu-v1 (cost-only)",
+        "interactive_requests": hi_fifo.requests,
+        "bulk_requests": fifo.per_class[0].requests,
+        "preemptions": pre_result.preemptions,
+        "reload_time": pre_result.reload_time,
+        "hi_p99_fifo": hi_fifo.latency_p99,
+        "hi_p99_preempt": hi_pre.latency_p99,
+        "hi_p99_speedup": hi_fifo.latency_p99 / hi_pre.latency_p99,
+        "hi_attainment_fifo": hi_fifo.slo_attainment,
+        "hi_attainment_preempt": hi_pre.slo_attainment,
+        "bulk_p99_fifo": fifo.per_class[0].latency_p99,
+        "bulk_p99_preempt": pre.per_class[0].latency_p99,
+        "preemption_beats_fifo": gate,
+    }
+    print(
+        latency_table(
+            [("fifo", fifo), ("preemptive", pre)],
+            title="two-class TPUv1 overload: interactive vs batch",
+        )
+    )
+    assert gate, "preemption failed to improve the high-priority p99"
+
+
+def test_shed_rate_tracks_offered_load():
+    """Queue-cap admission: clean at light load, shedding at overload."""
+    capacity = size1_capacity()
+    curve = []
+    for load in LOADS:
+        machine = TPU_V1.create(execute="cost-only", trace_calls=False)
+        workload = PoissonWorkload(
+            rate=load / capacity,
+            total=SHED_REQUESTS,
+            kind=MLP_TPU.name,
+            rows=256,
+            slo=8e6,
+            seed=2,
+        )
+        engine = ServingEngine(
+            machine, "continuous", admission=QueueCapAdmission(cap=16)
+        )
+        result = engine.serve(workload)
+        metrics = compute_metrics(result)
+        curve.append(
+            {
+                "load": load,
+                "shed_rate": result.shed_rate,
+                "completed": result.completed,
+                "goodput": metrics.goodput,
+                "p99": metrics.latency_p99,
+            }
+        )
+    light, heavy = curve[0], curve[-1]
+    gate = light["shed_rate"] == 0.0 and heavy["shed_rate"] > 0.0
+    monotone_ish = heavy["shed_rate"] >= max(point["shed_rate"] for point in curve[:-1])
+    REPORT["shedding"] = {
+        "preset": "tpu-v1 (cost-only)",
+        "admission": "queue-cap(16)",
+        "requests_per_load": SHED_REQUESTS,
+        "curve": curve,
+        "clean_at_light_load": light["shed_rate"] == 0.0,
+        "sheds_at_overload": heavy["shed_rate"] > 0.0,
+        "tail_is_max": monotone_ish,
+    }
+    # p99 stays bounded once the queue cap sheds the excess
+    assert gate, f"shed curve malformed: {curve}"
+    assert all(math.isfinite(point["p99"]) for point in curve)

@@ -18,6 +18,11 @@ Three sections are produced:
   ``bench_serving.py`` during the bench pass): cost-only replay rate
   over a 100k-request stream, the timeout-vs-size-1 p99 gate on the
   latency-bound preset, and the served-vs-replayed parity gate.
+* ``preemption`` — the headline numbers from ``BENCH_PR5.json``
+  (written by ``bench_preemption.py``): the zero-preemption parity
+  gate, the preemption-beats-FIFO high-priority p99 gate on the
+  two-class TPUv1 scenario, and the shed-rate-vs-load curve under
+  queue-cap admission.
 
 Usage::
 
@@ -258,6 +263,32 @@ def serving_summary() -> dict | None:
     }
 
 
+def preemption_summary() -> dict | None:
+    """Headline preemption numbers from the BENCH_PR5.json the bench
+    pass just wrote (None when the file is missing, e.g. --skip-benches)."""
+    path = REPO / "BENCH_PR5.json"
+    if not path.is_file():
+        return None
+    data = json.loads(path.read_text())
+    parity = data.get("parity", {})
+    preemption = data.get("preemption", {})
+    shedding = data.get("shedding", {})
+    parity_flags = [value for value in parity.values() if isinstance(value, bool)]
+    return {
+        # no recorded parity evidence counts as a failure, not a pass
+        "zero_preemption_parity": bool(parity_flags) and all(parity_flags),
+        "preemption_beats_fifo": preemption.get("preemption_beats_fifo"),
+        "hi_p99_speedup": preemption.get("hi_p99_speedup"),
+        "reload_time": preemption.get("reload_time"),
+        "shed_rate_at_overload": (
+            shedding.get("curve", [{}])[-1].get("shed_rate")
+            if shedding.get("curve")
+            else None
+        ),
+        "clean_at_light_load": shedding.get("clean_at_light_load"),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -288,6 +319,9 @@ def main(argv=None) -> int:
         serving = serving_summary()
         if serving is not None:
             report["serving"] = serving
+        preemption = preemption_summary()
+        if preemption is not None:
+            report["preemption"] = preemption
 
     Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     paths = report["exec_paths"]
@@ -309,6 +343,17 @@ def main(argv=None) -> int:
             "{replay_requests_per_s}/s; timeout beats size-1: "
             "{timeout_beats_size1}; replay parity: {parity_ok}".format(**serving)
         )
+    preemption = report.get("preemption")
+    if preemption is not None:
+        speedup = preemption["hi_p99_speedup"]
+        print(
+            "preemption: zero-preemption parity {zero_preemption_parity}; "
+            "beats FIFO on hi-p99: {preemption_beats_fifo} ({speedup}x); "
+            "shed at overload: {shed_rate_at_overload}".format(
+                speedup="n/a" if speedup is None else f"{speedup:.3g}",
+                **preemption,
+            )
+        )
     failures = [
         name
         for name, entry in report.get("benches", {}).items()
@@ -324,6 +369,13 @@ def main(argv=None) -> int:
         serving["timeout_beats_size1"] and serving["parity_ok"]
     ):
         print("FAILED: serving gates (policy ablation / replay parity)")
+        return 1
+    if preemption is not None and not (
+        preemption["zero_preemption_parity"]
+        and preemption["preemption_beats_fifo"]
+        and preemption["clean_at_light_load"]
+    ):
+        print("FAILED: preemption gates (parity / hi-p99 / shedding)")
         return 1
     return 0
 

@@ -38,6 +38,7 @@ from .core import (
     VOLTA_TC,
     BatchStats,
     CostLedger,
+    ExecutionCursor,
     MachineSpec,
     ParallelTCUMachine,
     Plan,
@@ -69,12 +70,16 @@ from .matmul import (
 )
 from .serve import (
     BurstyWorkload,
+    ClassMetrics,
     ClosedLoopWorkload,
+    DiurnalWorkload,
+    MixedWorkload,
     PoissonWorkload,
     Request,
     ServeMetrics,
     ServeResult,
     ServingEngine,
+    TraceWorkload,
     compute_metrics,
     replay_batches,
 )
@@ -121,6 +126,11 @@ __all__ = [
     "PoissonWorkload",
     "BurstyWorkload",
     "ClosedLoopWorkload",
+    "TraceWorkload",
+    "DiurnalWorkload",
+    "MixedWorkload",
+    "ClassMetrics",
+    "ExecutionCursor",
     "compute_metrics",
     "replay_batches",
     "__version__",

@@ -45,15 +45,21 @@ _SECTION_ORDER = [
 ]
 
 
-def latency_table(entries, *, title: str | None = None) -> str:
+def latency_table(entries, *, title: str | None = None, per_class: bool = True) -> str:
     """Render serving scenarios side by side — one row per scenario.
 
     ``entries`` is an iterable of ``(label, metrics)`` pairs where each
     ``metrics`` is a :class:`~repro.serve.metrics.ServeMetrics` (or a
     dict mapping labels to them).  Columns are the capacity-planning
     staples: completed requests, throughput, the latency percentiles,
-    mean wait, SLO goodput and engine utilisation.  Latencies and
-    throughput are model time, so tables are machine-reproducible.
+    mean wait, SLO goodput, the admission **shed rate**, **preemption**
+    count and engine utilisation.  When a run carries several priority
+    classes (and ``per_class`` is true), one indented sub-row per class
+    follows its scenario row — label ``<scenario>[p<priority>]`` —
+    showing the class's completions, its p50/p99, its goodput and its
+    shed rate (classes serialise on one engine, so throughput and
+    utilisation stay run-level).  Latencies and throughput are model
+    time, so tables are machine-reproducible.
     """
     if isinstance(entries, dict):
         entries = entries.items()
@@ -69,9 +75,30 @@ def latency_table(entries, *, title: str | None = None) -> str:
                 m.latency_p99,
                 m.wait_mean,
                 "n/a" if m.goodput is None else m.goodput,
+                m.shed_rate,
+                m.preemptions,
                 m.utilization,
             ]
         )
+        classes = m.per_class if per_class else {}
+        if len(classes) > 1:
+            for priority in sorted(classes, reverse=True):
+                cls = classes[priority]
+                rows.append(
+                    [
+                        f"  {label}[p{priority}]",
+                        cls.requests,
+                        "",
+                        cls.latency_p50,
+                        "",
+                        cls.latency_p99,
+                        "",
+                        "n/a" if cls.goodput is None else cls.goodput,
+                        cls.shed_rate,
+                        "",
+                        "",
+                    ]
+                )
     return render_table(
         [
             "scenario",
@@ -82,6 +109,8 @@ def latency_table(entries, *, title: str | None = None) -> str:
             "p99",
             "mean wait",
             "goodput",
+            "shed",
+            "preempt",
             "util",
         ],
         rows,

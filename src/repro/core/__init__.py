@@ -26,6 +26,7 @@ from .scheduling import (
     schedule_batch,
 )
 from .program import (
+    ExecutionCursor,
     Lazy,
     Plan,
     PlanStats,
@@ -60,6 +61,7 @@ __all__ = [
     "PlanStats",
     "ProgramError",
     "Lazy",
+    "ExecutionCursor",
     "plan_program",
     "execute_plan",
     "run_program",

@@ -6,12 +6,18 @@ concurrency between CPU, memory and tensor unit.  The :class:`CostLedger`
 is that clock: algorithms charge model-time units to it and the total is
 the TCU-model running time of the execution.
 
-Three charge categories are tracked separately so experiments can
+Four charge categories are tracked separately so experiments can
 decompose the totals the way the theorems do:
 
 * ``tensor`` -- the ``n * sqrt(m)`` throughput term of each tensor call,
 * ``latency`` -- the ``l`` term of each tensor call,
-* ``cpu``    -- every other RAM-model operation (one unit per word op).
+* ``cpu``    -- every other RAM-model operation (one unit per word op),
+* ``reload`` -- words re-loaded into the unit when a preempted execution
+  resumes (one unit per word of the resumed plan's resident blocks; see
+  :meth:`~repro.core.program.ExecutionCursor.charge_reload`).  Offline
+  runs never pay it — it exists so preemptive schedulers (e.g.
+  :mod:`repro.serve`) charge checkpoint/restore through the ledger
+  instead of treating it as free.
 
 The ledger also keeps an optional trace of tensor calls; the external
 memory simulation of Theorem 12 replays that trace.  Three trace modes
@@ -357,6 +363,7 @@ class CostLedger:
     tensor_time: float = 0.0
     latency_time: float = 0.0
     cpu_time: float = 0.0
+    reload_time: float = 0.0
     tensor_calls: int = 0
     calls: CallTrace = field(default_factory=CallTrace)
     _agg: dict[tuple[int, int], list[float]] = field(default_factory=dict)
@@ -497,13 +504,31 @@ class CostLedger:
         self._bump_sections(float(ops))
         return float(ops)
 
+    def charge_reload(self, words: float) -> float:
+        """Charge ``words`` units of resident-state re-load time.
+
+        The resume cost of a preempted execution: every word of the
+        plan's remaining resident blocks must travel back into the
+        tensor unit, one model-time unit per word — the same rate as
+        any other RAM-model data movement, but accounted in its own
+        column so a preempted run can be reconciled against its
+        uninterrupted replay (``preempted = replay + reload``).
+        """
+        if words < 0:
+            raise LedgerError(f"negative reload charge {words!r}")
+        if not math.isfinite(words):
+            raise LedgerError(f"non-finite reload charge {words!r}")
+        self.reload_time += float(words)
+        self._bump_sections(float(words))
+        return float(words)
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     @property
     def total_time(self) -> float:
         """Model running time: the paper's single sequential clock."""
-        return self.tensor_time + self.latency_time + self.cpu_time
+        return self.tensor_time + self.latency_time + self.cpu_time + self.reload_time
 
     @property
     def clock(self) -> float:
@@ -531,6 +556,7 @@ class CostLedger:
             "tensor_time": self.tensor_time,
             "latency_time": self.latency_time,
             "cpu_time": self.cpu_time,
+            "reload_time": self.reload_time,
             "tensor_calls": float(self.tensor_calls),
             "total_time": self.total_time,
         }
@@ -625,6 +651,7 @@ class CostLedger:
         self.tensor_time = 0.0
         self.latency_time = 0.0
         self.cpu_time = 0.0
+        self.reload_time = 0.0
         self.tensor_calls = 0
         self.calls.clear()
         self._agg.clear()
@@ -647,6 +674,7 @@ class CostLedger:
         out.tensor_time = self.tensor_time + other.tensor_time
         out.latency_time = self.latency_time + other.latency_time
         out.cpu_time = self.cpu_time + other.cpu_time
+        out.reload_time = self.reload_time + other.reload_time
         out.tensor_calls = self.tensor_calls + other.tensor_calls
         if mode is True:
             out.calls.extend(self.calls)

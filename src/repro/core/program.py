@@ -71,6 +71,7 @@ __all__ = [
     "PlanStats",
     "ProgramError",
     "Lazy",
+    "ExecutionCursor",
     "plan_program",
     "execute_plan",
     "run_program",
@@ -107,13 +108,37 @@ class TensorOp:
         ``value = src.copy()`` — a charged materialisation (one RAM unit
         per word written), used when a resident block must not alias
         memory that later ops update.
+    ``apply``
+        ``value = fn(*term values)`` — an opaque CPU-side bridge charged
+        ``cpu`` RAM units, used by multi-stage pipelines (twiddle passes,
+        activation functions, padded re-materialisations) whose work is
+        not a linear combination.  The charge is declared at build time
+        so cost-only execution never needs the callable.
+    ``view``
+        ``value = src[key]`` — an uncharged strided view (index
+        arithmetic in the RAM model, the same convention the merged-call
+        row gathering uses), so later ops can consume slices of a value
+        produced earlier in the program.
 
     Operands are either concrete ``ndarray`` inputs or other ops
     (dependency edges).  ``value`` is ``None`` until the owning program
     has been executed.
     """
 
-    __slots__ = ("op_id", "kind", "a", "b", "terms", "shape", "dtype", "value", "level")
+    __slots__ = (
+        "op_id",
+        "kind",
+        "a",
+        "b",
+        "terms",
+        "shape",
+        "dtype",
+        "value",
+        "level",
+        "fn",
+        "cpu",
+        "key",
+    )
 
     def __init__(
         self,
@@ -125,6 +150,9 @@ class TensorOp:
         terms: tuple[tuple[float, Source], ...] = (),
         shape: tuple[int, ...] = (),
         dtype: np.dtype | None = None,
+        fn: Callable[..., np.ndarray] | None = None,
+        cpu: float = 0.0,
+        key: tuple | None = None,
     ) -> None:
         self.op_id = op_id
         self.kind = kind
@@ -135,6 +163,9 @@ class TensorOp:
         self.dtype = dtype
         self.value: np.ndarray | None = None
         self.level = 0
+        self.fn = fn
+        self.cpu = cpu
+        self.key = key
 
     def deps(self) -> Iterable["TensorOp"]:
         """The op-valued operands (dependency edges) of this node."""
@@ -143,11 +174,11 @@ class TensorOp:
                 yield self.a
             if isinstance(self.b, TensorOp):
                 yield self.b
-        elif self.kind == "add":
+        elif self.kind in ("add", "apply"):
             for _, src in self.terms:
                 if isinstance(src, TensorOp):
                     yield src
-        elif self.kind == "copy":
+        elif self.kind in ("copy", "view"):
             if isinstance(self.a, TensorOp):
                 yield self.a
 
@@ -263,6 +294,60 @@ class TensorProgram:
             a=src,
             shape=_source_shape(src),
             dtype=_source_dtype(src),
+        )
+        self._append(op)
+        return op
+
+    def apply(
+        self,
+        fn: Callable[..., np.ndarray],
+        sources: Sequence[Source],
+        shape: tuple[int, ...],
+        dtype,
+        *,
+        cpu: float = 0.0,
+    ) -> TensorOp:
+        """Record a CPU-side bridge ``value = fn(*sources)``.
+
+        ``shape``/``dtype`` describe the result (they cannot be inferred
+        from an opaque callable) and ``cpu`` is the RAM-model charge the
+        bridge pays when executed — declared here, at build time, so a
+        cost-only execution charges identically without ever calling
+        ``fn``.  Use for the non-linear or rearranging stages of a
+        pipeline (activations, twiddle passes, padded
+        re-materialisations); linear combinations should stay ``add``
+        nodes, which the planner understands.
+        """
+        if cpu < 0:
+            raise ProgramError(f"apply cpu charge must be >= 0, got {cpu}")
+        op = TensorOp(
+            len(self.ops),
+            "apply",
+            terms=tuple((1.0, src) for src in sources),
+            shape=tuple(shape),
+            dtype=np.dtype(dtype),
+            fn=fn,
+            cpu=float(cpu),
+        )
+        self._append(op)
+        return op
+
+    def view(self, src: Source, key: tuple) -> TensorOp:
+        """Record an uncharged strided view ``value = src[key]``.
+
+        ``key`` must be a tuple of slices / integers whose application
+        to ``src``'s shape is computable at build time; the view costs
+        nothing (index arithmetic in the RAM model) and lets later ops
+        consume slices of values produced earlier in the program.
+        """
+        shape = placeholder(_source_shape(src), np.bool_)[key].shape
+        op = TensorOp(
+            len(self.ops),
+            "view",
+            a=src,
+            shape=shape,
+            dtype=_source_dtype(src),
+            key=key,
         )
         self._append(op)
         return op
@@ -607,9 +692,176 @@ def _dispatch_grid(groups: list[list[TensorOp]], machine: TCUMachine) -> None:
             _scatter_group(g, C)
 
 
+def _execute_level(
+    groups: list[list[TensorOp]],
+    others: list[TensorOp],
+    machine: TCUMachine,
+    fused: bool,
+) -> None:
+    """Execute one planned level: its merged call groups, then its
+    CPU-side ops — the unit of work :class:`ExecutionCursor` steps by."""
+    cost_only = machine.execute == "cost-only"
+    if groups:
+        if isinstance(machine, ParallelTCUMachine) and len(groups) > 1:
+            _dispatch_parallel(groups, machine, cost_only)
+        elif fused:
+            _dispatch_grid(groups, machine)
+        else:
+            for g in groups:
+                out = machine.mm(_group_operands(g), _resolve(g[0].b))
+                if cost_only:
+                    _scatter_placeholders(g)
+                else:
+                    _scatter_group(g, out)
+    for op in others:
+        words = 1
+        for dim in op.shape:
+            words *= dim
+        if op.kind == "add":
+            if cost_only:
+                machine.charge_cpu(words * len(op.terms))
+                op.value = placeholder(op.shape, op.dtype)
+                continue
+            out = np.zeros(op.shape, dtype=op.dtype)
+            for coef, src in op.terms:
+                val = _resolve(src)
+                if coef == 1.0:
+                    out += val
+                elif coef == -1.0:
+                    out -= val
+                else:
+                    out += coef * val
+                machine.charge_cpu(words)
+            op.value = out
+        elif op.kind == "copy":
+            if cost_only:
+                machine.charge_cpu(words)
+                op.value = placeholder(op.shape, op.dtype)
+                continue
+            val = _resolve(op.a)
+            op.value = np.array(val, copy=True)
+            machine.charge_cpu(op.value.size)
+        elif op.kind == "apply":
+            if op.cpu:
+                machine.charge_cpu(op.cpu)
+            if cost_only:
+                op.value = placeholder(op.shape, op.dtype)
+                continue
+            op.value = op.fn(*[_resolve(src) for _, src in op.terms])
+            if op.value.shape != op.shape:  # declared shape is a contract
+                raise ProgramError(
+                    f"apply op #{op.op_id} declared shape {op.shape} but "
+                    f"produced {op.value.shape}"
+                )
+        elif op.kind == "view":
+            if cost_only:
+                op.value = placeholder(op.shape, op.dtype)
+                continue
+            op.value = _resolve(op.a)[op.key]
+        else:  # pragma: no cover - defensive
+            raise ProgramError(f"unknown op kind {op.kind!r}")
+
+
+class ExecutionCursor:
+    """A resumable executor: one planned level per :meth:`step`.
+
+    The cursor is the seam preemptive schedulers need: a plan's levels
+    are its natural checkpoint boundaries (every level's inputs are op
+    values already materialised by earlier levels), so an online engine
+    can run a level, look at the clock, and decide to keep going or to
+    suspend.  All charging goes through the machine's ordinary
+    primitives — running a cursor to exhaustion is *bit-identical* to
+    :func:`execute_plan`, which is now a thin wrapper over it.
+
+    Suspending costs nothing at the boundary itself (op values stay in
+    memory), but *resuming* must re-load the remaining levels' resident
+    blocks into the tensor unit; :meth:`charge_reload` prices that
+    through the ledger's ``reload`` category at one unit per word of
+    :meth:`resident_words` — never free.
+
+    Attributes
+    ----------
+    level_times:
+        Model time charged by each executed level, in step order (the
+        per-level ledger spans an engine turns into event boundaries).
+    """
+
+    def __init__(self, plan: Plan, machine: TCUMachine, *, fused: bool = True) -> None:
+        self.plan = plan
+        self.machine = machine
+        self.fused = fused
+        self.next_level = 0
+        self.level_times: list[float] = []
+
+    @property
+    def total_levels(self) -> int:
+        return len(self.plan.levels)
+
+    @property
+    def remaining_levels(self) -> int:
+        return len(self.plan.levels) - self.next_level
+
+    @property
+    def done(self) -> bool:
+        return self.next_level >= len(self.plan.levels)
+
+    def step(self) -> float:
+        """Execute the next level; returns the model time it charged."""
+        if self.done:
+            raise ProgramError("cursor is exhausted; no levels left to execute")
+        groups, others = self.plan.levels[self.next_level]
+        with self.machine.ledger.stopwatch() as span:
+            _execute_level(groups, others, self.machine, self.fused)
+        self.next_level += 1
+        self.level_times.append(span.elapsed)
+        return span.elapsed
+
+    def run(self) -> None:
+        """Execute every remaining level (run to exhaustion)."""
+        while not self.done:
+            self.step()
+
+    def resident_words(self, from_level: int | None = None) -> int:
+        """Words of distinct resident blocks the remaining levels consume.
+
+        This is the state a preempted execution loses when the unit is
+        given away: every ``sqrt(m) x sqrt(m)`` right-hand block that a
+        level at/after ``from_level`` (default: the next unexecuted
+        level) still has to stream against.  Distinctness follows the
+        planner's own resident identity (:func:`_resident_key`), so a
+        block shared by many calls is counted once — exactly the set a
+        resume must re-load.
+        """
+        start = self.next_level if from_level is None else from_level
+        seen: set[tuple] = set()
+        words = 0
+        for groups, _ in self.plan.levels[start:]:
+            for g in groups:
+                key = _resident_key(g[0])
+                if key in seen:
+                    continue
+                seen.add(key)
+                shape = _source_shape(g[0].b)
+                words += shape[0] * shape[1]
+        return words
+
+    def charge_reload(self) -> float:
+        """Charge the resume cost of a suspended cursor and return it.
+
+        One model-time unit per word of :meth:`resident_words`, paid
+        into the ledger's ``reload`` column.  Call exactly once per
+        resume, before stepping again; a cursor with no tensor work left
+        charges nothing.
+        """
+        return self.machine.ledger.charge_reload(self.resident_words())
+
+
 def execute_plan(plan: Plan, machine: TCUMachine, *, fused: bool = True) -> None:
-    """Run a plan, charging the machine's ledger, and populate
-    ``op.value`` on every node.
+    """Run a plan to exhaustion, charging the machine's ledger, and
+    populate ``op.value`` on every node.
+
+    A thin wrapper over :class:`ExecutionCursor` (construct + ``run()``),
+    kept as the one-shot entry point every offline kernel uses.
 
     With ``fused=True`` (default) each level's merged call groups are
     bucketed and issued through the bulk :meth:`TCUMachine.mm_grid`
@@ -628,50 +880,7 @@ def execute_plan(plan: Plan, machine: TCUMachine, *, fused: bool = True) -> None
     op's value becomes an O(1)-storage placeholder, so programs whose
     arrays would not fit in memory still charge exact ledger totals.
     """
-    cost_only = machine.execute == "cost-only"
-    for groups, others in plan.levels:
-        if groups:
-            if isinstance(machine, ParallelTCUMachine) and len(groups) > 1:
-                _dispatch_parallel(groups, machine, cost_only)
-            elif fused:
-                _dispatch_grid(groups, machine)
-            else:
-                for g in groups:
-                    out = machine.mm(_group_operands(g), _resolve(g[0].b))
-                    if cost_only:
-                        _scatter_placeholders(g)
-                    else:
-                        _scatter_group(g, out)
-        for op in others:
-            words = 1
-            for dim in op.shape:
-                words *= dim
-            if op.kind == "add":
-                if cost_only:
-                    machine.charge_cpu(words * len(op.terms))
-                    op.value = placeholder(op.shape, op.dtype)
-                    continue
-                out = np.zeros(op.shape, dtype=op.dtype)
-                for coef, src in op.terms:
-                    val = _resolve(src)
-                    if coef == 1.0:
-                        out += val
-                    elif coef == -1.0:
-                        out -= val
-                    else:
-                        out += coef * val
-                    machine.charge_cpu(words)
-                op.value = out
-            elif op.kind == "copy":
-                if cost_only:
-                    machine.charge_cpu(words)
-                    op.value = placeholder(op.shape, op.dtype)
-                    continue
-                val = _resolve(op.a)
-                op.value = np.array(val, copy=True)
-                machine.charge_cpu(op.value.size)
-            else:  # pragma: no cover - defensive
-                raise ProgramError(f"unknown op kind {op.kind!r}")
+    ExecutionCursor(plan, machine, fused=fused).run()
 
 
 def run_program(

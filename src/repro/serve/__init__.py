@@ -1,27 +1,47 @@
-"""Online inference serving on the (m, l)-TCU — arrivals, dynamic
-batching, execution, SLO metrics.
+"""Online inference serving on the (m, l)-TCU — arrivals, admission,
+dynamic batching, preemptible execution, SLO metrics.
 
 The paper's cost model prices every tensor call at ``n*sqrt(m) + l``;
 its algorithms win by amortising the invocation latency ``l`` over
 taller calls.  Online serving faces the same trade-off *in time*:
-batching requests amortises ``l`` but makes early arrivals wait.  This
-package is a discrete-event simulator for that tension, layered
-entirely on the existing machine stack:
+batching requests amortises ``l`` but makes early arrivals wait — and a
+long batch holding the machine makes latency-critical requests wait
+behind it.  This package is a discrete-event simulator for both
+tensions, layered entirely on the existing machine stack:
 
-* :mod:`repro.serve.workload`  -- requests, request types (MLP, dense
-  matmul, DFT, stencil — all lowering through the planned kernels),
-  and seeded arrival processes (Poisson, bursty MMPP, closed-loop);
+* :mod:`repro.serve.workload`  -- requests (with priority classes and
+  deadlines), request types that lower whole batches into explicit
+  :class:`~repro.core.program.Plan` objects (MLP, dense matmul, DFT —
+  all through the planned kernels), and seeded arrival processes
+  (Poisson, bursty MMPP, closed-loop, recorded traces, diurnal
+  envelopes, multi-class mixes);
+* :mod:`repro.serve.admission` -- pluggable admission control
+  (unbounded, queue-cap drop, deadline-aware reject) behind a name
+  registry, with shed requests reported next to goodput;
 * :mod:`repro.serve.batcher`   -- pluggable dynamic-batching policies
-  (continuous, size-triggered, timeout) behind a name registry;
-* :mod:`repro.serve.engine`    -- the event loop: queues -> batches ->
+  (continuous, size-triggered, timeout) and the priority-aware release
+  selection over per-class queues;
+* :mod:`repro.serve.engine`    -- the event kernel: arrivals ->
+  admission -> class queues -> preemptible level-granular execution on
   :class:`~repro.core.machine.TCUMachine` /
-  :class:`~repro.core.parallel.ParallelTCUMachine` execution, with the
-  simulated clock driven by the :class:`~repro.core.ledger.CostLedger`
-  and an exact batch-replay harness;
+  :class:`~repro.core.parallel.ParallelTCUMachine`, with the simulated
+  clock driven by the :class:`~repro.core.ledger.CostLedger`, resume
+  costs charged through the ledger's ``reload`` category, and an exact
+  batch-replay harness;
 * :mod:`repro.serve.metrics`   -- throughput, p50/p95/p99 latency, SLO
-  goodput, engine and per-unit utilisation.
+  goodput, shed rate, preemption/reload counters, per-class
+  breakdowns, engine and per-unit utilisation.
 """
 
+from .admission import (
+    AdmissionPolicy,
+    DeadlineAdmission,
+    QueueCapAdmission,
+    UnboundedAdmission,
+    available_admissions,
+    get_admission,
+    register_admission,
+)
 from .batcher import (
     BatchPolicy,
     ContinuousBatcher,
@@ -29,21 +49,29 @@ from .batcher import (
     TimeoutBatcher,
     available_batchers,
     get_batcher,
+    priority_release,
     register_batcher,
 )
 from .engine import BatchRecord, ServeError, ServeResult, ServingEngine, replay_batches
-from .metrics import ServeMetrics, compute_metrics
-from .scenarios import size1_capacity, tpu_mlp_request_type
+from .metrics import ClassMetrics, ServeMetrics, compute_metrics
+from .scenarios import (
+    interactive_batch_mix,
+    size1_capacity,
+    tpu_mlp_request_type,
+)
 from .workload import (
     BurstyWorkload,
     ClosedLoopWorkload,
     DFTRequestType,
+    DiurnalWorkload,
     MatmulRequestType,
+    MixedWorkload,
     MLPRequestType,
     PoissonWorkload,
     Request,
     RequestType,
     StencilRequestType,
+    TraceWorkload,
     Workload,
     available_request_types,
     get_request_type,
@@ -64,6 +92,16 @@ __all__ = [
     "PoissonWorkload",
     "BurstyWorkload",
     "ClosedLoopWorkload",
+    "TraceWorkload",
+    "DiurnalWorkload",
+    "MixedWorkload",
+    "AdmissionPolicy",
+    "UnboundedAdmission",
+    "QueueCapAdmission",
+    "DeadlineAdmission",
+    "register_admission",
+    "get_admission",
+    "available_admissions",
     "BatchPolicy",
     "ContinuousBatcher",
     "SizeBatcher",
@@ -71,13 +109,16 @@ __all__ = [
     "register_batcher",
     "get_batcher",
     "available_batchers",
+    "priority_release",
     "ServingEngine",
     "ServeResult",
     "BatchRecord",
     "ServeError",
     "replay_batches",
     "ServeMetrics",
+    "ClassMetrics",
     "compute_metrics",
     "size1_capacity",
     "tpu_mlp_request_type",
+    "interactive_batch_mix",
 ]

@@ -1,0 +1,141 @@
+"""Admission control — who gets to queue at all?
+
+At overload an unbounded engine queues without limit: every latency
+percentile diverges and nothing useful is measured.  Admission policies
+are the engine's front door: each arriving request is offered to the
+policy *before* it joins its class queue, and a refusal sheds it (the
+request never launches, is reported in
+:attr:`~repro.serve.engine.ServeResult.shed`, and counts into the shed
+rate next to goodput — ROADMAP's "admission control / load shedding").
+
+Policies follow the same name-registry idiom as
+:mod:`repro.serve.batcher` and :mod:`repro.core.scheduling`:
+
+``unbounded``
+    Admit everything (the PR4 behaviour, and the default).
+``queue-cap``
+    Admit while the request's class queue holds fewer than ``cap``
+    requests — the classic bounded-buffer drop-tail.
+``deadline``
+    Deadline-aware reject: admit only requests whose absolute
+    :attr:`~repro.serve.workload.Request.deadline` is still feasible
+    under a per-request service estimate — the predicted completion is
+    ``clock + est_service * (queued_ahead + 1)``.  Requests without a
+    deadline are always admitted.
+
+Policies are pure functions of (request, queue, clock), so a served run
+replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .workload import Request
+
+__all__ = [
+    "AdmissionPolicy",
+    "UnboundedAdmission",
+    "QueueCapAdmission",
+    "DeadlineAdmission",
+    "register_admission",
+    "get_admission",
+    "available_admissions",
+]
+
+
+class AdmissionPolicy:
+    """Base class: decide whether an arriving request may queue.
+
+    Policies are stateless (configuration only); all queue state lives
+    in the engine, so one policy instance can drive many engines.
+    """
+
+    name = "abstract"
+
+    def admit(self, request: Request, queue: deque, clock: float) -> bool:
+        """True to enqueue ``request``, False to shed it.  ``queue`` is
+        the request's own class queue as it stands at arrival time."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class UnboundedAdmission(AdmissionPolicy):
+    """Admit everything (the queue may grow without bound)."""
+
+    name = "unbounded"
+
+    def admit(self, request: Request, queue: deque, clock: float) -> bool:
+        return True
+
+
+class QueueCapAdmission(AdmissionPolicy):
+    """Drop-tail at a per-class queue depth of ``cap``."""
+
+    name = "queue-cap"
+
+    def __init__(self, cap: int = 64) -> None:
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = int(cap)
+
+    def admit(self, request: Request, queue: deque, clock: float) -> bool:
+        return len(queue) < self.cap
+
+
+class DeadlineAdmission(AdmissionPolicy):
+    """Reject requests whose deadline is already infeasible at arrival.
+
+    ``est_service`` is the policy's per-request service estimate (model
+    time); the predicted completion of an arriving request behind
+    ``len(queue)`` queued peers is ``clock + est_service * (len(queue)
+    + 1)``.  Admit when that meets the request's absolute deadline, or
+    when the request carries none.  A measured estimate (e.g.
+    :func:`repro.serve.scenarios.size1_capacity`) keeps the policy
+    honest as charging rules evolve.
+    """
+
+    name = "deadline"
+
+    def __init__(self, est_service: float = 0.0) -> None:
+        if est_service < 0:
+            raise ValueError(f"est_service must be >= 0, got {est_service}")
+        self.est_service = float(est_service)
+
+    def admit(self, request: Request, queue: deque, clock: float) -> bool:
+        if request.deadline is None:
+            return True
+        predicted = clock + self.est_service * (len(queue) + 1)
+        return predicted <= request.deadline
+
+
+_REGISTRY: dict[str, AdmissionPolicy] = {}
+
+
+def register_admission(policy: AdmissionPolicy) -> AdmissionPolicy:
+    """Add a policy instance to the name registry (last write wins)."""
+    _REGISTRY[policy.name] = policy
+    return policy
+
+
+for _policy in (UnboundedAdmission(), QueueCapAdmission(), DeadlineAdmission()):
+    register_admission(_policy)
+
+
+def available_admissions() -> tuple[str, ...]:
+    """Registered policy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_admission(policy: str | AdmissionPolicy) -> AdmissionPolicy:
+    """Resolve a policy by name (or pass an instance through)."""
+    if isinstance(policy, AdmissionPolicy):
+        return policy
+    try:
+        return _REGISTRY[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown admission policy {policy!r}; available: {available_admissions()}"
+        ) from None

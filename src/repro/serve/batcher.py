@@ -32,6 +32,13 @@ earliest the policy would release a batch from that queue *assuming no
 further arrivals* (``inf`` for "not without more requests").  New
 arrivals re-trigger the question, so policies stay pure functions of
 the queue state.
+
+Queues are keyed per *class* — a ``(priority, kind)`` pair — and
+:func:`priority_release` is the engine's selection rule over them:
+earliest release first, priority breaking ties (so a single-class run
+reduces exactly to the PR4 FIFO selection), restrictable to classes
+above a priority floor (how the preemption check asks "would a
+strictly more urgent batch release right now?").
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ __all__ = [
     "register_batcher",
     "get_batcher",
     "available_batchers",
+    "priority_release",
 ]
 
 
@@ -134,6 +142,45 @@ class TimeoutBatcher(BatchPolicy):
         if len(queue) >= self.max_size or draining:
             return now
         return max(now, queue[0].arrival + self.timeout)
+
+
+def priority_release(
+    queues: dict[tuple[int, str], deque],
+    policy: BatchPolicy,
+    now: float,
+    draining: bool,
+    *,
+    above: int | None = None,
+) -> tuple[float, int, float, tuple[int, str]] | None:
+    """The engine's priority-aware release selection over class queues.
+
+    ``queues`` maps ``(priority, kind)`` to that class's FIFO queue.
+    Returns the best candidate as ``(release, priority, head_arrival,
+    key)`` — minimal by ``(release, -priority, head_arrival, kind)``,
+    i.e. earliest release first, higher class winning ties, oldest head
+    request then kind name as the final tie-breaks (exactly the PR4
+    rule when every request shares one priority) — or ``None`` when no
+    queue would ever release.  With ``above`` set, only classes of
+    strictly higher priority are considered (the preemption question).
+    """
+    best: tuple[float, int, float, str] | None = None
+    best_key: tuple[int, str] | None = None
+    for key, queue in queues.items():
+        priority, kind = key
+        if not queue:
+            continue
+        if above is not None and priority <= above:
+            continue
+        release = policy.release_time(queue, now, draining)
+        if release == math.inf:
+            continue
+        candidate = (release, -priority, queue[0].arrival, kind)
+        if best is None or candidate < best:
+            best = candidate
+            best_key = key
+    if best is None or best_key is None:
+        return None
+    return best[0], -best[1], best[2], best_key
 
 
 _REGISTRY: dict[str, BatchPolicy] = {}

@@ -1,32 +1,62 @@
-"""The serving engine: a discrete-event loop over the ledger clock.
+"""The serving engine: a preemptible event kernel over the ledger clock.
 
 :class:`ServingEngine` turns the repo's offline machinery into an
 online simulator: requests arrive (from a :class:`~repro.serve.workload.Workload`),
-queue per kind, are grouped by a :class:`~repro.serve.batcher.BatchPolicy`,
-and each released batch is executed on the engine's machine through the
-request type's ordinary planned kernels.  The simulated clock is the
-model clock: a batch's service time is the span of
-:attr:`~repro.core.ledger.CostLedger.clock` its execution charges
-(measured with :meth:`~repro.core.ledger.CostLedger.stopwatch`), so on
-a :class:`~repro.core.parallel.ParallelTCUMachine` the clock advances
-by scheduled makespans while the call trace keeps the true per-call
-hardware work — exactly the PR3 invariant, now driven by live traffic.
+pass an :class:`~repro.serve.admission.AdmissionPolicy` (or are shed),
+queue per *class* — a ``(priority, kind)`` pair — are grouped by a
+:class:`~repro.serve.batcher.BatchPolicy`, and each released batch is
+lowered through its request type's :meth:`~repro.serve.workload.RequestType.plan`
+and executed **level by level** on an
+:class:`~repro.core.program.ExecutionCursor`.  The simulated clock is
+the model clock: every segment of a batch's execution advances the
+engine clock by exactly the span of
+:attr:`~repro.core.ledger.CostLedger.clock` it charges, so on a
+:class:`~repro.core.parallel.ParallelTCUMachine` the clock advances by
+scheduled makespans while the call trace keeps the true per-call
+hardware work — the PR3 invariant, now driven by live traffic.
 
-Two conservation properties pin the engine to the offline model (see
+The loop is a discrete-event kernel over three event kinds, processed
+in deterministic order (level-complete before arrival before release at
+equal times, matching the run-to-completion engine's tie-breaks):
+
+* **arrival** — the next request of the merged open-loop/injected
+  stream joins its class queue, or is shed by the admission policy;
+* **release** — a class queue whose batching policy fires becomes a
+  running batch (earliest release first, higher class on ties; see
+  :func:`~repro.serve.batcher.priority_release`);
+* **level-complete** — the running cursor finished a level.  If the
+  plan is exhausted the batch completes; otherwise, with preemption
+  enabled, a strictly-higher-priority release due *now* checkpoints the
+  batch at this boundary (its op values persist; nothing is charged)
+  and the suspended cursor rejoins the scheduler.  Resuming later
+  re-loads the remaining levels' resident blocks through the ledger's
+  ``reload`` category (:meth:`~repro.core.program.ExecutionCursor.charge_reload`)
+  — checkpoint/restore is never free.
+
+Request types whose :meth:`plan` returns ``None`` (legacy/opaque
+``serve`` implementations) execute atomically: correct, but never
+preempted.
+
+Three conservation properties pin the engine to the offline model (see
 :meth:`ServeResult.check_conservation` and the replay tests):
 
-* **Clock conservation.**  Batches execute back-to-back on one engine:
-  every launch is at or after the previous completion, each request's
-  completion is bit-identical to its batch's ``launch + service``, the
-  engine's busy time is the ledger-clock span of the whole run, and the
-  final clock is the last completion.
+* **Clock conservation.**  Each request's completion equals its batch's
+  finish; for unpreempted batches ``finish = launch + service`` holds
+  bit-exactly; the engine's busy time is the ledger-clock span of the
+  whole run; and the final clock is the last completion.
 * **Work conservation.**  A request type's model cost depends only on
-  the batch's shapes, so replaying the recorded
-  :class:`BatchRecord` stream through :func:`replay_batches` on *any*
-  equivalently-parameterised machine — serial, parallel via
-  :meth:`~repro.core.parallel.ParallelTCUMachine.mm_batch`, numeric or
-  cost-only — reproduces the served run's per-shape tensor and latency
-  charges bit-identically.
+  the batch's shapes, so replaying the recorded :class:`BatchRecord`
+  stream through :func:`replay_batches` on *any* equivalently
+  parameterised machine reproduces the served run's per-shape tensor
+  and latency charges bit-identically.
+* **Preemption conservation.**  A preempted run's charges equal the
+  uninterrupted replay plus *exactly* the ledgered reload charges:
+  suspension moves work in time, and the only extra cost is the
+  explicitly priced resident-block re-load.
+
+With preemption disabled and admission unbounded the kernel reproduces
+the PR4 run-to-completion engine bit-identically (per-shape charges,
+completions, clock) — pinned by ``tests/serve/test_preemption.py``.
 
 Quickstart::
 
@@ -49,7 +79,9 @@ from itertools import count
 
 from ..core.ledger import CostLedger
 from ..core.machine import TCUMachine
-from .batcher import BatchPolicy, get_batcher
+from ..core.program import ExecutionCursor
+from .admission import AdmissionPolicy, get_admission
+from .batcher import BatchPolicy, get_batcher, priority_release
 from .workload import Request, Workload, get_request_type
 
 __all__ = ["ServingEngine", "ServeResult", "BatchRecord", "ServeError", "replay_batches"]
@@ -66,7 +98,14 @@ class BatchRecord:
 
     The ``(kind, rows)`` pair is a complete recipe for re-executing the
     batch — request types charge from shapes alone — so a list of these
-    records is an exact replay script for the whole served run.
+    records is an exact replay script for the whole served run (the
+    replay pays no ``reload``: it runs uninterrupted).
+
+    ``service`` is the total model time the machine spent on the batch,
+    including any reload overhead (broken out in ``reload_time``);
+    ``finish`` is the absolute completion clock.  For an unpreempted
+    batch ``finish == launch + service`` bit-exactly; a preempted batch
+    additionally sat suspended for ``finish - launch - service``.
     """
 
     index: int
@@ -75,6 +114,11 @@ class BatchRecord:
     rows: tuple[int, ...]
     launch: float
     service: float
+    priority: int = 0
+    preemptions: int = 0
+    reload_time: float = 0.0
+    resumes: tuple[float, ...] = ()
+    finish: float = math.nan
 
     @property
     def size(self) -> int:
@@ -82,13 +126,20 @@ class BatchRecord:
 
     @property
     def completion(self) -> float:
-        return self.launch + self.service
+        if math.isnan(self.finish):
+            return self.launch + self.service
+        return self.finish
+
+    @property
+    def suspended_time(self) -> float:
+        """Model time the batch sat checkpointed between its segments."""
+        return self.completion - self.launch - self.service
 
 
 @dataclass
 class ServeResult:
     """Everything a served run produced: per-request records, per-batch
-    records, and the run-level clock accounting."""
+    records, shed requests, and the run-level clock accounting."""
 
     requests: list[Request]
     batches: list[BatchRecord]
@@ -100,23 +151,53 @@ class ServeResult:
     trace_start: int = 0
     trace_end: int = 0
     kind_time: dict[str, float] = field(default_factory=dict)
+    shed: list[Request] = field(default_factory=list)
+    preemptions: int = 0
+    reload_time: float = 0.0
+    admission: str = "unbounded"
+    preempt: bool = False
 
     @property
     def completed(self) -> int:
         return len(self.requests)
 
+    @property
+    def offered(self) -> int:
+        """Requests that arrived at the engine (completed + shed)."""
+        return len(self.requests) + len(self.shed)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests the admission policy refused."""
+        offered = self.offered
+        return len(self.shed) / offered if offered else 0.0
+
     def check_conservation(self, rel_tol: float = 1e-9) -> None:
         """Verify the engine-clock invariants; raises :class:`ServeError`.
 
-        * every request completed, launched at/after arrival, and its
-          completion is *bit-identical* to its batch's
-          ``launch + service``;
-        * batches are serial: each launch >= the previous completion;
-        * the busy time (sum of services) matches the ledger-clock span
-          of the run, and the final clock is the last completion;
-        * the per-request identity sum(latency) = sum(wait) + sum over
-          batches of size * service holds (up to float accumulation).
+        Every equality is checked to ``rel_tol`` (``math.isclose`` with
+        matching absolute tolerance), so externally post-processed
+        results can be validated under float round-off:
+
+        * every request completed, launched at/after its arrival, and
+          its completion matches its batch's ``finish``; for an
+          unpreempted batch ``finish = launch + service``, for a
+          preempted one ``finish >= launch + service`` (the gap is the
+          suspended time) and its reloads are non-negative;
+        * shed requests were never launched, and completed + shed
+          accounts for every offered request;
+        * with zero preemptions batches are serial: each launch at/after
+          the previous completion (the PR4 invariant);
+        * the busy time (sum of segment spans) matches the ledger-clock
+          span of the run, per-batch reloads sum to the run's ledgered
+          reload time, and the final clock is the last completion;
+        * the identity sum(latency) = sum(wait) + sum over batches of
+          ``size * (finish - launch)`` holds (up to float accumulation).
         """
+
+        def close(a: float, b: float) -> bool:
+            return math.isclose(a, b, rel_tol=rel_tol, abs_tol=rel_tol)
+
         by_index = {b.index: b for b in self.batches}
         for req in self.requests:
             if not req.done:
@@ -129,66 +210,155 @@ class ServeResult:
             batch = by_index.get(req.batch)
             if batch is None:
                 raise ServeError(f"request {req.rid} has no batch record")
-            if req.completion != batch.launch + batch.service:
+            if not close(req.completion, batch.completion):
                 raise ServeError(
                     f"request {req.rid} completion {req.completion} != its "
-                    f"batch's launch+service {batch.launch + batch.service}"
+                    f"batch's finish {batch.completion}"
                 )
-        prev_completion = 0.0
+        for req in self.shed:
+            if req.done or not math.isnan(req.launch):
+                raise ServeError(f"shed request {req.rid} was served anyway")
+
+        total_reload = 0.0
         for batch in self.batches:
-            if batch.launch < prev_completion:
+            total_reload += batch.reload_time
+            if batch.reload_time < 0:
+                raise ServeError(f"batch {batch.index} has negative reload time")
+            if batch.preemptions == 0:
+                if not close(batch.completion, batch.launch + batch.service):
+                    raise ServeError(
+                        f"unpreempted batch {batch.index} finish {batch.completion} "
+                        f"!= launch+service {batch.launch + batch.service}"
+                    )
+            elif batch.completion < batch.launch + batch.service and not close(
+                batch.completion, batch.launch + batch.service
+            ):
                 raise ServeError(
-                    f"batch {batch.index} launched at {batch.launch} while the "
-                    f"engine was busy until {prev_completion}"
+                    f"preempted batch {batch.index} finished at {batch.completion}, "
+                    f"before its {batch.service} of service could fit"
                 )
-            prev_completion = batch.completion
-        if self.batches and self.clock != self.batches[-1].completion:
-            raise ServeError(
-                f"final clock {self.clock} != last completion "
-                f"{self.batches[-1].completion}"
-            )
-        if not math.isclose(
-            self.busy_time, self.ledger_time, rel_tol=rel_tol, abs_tol=rel_tol
-        ):
+        if self.preemptions == 0:
+            prev_completion = 0.0
+            for batch in self.batches:
+                if batch.launch < prev_completion and not close(
+                    batch.launch, prev_completion
+                ):
+                    raise ServeError(
+                        f"batch {batch.index} launched at {batch.launch} while the "
+                        f"engine was busy until {prev_completion}"
+                    )
+                prev_completion = batch.completion
+        if self.batches:
+            last = max(batch.completion for batch in self.batches)
+            if not close(self.clock, last):
+                raise ServeError(
+                    f"final clock {self.clock} != last completion {last}"
+                )
+        if not close(self.busy_time, self.ledger_time):
             raise ServeError(
                 f"busy time {self.busy_time} diverged from the ledger-clock "
                 f"span {self.ledger_time}"
             )
+        if not close(total_reload, self.reload_time):
+            raise ServeError(
+                f"per-batch reloads {total_reload} != the run's ledgered "
+                f"reload time {self.reload_time}"
+            )
         total_latency = sum(r.latency for r in self.requests)
         total_wait = sum(r.wait for r in self.requests)
-        total_service = sum(b.size * b.service for b in self.batches)
-        if not math.isclose(
-            total_latency,
-            total_wait + total_service,
-            rel_tol=rel_tol,
-            abs_tol=rel_tol,
-        ):
+        total_span = sum(b.size * (b.completion - b.launch) for b in self.batches)
+        if not close(total_latency, total_wait + total_span):
             raise ServeError(
-                f"sum(latency)={total_latency} != sum(wait)+sum(size*service)="
-                f"{total_wait + total_service}"
+                f"sum(latency)={total_latency} != sum(wait)+sum(size*span)="
+                f"{total_wait + total_span}"
             )
 
 
-class ServingEngine:
-    """One machine, one batching policy, serving a workload to completion.
+class _Run:
+    """An in-flight batch: its requests, cursor and clock bookkeeping.
 
-    The event loop advances the simulated clock over exactly three event
-    kinds — request arrival, batch release, batch completion — and asks
-    the policy for the next release time whenever the machine is idle.
-    Batches execute back-to-back (the machine serves one batch at a
-    time; parallelism lives *inside* a batch, across the machine's
-    tensor units).
+    ``seg_clock``/``seg_base`` anchor the current execution segment on
+    the engine and ledger clocks; ``boundary`` is the absolute engine
+    time of the last executed level's completion.  A batch's completion
+    is always computed as ``seg_clock + (ledger now - seg_base)`` — for
+    a single-segment batch that is bit-identical to the old engine's
+    ``launch + stopwatch span``.
     """
 
-    def __init__(self, machine: TCUMachine, batcher: str | BatchPolicy = "continuous") -> None:
+    __slots__ = (
+        "index",
+        "kind",
+        "priority",
+        "requests",
+        "cursor",
+        "launch",
+        "seg_clock",
+        "seg_base",
+        "boundary",
+        "service",
+        "reload",
+        "preemptions",
+        "resumes",
+    )
+
+    def __init__(
+        self, index: int, kind: str, priority: int, requests: list[Request], launch: float
+    ) -> None:
+        self.index = index
+        self.kind = kind
+        self.priority = priority
+        self.requests = requests
+        self.cursor: ExecutionCursor | None = None
+        self.launch = launch
+        self.seg_clock = launch
+        self.seg_base = 0.0
+        self.boundary = launch
+        self.service = 0.0
+        self.reload = 0.0
+        self.preemptions = 0
+        self.resumes: list[float] = []
+
+
+class ServingEngine:
+    """One machine, one batching policy, one admission policy.
+
+    Parameters
+    ----------
+    machine:
+        The (m, l)-TCU (or parallel machine) that executes batches.
+    batcher:
+        A :class:`~repro.serve.batcher.BatchPolicy` (or registered
+        name) deciding when a class queue becomes a batch.
+    admission:
+        An :class:`~repro.serve.admission.AdmissionPolicy` (or name)
+        consulted at every arrival; refusals are shed, not queued.
+    preempt:
+        Enable priority preemption: a strictly-higher-class release due
+        at a running batch's level boundary checkpoints the batch there
+        and resumes it later, paying the ledgered ``reload`` charge.
+        Off by default — the engine is then bit-identical to the PR4
+        run-to-completion loop.
+    """
+
+    def __init__(
+        self,
+        machine: TCUMachine,
+        batcher: str | BatchPolicy = "continuous",
+        *,
+        admission: str | AdmissionPolicy = "unbounded",
+        preempt: bool = False,
+    ) -> None:
         self.machine = machine
         self.batcher = get_batcher(batcher)
+        self.admission = get_admission(admission)
+        self.preempt = bool(preempt)
 
     def serve(self, workload: Workload, *, validate: bool = True) -> ServeResult:
         machine = self.machine
         ledger = machine.ledger
         policy = self.batcher
-        queues: dict[str, deque[Request]] = {}
+        admission = self.admission
+        queues: dict[tuple[int, str], deque[Request]] = {}
         injected: list[tuple[float, int, Request]] = []
         seq = count()
         base = iter(workload.requests())
@@ -218,82 +388,175 @@ class ServingEngine:
             return req
 
         clock = 0.0
-        active: list[Request] | None = None
-        busy_until = math.inf
+        completion_clock = 0.0
+        running: _Run | None = None
+        suspended: list[_Run] = []
         finished: list[Request] = []
-        batches: list[BatchRecord] = []
+        shed: list[Request] = []
+        batches: list[BatchRecord | None] = []
         trace_start = len(ledger.calls) if ledger.trace_calls is True else 0
         ledger_start = ledger.clock
+        reload_start = ledger.reload_time
         busy_time = 0.0
+        preemptions_total = 0
         # per-run section baselines: ledger sections are cumulative over
         # the machine's lifetime, results report only this run's share
         kind_base: dict[str, float] = {}
 
+        def admit(req: Request) -> None:
+            key = (req.priority, req.kind)
+            queue = queues.setdefault(key, deque())
+            if admission.admit(req, queue, clock):
+                queue.append(req)
+            else:
+                shed.append(req)
+
+        def set_boundary(run: _Run) -> None:
+            run.boundary = run.seg_clock + (ledger.clock - run.seg_base)
+
+        def launch(key: tuple[int, str], release: float) -> None:
+            nonlocal clock, running
+            priority, kind = key
+            clock = max(clock, release)
+            batch = policy.take(queues[key], clock)
+            if not batch:
+                raise ServeError(f"policy {policy.name!r} released an empty batch")
+            rtype = get_request_type(kind)
+            kind_base.setdefault(kind, ledger.section_time(f"serve:{kind}"))
+            run = _Run(len(batches), kind, priority, batch, clock)
+            batches.append(None)  # slot: filled by complete()
+            for req in batch:
+                req.launch = clock
+                req.batch = run.index
+            run.seg_base = ledger.clock
+            rows = [r.rows for r in batch]
+            with ledger.section(f"serve:{kind}"):
+                plan = rtype.plan(machine, rows)
+                if plan is None:
+                    rtype.serve(machine, rows)  # atomic: no checkpoints
+                else:
+                    run.cursor = ExecutionCursor(plan, machine)
+                    if not run.cursor.done:
+                        run.cursor.step()
+            set_boundary(run)
+            running = run
+
+        def resume(run: _Run) -> None:
+            nonlocal running
+            run.seg_clock = clock
+            run.seg_base = ledger.clock
+            run.resumes.append(clock)
+            with ledger.section(f"serve:{run.kind}"):
+                run.reload += run.cursor.charge_reload()
+                run.cursor.step()
+            set_boundary(run)
+            running = run
+
+        def advance(run: _Run) -> None:
+            with ledger.section(f"serve:{run.kind}"):
+                run.cursor.step()
+            set_boundary(run)
+
+        def close_segment(run: _Run) -> None:
+            nonlocal busy_time
+            span = ledger.clock - run.seg_base
+            run.service += span
+            busy_time += span
+
+        def suspend(run: _Run) -> None:
+            nonlocal running, preemptions_total
+            close_segment(run)
+            run.preemptions += 1
+            preemptions_total += 1
+            suspended.append(run)
+            running = None
+
+        def complete(run: _Run) -> None:
+            nonlocal running, completion_clock
+            close_segment(run)
+            finish = run.boundary
+            completion_clock = max(completion_clock, finish)
+            batches[run.index] = BatchRecord(
+                index=run.index,
+                kind=run.kind,
+                rids=tuple(r.rid for r in run.requests),
+                rows=tuple(r.rows for r in run.requests),
+                launch=run.launch,
+                service=run.service,
+                priority=run.priority,
+                preemptions=run.preemptions,
+                reload_time=run.reload,
+                resumes=tuple(run.resumes),
+                finish=finish,
+            )
+            for req in run.requests:
+                req.completion = finish
+                finished.append(req)
+                for new in workload.on_complete(req, finish):
+                    heapq.heappush(injected, (new.arrival, next(seq), new))
+            running = None
+
         while True:
             na = next_arrival_time()
-            if active is not None:
-                # one event: whichever of completion / arrival is sooner
-                if busy_until <= na:
-                    clock = busy_until
-                    for req in active:
-                        req.completion = clock
-                        finished.append(req)
-                        for new in workload.on_complete(req, clock):
-                            heapq.heappush(injected, (new.arrival, next(seq), new))
-                    active = None
+            if running is not None:
+                # one event: level-complete vs arrival, boundary first
+                # at equal times (the PR4 completion/arrival tie-break)
+                if running.boundary <= na:
+                    clock = running.boundary
+                    run = running
+                    if run.cursor is None or run.cursor.done:
+                        complete(run)
+                    else:
+                        contender = None
+                        if self.preempt:
+                            contender = priority_release(
+                                queues, policy, clock, False, above=run.priority
+                            )
+                            if contender is not None and contender[0] > clock:
+                                contender = None  # due later: keep running
+                        if contender is not None:
+                            suspend(run)
+                        else:
+                            advance(run)
                 else:
                     clock = na
-                    req = pop_arrival()
-                    queues.setdefault(req.kind, deque()).append(req)
+                    admit(pop_arrival())
                 continue
 
-            # machine idle: earliest release across the kind queues,
-            # tie-broken by oldest head request then kind name
+            # machine idle: resume / release selection.  Candidates are
+            # ordered by (release, -priority, action rank, tie-break);
+            # a suspended batch resumes at `clock` and outranks a fresh
+            # launch of its own class at the same instant.
             draining = na == math.inf
-            best: tuple[float, float, str] | None = None
-            for kind, queue in queues.items():
-                if not queue:
-                    continue
-                release = policy.release_time(queue, clock, draining)
-                if release == math.inf:
-                    continue
-                candidate = (release, queue[0].arrival, kind)
-                if best is None or candidate < best:
+            best: tuple | None = None
+            if suspended:
+                bi = min(range(len(suspended)), key=lambda i: (-suspended[i].priority, i))
+                best = (clock, -suspended[bi].priority, 0, bi, ("resume", bi))
+            released = priority_release(queues, policy, clock, draining)
+            if released is not None:
+                release, priority, head_arrival, key = released
+                candidate = (
+                    release,
+                    -priority,
+                    1,
+                    (head_arrival, key[1]),
+                    ("launch", key),
+                )
+                if best is None or candidate[:4] < best[:4]:
                     best = candidate
 
             # strict <: an arrival at the release instant is admitted
             # first, so simultaneous arrivals batch together instead of
             # splitting into a size-1 batch plus a remainder
             if best is not None and best[0] < na:
-                release, _, kind = best
-                clock = max(clock, release)
-                batch = policy.take(queues[kind], clock)
-                if not batch:
-                    raise ServeError(f"policy {policy.name!r} released an empty batch")
-                rtype = get_request_type(kind)
-                kind_base.setdefault(kind, ledger.section_time(f"serve:{kind}"))
-                with ledger.stopwatch() as span, ledger.section(f"serve:{kind}"):
-                    rtype.serve(machine, [r.rows for r in batch])
-                service = span.elapsed
-                record = BatchRecord(
-                    index=len(batches),
-                    kind=kind,
-                    rids=tuple(r.rid for r in batch),
-                    rows=tuple(r.rows for r in batch),
-                    launch=clock,
-                    service=service,
-                )
-                batches.append(record)
-                for req in batch:
-                    req.launch = clock
-                    req.batch = record.index
-                busy_until = clock + service
-                busy_time += service
-                active = batch
+                action, payload = best[4]
+                if action == "resume":
+                    resume(suspended.pop(payload))
+                else:
+                    launch(payload, best[0])
             elif na < math.inf:
                 clock = na
-                req = pop_arrival()
-                queues.setdefault(req.kind, deque()).append(req)
+                admit(pop_arrival())
             else:
                 stranded = sum(len(q) for q in queues.values())
                 if stranded:
@@ -305,8 +568,8 @@ class ServingEngine:
 
         result = ServeResult(
             requests=finished,
-            batches=batches,
-            clock=clock if batches else 0.0,
+            batches=[b for b in batches if b is not None],
+            clock=completion_clock if batches else 0.0,
             busy_time=busy_time,
             ledger_time=ledger.clock - ledger_start,
             policy=policy.name,
@@ -314,9 +577,14 @@ class ServingEngine:
             trace_start=trace_start,
             trace_end=len(ledger.calls) if ledger.trace_calls is True else 0,
             kind_time={
-                kind: ledger.section_time(f"serve:{kind}") - base
-                for kind, base in kind_base.items()
+                kind: ledger.section_time(f"serve:{kind}") - base_time
+                for kind, base_time in kind_base.items()
             },
+            shed=shed,
+            preemptions=preemptions_total,
+            reload_time=ledger.reload_time - reload_start,
+            admission=admission.name,
+            preempt=self.preempt,
         )
         if validate:
             result.check_conservation()
@@ -332,10 +600,11 @@ def replay_batches(
     ledger's *hardware work* — per-shape call totals, call count, and
     (on serial machines) the tensor/latency time columns — is
     bit-identical to the served run's, whatever mix of numeric,
-    cost-only, serial or multi-unit machines the two sides use.  This
-    is the serving layer's equivalent of the batch-vs-serial parity the
-    scheduler tests pin: dynamic batching changes *when* work happens,
-    never *how much*.
+    cost-only, serial or multi-unit machines the two sides use.  A
+    replay runs every batch uninterrupted, so it never pays ``reload``:
+    a preempted run's total charges exceed its replay by exactly the
+    served run's ledgered reload time — the preemption-conservation
+    gate.
 
     Returns the machine's ledger for inspection.
     """

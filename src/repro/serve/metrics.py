@@ -2,9 +2,11 @@
 
 Turns a :class:`~repro.serve.engine.ServeResult` into the numbers a
 capacity planner asks for: throughput, the latency distribution
-(p50/p95/p99), SLO attainment and goodput, engine utilisation, and —
-on multi-unit machines with a full call trace — the per-tensor-unit
-busy shares recovered from the ledger's ``unit_id`` column.
+(p50/p95/p99), SLO attainment and goodput, shed rate, preemption and
+reload-cost counters, engine utilisation, per-priority-class breakdowns
+(:class:`ClassMetrics`), and — on multi-unit machines with a full call
+trace — the per-tensor-unit busy shares recovered from the ledger's
+``unit_id`` column.
 
 All quantities are in model time (the ledger clock), so two runs on
 different hosts produce identical metrics for identical (workload,
@@ -13,14 +15,45 @@ machine, policy) triples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.parallel import ParallelTCUMachine
 from .engine import ServeResult
 
-__all__ = ["ServeMetrics", "compute_metrics"]
+__all__ = ["ServeMetrics", "ClassMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class ClassMetrics:
+    """Serving statistics for one priority class.
+
+    Attributes
+    ----------
+    priority:
+        The class's priority value (higher = more urgent).
+    requests, shed:
+        Completed and admission-shed requests of the class.
+    shed_rate:
+        ``shed / (requests + shed)``.
+    latency_p50 / latency_p99:
+        The class's end-to-end latency percentiles.
+    slo_attainment:
+        Fraction of the class's completions that met their objective
+        (``None`` when no request carried one).
+    goodput:
+        The class's SLO-meeting completions per unit of model time.
+    """
+
+    priority: int
+    requests: int
+    shed: int
+    shed_rate: float
+    latency_p50: float
+    latency_p99: float
+    slo_attainment: float | None
+    goodput: float | None
 
 
 @dataclass(frozen=True)
@@ -50,6 +83,14 @@ class ServeMetrics:
         Fraction of requests whose latency met their objective.
     goodput:
         SLO-meeting completions per unit of model time.
+    shed, shed_rate:
+        Requests refused by the admission policy, and their fraction of
+        all offered requests.
+    preemptions:
+        Batch checkpoints taken (a batch preempted twice counts twice).
+    reload_time:
+        Model time the run spent re-loading resident blocks on resume
+        (the ledger's ``reload`` column for this run).
     utilization:
         Engine busy fraction: busy time / final clock.
     unit_busy_share:
@@ -62,6 +103,9 @@ class ServeMetrics:
         Model time charged per request kind *during this run* (the
         engine snapshots its ``serve:<kind>`` ledger sections per run,
         so reusing one machine across serves never double-counts).
+    per_class:
+        One :class:`ClassMetrics` per priority class seen in the run
+        (completed or shed), keyed by priority.
     """
 
     requests: int
@@ -82,6 +126,11 @@ class ServeMetrics:
     utilization: float
     unit_busy_share: dict[int, float] | None
     kind_time: dict[str, float]
+    shed: int = 0
+    shed_rate: float = 0.0
+    preemptions: int = 0
+    reload_time: float = 0.0
+    per_class: dict[int, ClassMetrics] = field(default_factory=dict)
 
 
 def _unit_busy_share(result: ServeResult) -> dict[int, float] | None:
@@ -101,12 +150,43 @@ def _unit_busy_share(result: ServeResult) -> dict[int, float] | None:
     return busy
 
 
+def _slo_stats(
+    latencies: np.ndarray, objectives: np.ndarray, clock: float
+) -> tuple[float | None, float | None]:
+    """(attainment, goodput) against per-request objectives (NaN = none)."""
+    with_slo = ~np.isnan(objectives)
+    if not with_slo.any():
+        return None, None
+    met = int((latencies[with_slo] <= objectives[with_slo]).sum())
+    attainment = met / int(with_slo.sum())
+    goodput = met / clock if clock else 0.0
+    return attainment, goodput
+
+
 def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMetrics:
     """Summarise a served run; ``slo`` is the fallback latency objective
     for requests that did not carry their own."""
     n = len(result.requests)
     clock = result.clock
+    shed_by_class: dict[int, int] = {}
+    for req in result.shed:
+        shed_by_class[req.priority] = shed_by_class.get(req.priority, 0) + 1
     if n == 0:
+        # classes that only ever shed still get their breakdown — the
+        # total-overload case is exactly what admission studies measure
+        empty_classes = {
+            priority: ClassMetrics(
+                priority=priority,
+                requests=0,
+                shed=count,
+                shed_rate=1.0,
+                latency_p50=0.0,
+                latency_p99=0.0,
+                slo_attainment=None,
+                goodput=None,
+            )
+            for priority, count in sorted(shed_by_class.items())
+        }
         return ServeMetrics(
             requests=0,
             batches=0,
@@ -126,28 +206,51 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
             utilization=0.0,
             unit_busy_share=None,
             kind_time={},
+            shed=len(result.shed),
+            shed_rate=result.shed_rate,
+            preemptions=result.preemptions,
+            reload_time=result.reload_time,
+            per_class=empty_classes,
         )
     latencies = np.array([r.latency for r in result.requests])
     waits = np.array([r.wait for r in result.requests])
+    priorities = np.array([r.priority for r in result.requests])
     p50, p95, p99 = np.percentile(latencies, [50.0, 95.0, 99.0])
 
     objectives = np.array(
         [r.slo if r.slo is not None else (slo if slo is not None else np.nan)
          for r in result.requests]
     )
-    with_slo = ~np.isnan(objectives)
+    attainment, goodput = _slo_stats(latencies, objectives, clock)
     effective_slo = slo
-    if with_slo.any():
-        met = int((latencies[with_slo] <= objectives[with_slo]).sum())
-        attainment = met / int(with_slo.sum())
-        goodput = met / clock if clock else 0.0
-        if effective_slo is None:
-            distinct = np.unique(objectives[with_slo])
-            if distinct.size == 1:
-                effective_slo = float(distinct[0])
-    else:
-        attainment = None
-        goodput = None
+    with_slo = ~np.isnan(objectives)
+    if effective_slo is None and with_slo.any():
+        distinct = np.unique(objectives[with_slo])
+        if distinct.size == 1:
+            effective_slo = float(distinct[0])
+
+    per_class: dict[int, ClassMetrics] = {}
+    for priority in sorted(set(priorities.tolist()) | set(shed_by_class)):
+        mask = priorities == priority
+        count = int(mask.sum())
+        cls_shed = shed_by_class.get(priority, 0)
+        if count:
+            cls_lat = latencies[mask]
+            cls_p50, cls_p99 = np.percentile(cls_lat, [50.0, 99.0])
+            cls_att, cls_good = _slo_stats(cls_lat, objectives[mask], clock)
+        else:
+            cls_p50 = cls_p99 = 0.0
+            cls_att = cls_good = None
+        per_class[int(priority)] = ClassMetrics(
+            priority=int(priority),
+            requests=count,
+            shed=cls_shed,
+            shed_rate=cls_shed / (count + cls_shed) if count + cls_shed else 0.0,
+            latency_p50=float(cls_p50),
+            latency_p99=float(cls_p99),
+            slo_attainment=cls_att,
+            goodput=cls_good,
+        )
 
     return ServeMetrics(
         requests=n,
@@ -168,4 +271,9 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
         utilization=result.busy_time / clock if clock else 0.0,
         unit_busy_share=_unit_busy_share(result),
         kind_time=dict(sorted(result.kind_time.items())),
+        shed=len(result.shed),
+        shed_rate=result.shed_rate,
+        preemptions=result.preemptions,
+        reload_time=result.reload_time,
+        per_class=per_class,
     )

@@ -6,21 +6,37 @@ so both ``benchmarks/bench_serving.py`` and ``examples/serving_sim.py``
 sweep it.  Defining the request type and its measured size-1 capacity
 once keeps the CI gate and the documented walkthrough from drifting
 apart.
+
+:func:`interactive_batch_mix` is the PR5 two-class scenario — tiny
+high-priority interactive requests sharing the TPU with huge
+low-priority bulk batches on a deep MLP — shared by
+``benchmarks/bench_preemption.py`` (the preemption-beats-FIFO p99
+gate) and the ``examples/serving_sim.py`` overload demo.
 """
 
 from __future__ import annotations
 
 from ..core.presets import TPU_V1, MachineSpec
 from .workload import (
+    MixedWorkload,
     MLPRequestType,
+    PoissonWorkload,
     RequestType,
     get_request_type,
     register_request_type,
 )
 
-__all__ = ["TPU_MLP_NAME", "tpu_mlp_request_type", "size1_capacity"]
+__all__ = [
+    "TPU_MLP_NAME",
+    "TPU_BULK_MLP_NAME",
+    "tpu_mlp_request_type",
+    "tpu_bulk_mlp_request_type",
+    "size1_capacity",
+    "interactive_batch_mix",
+]
 
 TPU_MLP_NAME = "mlp-256-tpu"
+TPU_BULK_MLP_NAME = "mlp-256x8-tpu"
 
 
 def tpu_mlp_request_type() -> RequestType:
@@ -47,3 +63,65 @@ def size1_capacity(
     machine = spec.create(execute="cost-only", trace_calls=False)
     (rtype or tpu_mlp_request_type()).serve(machine, [rows])
     return machine.ledger.total_time
+
+
+def tpu_bulk_mlp_request_type() -> RequestType:
+    """The bulk (analytics) tenant: an 8-layer 256-wide MLP.
+
+    Every layer is one resident 256x256 block on the TPUv1 preset, so a
+    bulk batch's plan has ~3 levels per layer — over twenty level
+    boundaries where the engine can checkpoint it.  Registered on first
+    use; idempotent."""
+    try:
+        return get_request_type(TPU_BULK_MLP_NAME)
+    except ValueError:
+        return register_request_type(
+            MLPRequestType(name=TPU_BULK_MLP_NAME, dims=(256,) * 9, default_rows=2048)
+        )
+
+
+def interactive_batch_mix(
+    interactive_total: int = 600,
+    batch_total: int = 8,
+    *,
+    interactive_load: float = 0.35,
+    batch_rows: int = 4096,
+    interactive_slo: float | None = None,
+    seed: int = 0,
+) -> MixedWorkload:
+    """The two-class TPUv1 overload scenario: interactive vs batch.
+
+    Priority-2 interactive requests (the §2.2 online MLP, 256 rows
+    each, offered at ``interactive_load`` of the unit's size-1
+    capacity) share the machine with priority-0 bulk jobs — huge
+    ``batch_rows``-row forward passes through the 8-layer MLP, arriving
+    slowly enough that roughly ``batch_total`` of them spread across
+    the interactive horizon.  Without preemption every interactive
+    request that lands behind a bulk batch waits its full multi-layer
+    service; with preemption it waits at most one level boundary plus
+    the ledgered reload.  The default interactive SLO is four size-1
+    service times.
+    """
+    cap = size1_capacity()
+    if interactive_slo is None:
+        interactive_slo = 4.0 * cap
+    interactive_rate = interactive_load / cap
+    horizon = interactive_total / interactive_rate
+    interactive = PoissonWorkload(
+        rate=interactive_rate,
+        total=interactive_total,
+        kind=tpu_mlp_request_type().name,
+        rows=256,
+        slo=interactive_slo,
+        priority=2,
+        seed=seed,
+    )
+    bulk = PoissonWorkload(
+        rate=max(batch_total, 1) / horizon,
+        total=batch_total,
+        kind=tpu_bulk_mlp_request_type().name,
+        rows=batch_rows,
+        priority=0,
+        seed=seed + 1,
+    )
+    return MixedWorkload(interactive, bulk)

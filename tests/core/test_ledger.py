@@ -66,6 +66,37 @@ class TestCpuCharges:
         assert led.total_time == 0
 
 
+class TestReloadCharges:
+    def test_reload_charge_tracked_separately(self):
+        led = CostLedger()
+        led.charge_cpu(3)
+        assert led.charge_reload(16) == 16.0
+        assert led.reload_time == 16.0
+        assert led.cpu_time == 3.0
+        assert led.total_time == 19.0
+
+    def test_reload_rejects_negative_and_non_finite(self):
+        led = CostLedger()
+        with pytest.raises(LedgerError):
+            led.charge_reload(-1)
+        with pytest.raises(LedgerError):
+            led.charge_reload(float("nan"))
+
+    def test_reload_credits_open_sections(self):
+        led = CostLedger()
+        with led.section("resume"):
+            led.charge_reload(8)
+        assert led.section_time("resume") == 8.0
+
+    def test_reload_survives_merge_and_reset(self):
+        a, b = CostLedger(), CostLedger()
+        a.charge_reload(4)
+        b.charge_reload(6)
+        assert a.merged_with(b).reload_time == 10.0
+        a.reset()
+        assert a.reload_time == 0.0 and a.total_time == 0.0
+
+
 class TestTrace:
     def test_calls_recorded(self):
         led = CostLedger()
@@ -152,6 +183,7 @@ class TestResetAndMerge:
             "tensor_time",
             "latency_time",
             "cpu_time",
+            "reload_time",
             "tensor_calls",
             "total_time",
         }

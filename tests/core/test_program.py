@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import TCUMachine, TensorProgram, matmul, matmul_lazy, run_program
-from repro.core.machine import TensorShapeError
+from repro.core.machine import TensorShapeError, placeholder
 from repro.core.parallel import ParallelTCUMachine
 from repro.core.program import Lazy, ProgramError, execute_plan, plan_program
 from repro.extmem.simulate import simulate_ledger_io
@@ -474,3 +474,152 @@ class TestPlaceholderResidents:
         assert planned.ledger.latency_time == 7.0
         for op, want in zip(ops, expected):
             assert np.allclose(op.result(), want)
+
+
+class TestNewOpKinds:
+    def test_apply_numeric_and_charge(self, rng):
+        machine = TCUMachine(m=16, ell=0.0)
+        prog = TensorProgram()
+        op = prog.mm(rng.random((4, 4)), rng.random((4, 4)))
+        relu = prog.apply(
+            lambda v: np.maximum(v, 0.0), [op], (4, 4), np.float64, cpu=16
+        )
+        run_program(prog, machine)
+        assert np.allclose(relu.result(), np.maximum(op.result(), 0.0))
+        assert machine.ledger.cpu_time == 16.0
+
+    def test_apply_cost_only_skips_fn(self):
+        machine = TCUMachine(m=16, ell=0.0, execute="cost-only")
+        prog = TensorProgram()
+
+        def boom(*_):
+            raise AssertionError("fn must not run in cost-only mode")
+
+        op = prog.apply(boom, [placeholder((4, 4))], (4, 4), np.float64, cpu=16)
+        run_program(prog, machine)
+        assert op.result().shape == (4, 4)
+        assert machine.ledger.cpu_time == 16.0
+
+    def test_apply_shape_contract_enforced(self, rng):
+        machine = TCUMachine(m=16, ell=0.0)
+        prog = TensorProgram()
+        prog.apply(lambda: np.zeros((2, 2)), [], (4, 4), np.float64)
+        with pytest.raises(ProgramError, match="declared shape"):
+            run_program(prog, machine)
+
+    def test_apply_rejects_negative_cpu(self):
+        prog = TensorProgram()
+        with pytest.raises(ProgramError, match=">= 0"):
+            prog.apply(lambda: None, [], (1,), np.float64, cpu=-1)
+
+    def test_view_is_free_and_correct(self, rng):
+        machine = TCUMachine(m=16, ell=0.0)
+        prog = TensorProgram()
+        op = prog.mm(rng.random((8, 4)), rng.random((4, 4)))
+        v = prog.view(op, (slice(2, 6), slice(None)))
+        assert v.shape == (4, 4)
+        cpu_before_ops = machine.ledger.cpu_time
+        run_program(prog, machine)
+        assert machine.ledger.cpu_time == cpu_before_ops  # views charge nothing
+        assert np.array_equal(v.result(), op.result()[2:6])
+
+    def test_view_feeds_mm(self, rng):
+        """A view of an earlier op can be the streamed operand of a
+        later mm — the multi-stage chaining the serving planner uses."""
+        machine = TCUMachine(m=16, ell=0.0)
+        W1 = rng.random((4, 4))
+        W2 = rng.random((4, 4))
+        X = rng.random((8, 4))
+        prog = TensorProgram()
+        first = prog.mm(X, W1)
+        second = prog.mm(prog.view(first, (slice(0, 4), slice(None))), W2)
+        run_program(prog, machine)
+        assert np.allclose(second.result(), (X @ W1)[:4] @ W2)
+
+
+class TestExecutionCursor:
+    def _layered_program(self, rng, machine):
+        prog = TensorProgram()
+        W1 = rng.random((4, 4))
+        W2 = rng.random((4, 4))
+        a = prog.mm(rng.random((8, 4)), W1)
+        b = prog.apply(lambda v: np.maximum(v, 0.0), [a], (8, 4), np.float64, cpu=32)
+        c = prog.mm(b, W2)
+        prog.add([c])
+        return prog
+
+    def test_stepwise_equals_one_shot(self, rng):
+        from repro.core.program import ExecutionCursor
+
+        stepped = TCUMachine(m=16, ell=9.0)
+        oneshot = TCUMachine(m=16, ell=9.0)
+        plan_a = plan_program(self._layered_program(rng, stepped), stepped)
+        plan_b = plan_program(self._layered_program(rng, oneshot), oneshot)
+        cursor = ExecutionCursor(plan_a, stepped)
+        while not cursor.done:
+            cursor.step()
+        execute_plan(plan_b, oneshot)
+        assert stepped.ledger.snapshot() == oneshot.ledger.snapshot()
+        assert sum(cursor.level_times) == stepped.ledger.total_time
+
+    def test_level_spans_reported_per_step(self, rng):
+        from repro.core.program import ExecutionCursor
+
+        machine = TCUMachine(m=16, ell=5.0)
+        plan = plan_program(self._layered_program(rng, machine), machine)
+        cursor = ExecutionCursor(plan, machine)
+        assert cursor.remaining_levels == cursor.total_levels > 1
+        first = cursor.step()
+        assert first == machine.ledger.total_time > 0
+        assert cursor.level_times == [first]
+        cursor.run()
+        assert cursor.done and cursor.remaining_levels == 0
+        with pytest.raises(ProgramError, match="exhausted"):
+            cursor.step()
+
+    def test_resident_words_shrink_as_levels_complete(self, rng):
+        from repro.core.program import ExecutionCursor
+
+        machine = TCUMachine(m=16, ell=0.0)
+        plan = plan_program(self._layered_program(rng, machine), machine)
+        cursor = ExecutionCursor(plan, machine)
+        # two distinct resident 4x4 blocks remain before any step
+        assert cursor.resident_words() == 32
+        cursor.step()  # first mm level done
+        assert cursor.resident_words() == 16
+        cursor.run()
+        assert cursor.resident_words() == 0
+
+    def test_charge_reload_pays_resident_words(self, rng):
+        from repro.core.program import ExecutionCursor
+
+        machine = TCUMachine(m=16, ell=0.0)
+        plan = plan_program(self._layered_program(rng, machine), machine)
+        cursor = ExecutionCursor(plan, machine)
+        cursor.step()
+        charged = cursor.charge_reload()
+        assert charged == 16.0
+        assert machine.ledger.reload_time == 16.0
+
+    def test_shared_resident_counted_once(self, rng):
+        from repro.core.program import ExecutionCursor
+
+        machine = TCUMachine(m=16, ell=0.0)
+        W = rng.random((4, 4))
+        prog = TensorProgram()
+        for _ in range(3):
+            prog.mm(rng.random((8, 4)), W)  # same buffer: one resident block
+        plan = plan_program(prog, machine)
+        assert ExecutionCursor(plan, machine).resident_words() == 16
+
+    def test_cost_only_cursor_matches_numeric(self, rng):
+        from repro.core.program import ExecutionCursor
+
+        numeric = TCUMachine(m=16, ell=3.0)
+        cost = TCUMachine(m=16, ell=3.0, execute="cost-only")
+        plan_n = plan_program(self._layered_program(rng, numeric), numeric)
+        plan_c = plan_program(self._layered_program(rng, cost), cost)
+        ExecutionCursor(plan_n, numeric).run()
+        cur = ExecutionCursor(plan_c, cost)
+        cur.run()
+        assert numeric.ledger.snapshot() == cost.ledger.snapshot()

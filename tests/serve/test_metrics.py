@@ -150,3 +150,68 @@ class TestLatencyTable:
         m = compute_metrics(result)
         table = latency_table({"no-slo": m})
         assert "n/a" in table
+
+
+class TestClassAndShedMetrics:
+    def _two_class_result(self):
+        from repro.serve import MixedWorkload, QueueCapAdmission
+
+        machine = TCUMachine(m=16, ell=32.0)
+        hot = PoissonWorkload(
+            rate=5e-3, total=40, kind="matmul", rows=8, seed=1, priority=2, slo=5e5
+        )
+        bulk = PoissonWorkload(rate=5e-3, total=40, kind="matmul", rows=8, seed=2)
+        engine = ServingEngine(
+            machine, "size", admission=QueueCapAdmission(cap=4), preempt=True
+        )
+        return engine.serve(MixedWorkload(hot, bulk))
+
+    def test_per_class_breakdown_sums_to_run(self):
+        result = self._two_class_result()
+        m = compute_metrics(result)
+        assert set(m.per_class) == {0, 2}
+        assert sum(c.requests for c in m.per_class.values()) == m.requests
+        assert sum(c.shed for c in m.per_class.values()) == m.shed
+        assert m.shed == len(result.shed)
+        assert m.shed_rate == pytest.approx(result.shed_rate)
+        # only the hot class carried SLOs
+        assert m.per_class[2].slo_attainment is not None
+        assert m.per_class[0].slo_attainment is None
+
+    def test_preemption_and_reload_counters_surface(self):
+        result = self._two_class_result()
+        m = compute_metrics(result)
+        assert m.preemptions == result.preemptions
+        assert m.reload_time == pytest.approx(result.reload_time)
+
+    def test_latency_table_renders_class_rows_and_new_columns(self):
+        from repro.analysis.report import latency_table
+
+        m = compute_metrics(self._two_class_result())
+        table = latency_table([("mixed", m)])
+        for header in ("shed", "preempt"):
+            assert header in table
+        assert "mixed[p2]" in table and "mixed[p0]" in table
+        flat = latency_table([("mixed", m)], per_class=False)
+        assert "mixed[p2]" not in flat
+
+    def test_all_shed_run_still_reports_per_class(self):
+        """Total overload — every request shed — must still break the
+        sheds down by class (the case admission studies measure)."""
+        from repro.serve import DeadlineAdmission
+
+        machine = TCUMachine(m=16, ell=8.0)
+        engine = ServingEngine(
+            machine, "continuous", admission=DeadlineAdmission(est_service=1e18)
+        )
+        result = engine.serve(
+            PoissonWorkload(
+                rate=1e-3, total=10, kind="matmul", rows=8,
+                deadline=1.0, priority=3, seed=1,
+            )
+        )
+        assert result.completed == 0 and len(result.shed) == 10
+        m = compute_metrics(result)
+        assert m.per_class[3].shed == 10
+        assert m.per_class[3].shed_rate == 1.0
+        assert m.per_class[3].requests == 0

@@ -7,9 +7,12 @@ from repro import TCUMachine
 from repro.serve import (
     BurstyWorkload,
     ClosedLoopWorkload,
+    DiurnalWorkload,
     MatmulRequestType,
+    MixedWorkload,
     PoissonWorkload,
     RequestType,
+    TraceWorkload,
     available_request_types,
     get_request_type,
     register_request_type,
@@ -158,3 +161,146 @@ class TestClosedLoop:
         again = list(wl.requests())  # re-armed
         assert len(again) == 1
         assert len(wl.on_complete(again[0], 1.0)) == 1
+
+
+class TestTraceWorkload:
+    def test_replays_array_timestamps(self):
+        times = [0.0, 5.0, 5.0, 12.0, 40.0]
+        wl = TraceWorkload(times, kind="matmul", rows=8)
+        reqs = list(wl.requests())
+        assert [r.arrival for r in reqs] == times
+        assert [r.rid for r in reqs] == list(range(5))
+        assert all(r.rows == 8 for r in reqs)
+
+    def test_scale_and_start_transform_stamps(self):
+        wl = TraceWorkload([1.0, 2.0], start=100.0, scale=10.0)
+        assert arrivals(wl) == [110.0, 120.0]
+
+    def test_loads_npy_and_text_files(self, tmp_path):
+        times = np.array([0.5, 1.5, 9.0])
+        npy = tmp_path / "trace.npy"
+        np.save(npy, times)
+        txt = tmp_path / "trace.txt"
+        txt.write_text("\n".join(str(t) for t in times))
+        assert arrivals(TraceWorkload(npy)) == times.tolist()
+        assert arrivals(TraceWorkload(str(txt))) == times.tolist()
+
+    def test_rejects_unsorted_and_bad_scale(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            TraceWorkload([3.0, 1.0])
+        with pytest.raises(ValueError, match="scale"):
+            TraceWorkload([1.0], scale=0.0)
+
+    def test_rows_are_seeded_deterministic(self):
+        a = TraceWorkload([0.0] * 50, rows=(4, 8, 16), seed=3)
+        b = TraceWorkload([0.0] * 50, rows=(4, 8, 16), seed=3)
+        assert [r.rows for r in a.requests()] == [r.rows for r in b.requests()]
+
+    def test_serves_end_to_end(self):
+        from repro.serve import ServingEngine
+
+        machine = TCUMachine(m=16, ell=8.0)
+        wl = TraceWorkload(np.linspace(0.0, 1e4, 20), kind="matmul", rows=8)
+        result = ServingEngine(machine, "continuous").serve(wl)
+        result.check_conservation()
+        assert result.completed == 20
+
+
+class TestDiurnalWorkload:
+    def test_mean_rate_tracks_parameter(self):
+        wl = DiurnalWorkload(rate=0.02, total=6000, period=5e4, amplitude=0.8, seed=1)
+        times = np.array(arrivals(wl))
+        mean_gap = float(np.diff(times, prepend=0.0).mean())
+        assert mean_gap == pytest.approx(50.0, rel=0.15)
+
+    def test_peak_window_denser_than_trough(self):
+        period = 4e4
+        wl = DiurnalWorkload(rate=0.05, total=8000, period=period, amplitude=1.0, seed=2)
+        times = np.array(arrivals(wl))
+        phase = (times % period) / period
+        peak = int(((phase > 0.05) & (phase < 0.45)).sum())   # sin > 0
+        trough = int(((phase > 0.55) & (phase < 0.95)).sum())  # sin < 0
+        assert peak > 3 * trough
+
+    def test_monotone_and_deterministic(self):
+        wl = DiurnalWorkload(rate=0.01, total=500, period=1e4, seed=5)
+        times = arrivals(wl)
+        assert times == arrivals(DiurnalWorkload(rate=0.01, total=500, period=1e4, seed=5))
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DiurnalWorkload(rate=0.0, total=10, period=1.0)
+        with pytest.raises(ValueError):
+            DiurnalWorkload(rate=1.0, total=10, period=0.0)
+        with pytest.raises(ValueError):
+            DiurnalWorkload(rate=1.0, total=10, period=1.0, amplitude=1.5)
+
+
+class TestMixedWorkload:
+    def test_merges_in_time_order_with_fresh_rids(self):
+        a = PoissonWorkload(rate=0.01, total=30, kind="matmul", seed=1, priority=2)
+        b = PoissonWorkload(rate=0.02, total=40, kind="dft", seed=2, priority=0)
+        merged = list(MixedWorkload(a, b).requests())
+        assert len(merged) == 70
+        assert [r.rid for r in merged] == list(range(70))
+        times = [r.arrival for r in merged]
+        assert times == sorted(times)
+        assert {r.priority for r in merged} == {0, 2}
+        assert {r.kind for r in merged} == {"matmul", "dft"}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MixedWorkload()
+
+    def test_accepts_an_iterable(self):
+        parts = [PoissonWorkload(rate=0.01, total=5, seed=s) for s in (1, 2)]
+        assert len(list(MixedWorkload(parts).requests())) == 10
+
+
+class TestPriorityAndDeadlineStamping:
+    def test_poisson_stamps_class_and_absolute_deadline(self):
+        wl = PoissonWorkload(rate=0.01, total=20, priority=3, deadline=100.0, seed=1)
+        for req in wl.requests():
+            assert req.priority == 3
+            assert req.deadline == pytest.approx(req.arrival + 100.0)
+
+    def test_deadline_defaults_to_none(self):
+        req = next(iter(PoissonWorkload(rate=0.01, total=1, seed=0).requests()))
+        assert req.priority == 0 and req.deadline is None
+
+
+class TestPlanLowering:
+    """RequestType.plan is the serve() one-shot, decomposed."""
+
+    def test_plan_charges_equal_serve(self):
+        rows = [8, 4, 12]
+        for kind in ("matmul", "mlp", "dft"):
+            one_shot = TCUMachine(m=16, ell=8.0)
+            stepped = TCUMachine(m=16, ell=8.0)
+            get_request_type(kind).serve(one_shot, rows)
+            plan = get_request_type(kind).plan(stepped, rows)
+            assert plan is not None
+            from repro.core.program import ExecutionCursor
+
+            cursor = ExecutionCursor(plan, stepped)
+            cursor.run()
+            assert stepped.ledger.snapshot() == one_shot.ledger.snapshot(), kind
+
+    def test_plans_have_checkpoint_boundaries(self):
+        machine = TCUMachine(m=16, ell=8.0)
+        for kind, rows, floor in (("mlp", [16], 4), ("dft", [8], 6)):
+            plan = get_request_type(kind).plan(machine, rows)
+            assert len(plan.levels) >= floor, kind
+
+    def test_stencil_has_no_plan(self):
+        machine = TCUMachine(m=16, ell=8.0)
+        assert get_request_type("stencil").plan(machine, [8]) is None
+
+    def test_legacy_type_without_serve_or_plan_fails_loudly(self):
+        class Hollow(RequestType):
+            name = "hollow"
+
+        machine = TCUMachine(m=16, ell=8.0)
+        with pytest.raises(NotImplementedError, match="neither plan"):
+            Hollow().serve(machine, [4])

@@ -25,6 +25,15 @@ def test_serving_walkthrough_registered():
     assert "serving_sim.py" in {path.name for path in EXAMPLES}
 
 
+def test_two_class_overload_demo_registered():
+    """PR5 extends the walkthrough with the interactive-vs-batch
+    preemption demo; keep it wired into the script it documents."""
+    source = (EXAMPLES_DIR / "serving_sim.py").read_text()
+    assert "interactive_batch_mix" in source
+    assert "two_class_overload_demo" in source
+    assert "preempt=preempt" in source
+
+
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs_clean(script):
     proc = subprocess.run(
