@@ -1,0 +1,189 @@
+"""E20 (extension) — the compiled serving hot path, writing ``BENCH_PR6.json``.
+
+Four sections back the PR6 plan cache:
+
+* ``hot_path`` — the headline gate: the deep bulk-MLP TPUv1 scenario
+  (8-layer 256-wide forward passes, 2048 rows per request, fixed-size
+  batches so every shape repeats) served cold (``plan_cache=False``,
+  every batch re-planned) vs cached.  The gate requires the cached
+  engine to be **>= 5x** faster wall-clock (>= 10x under
+  ``BENCH_PLAN_CACHE_FULL=1``, which also sizes the stream up).
+* ``replay`` — the PR4 100k-request cost-only stream served through the
+  cached engine: end-to-end requests/s with the cache on, next to the
+  uncached rate on the same stream.  This scenario is arrival-bound
+  (394 batches for 100k requests), so it tracks the event-kernel
+  bookkeeping cost rather than the planning cost.
+* ``parity`` — cached and uncached runs on a *traced* machine must be
+  bit-identical: ledger snapshot, per-shape call totals, final clock
+  and every batch's (launch, service, finish).
+* ``cache`` — hit/miss/size counters for the hot-path run; the gate
+  requires a >= 90% hit rate (fixed-size batching repeats one shape).
+
+Smoke-sized by default (seconds); set ``BENCH_PLAN_CACHE_FULL=1`` for
+longer streams and the 10x gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.machine import TCUMachine
+from repro.core.presets import TPU_V1
+from repro.serve import (
+    ContinuousBatcher,
+    PoissonWorkload,
+    ServingEngine,
+    SizeBatcher,
+)
+from repro.serve.scenarios import size1_capacity, tpu_bulk_mlp_request_type
+
+REPO = Path(__file__).resolve().parent.parent
+FULL = bool(int(os.environ.get("BENCH_PLAN_CACHE_FULL", "0")))
+HOT_REQUESTS = 10_000 if FULL else 2_000
+REPLAY_REQUESTS = 500_000 if FULL else 100_000
+SPEEDUP_GATE = 10.0 if FULL else 5.0
+
+REPORT: dict = {
+    "mode": "full" if FULL else "smoke",
+    "hot_path": {},
+    "replay": {},
+    "parity": {},
+    "cache": {},
+}
+
+BULK_MLP = tpu_bulk_mlp_request_type()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def write_bench_pr6():
+    """Dump whatever the session accumulated, pass or fail."""
+    yield
+    out = REPO / "BENCH_PR6.json"
+    out.write_text(json.dumps(REPORT, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {out}")
+
+
+def _bulk_run(plan_cache):
+    machine = TPU_V1.create(execute="cost-only", trace_calls=False)
+    workload = PoissonWorkload(
+        rate=8.0 / size1_capacity(),
+        total=HOT_REQUESTS,
+        kind=BULK_MLP.name,
+        rows=2048,
+        seed=0,
+    )
+    engine = ServingEngine(machine, SizeBatcher(size=8), plan_cache=plan_cache)
+    t0 = time.perf_counter()
+    result = engine.serve(workload)
+    wall = time.perf_counter() - t0
+    return machine, result, wall
+
+
+def test_cached_hot_path_speedup():
+    """The tentpole claim, measured: compiled replay beats per-batch
+    re-planning by >= 5x (smoke) / >= 10x (full) on the deep bulk-MLP
+    TPUv1 scenario."""
+    cold_machine, cold, cold_wall = _bulk_run(False)
+    hot_machine, hot, hot_wall = _bulk_run(None)
+    speedup = cold_wall / hot_wall
+    REPORT["hot_path"] = {
+        "preset": "tpu-v1 (cost-only)",
+        "kind": BULK_MLP.name,
+        "rows_per_request": 2048,
+        "batch_size": 8,
+        "requests": hot.completed,
+        "uncached_wall_s": round(cold_wall, 4),
+        "cached_wall_s": round(hot_wall, 4),
+        "uncached_requests_per_s": round(cold.completed / cold_wall),
+        "cached_requests_per_s": round(hot.completed / hot_wall),
+        "speedup": round(speedup, 2),
+        "gate": SPEEDUP_GATE,
+        "snapshot_identical": cold_machine.ledger.snapshot()
+        == hot_machine.ledger.snapshot(),
+        "clock_identical": cold.clock == hot.clock,
+    }
+    REPORT["cache"] = {
+        "hits": hot.cache_hits,
+        "misses": hot.cache_misses,
+        "size": hot.cache_size,
+        "hit_rate": hot.cache_hit_rate,
+        "hit_rate_ok": hot.cache_hit_rate is not None and hot.cache_hit_rate >= 0.9,
+    }
+    assert REPORT["hot_path"]["snapshot_identical"], "cached charges diverged"
+    assert REPORT["cache"]["hit_rate_ok"], f"hit rate too low: {hot.cache_hit_rate}"
+    assert speedup >= SPEEDUP_GATE, (
+        f"cached hot path only {speedup:.2f}x faster (gate {SPEEDUP_GATE}x): "
+        f"{cold_wall:.3f}s -> {hot_wall:.3f}s"
+    )
+
+
+def test_replay_rate_with_cache():
+    """The PR4 100k-request stream through the cached engine: the
+    arrival-bound end-to-end rate, recorded cached and uncached."""
+
+    def run(plan_cache):
+        machine = TCUMachine(
+            m=4096, ell=2048.0, execute="cost-only", trace_calls=False
+        )
+        workload = PoissonWorkload(
+            rate=1.0 / 800.0, total=REPLAY_REQUESTS, kind="matmul", rows=64, seed=0
+        )
+        engine = ServingEngine(
+            machine, ContinuousBatcher(max_size=256), plan_cache=plan_cache
+        )
+        t0 = time.perf_counter()
+        result = engine.serve(workload)
+        return result, time.perf_counter() - t0
+
+    uncached, uncached_wall = run(False)
+    cached, cached_wall = run(None)
+    REPORT["replay"] = {
+        "requests": cached.completed,
+        "batches": len(cached.batches),
+        "cached_wall_s": round(cached_wall, 3),
+        "uncached_wall_s": round(uncached_wall, 3),
+        "cached_requests_per_s": round(cached.completed / cached_wall),
+        "uncached_requests_per_s": round(uncached.completed / uncached_wall),
+        "cache_hit_rate": cached.cache_hit_rate,
+        "policy": "continuous",
+    }
+    assert cached.completed >= 100_000
+    assert cached.clock == uncached.clock
+
+
+def test_cached_run_is_bit_identical_on_traced_machine():
+    """Parity gate: with the full call trace on, a cached run is
+    indistinguishable from live execution, bit for bit."""
+
+    def run(plan_cache):
+        machine = TCUMachine(m=16, ell=512.0, execute="cost-only")
+        workload = PoissonWorkload(
+            rate=2e-4, total=400, kind="mlp", rows=8, seed=1
+        )
+        result = ServingEngine(machine, "timeout", plan_cache=plan_cache).serve(
+            workload
+        )
+        return machine, result
+
+    live_machine, live = run(False)
+    cached_machine, cached = run(None)
+    gates = {
+        "snapshot_identical": live_machine.ledger.snapshot()
+        == cached_machine.ledger.snapshot(),
+        "shape_totals_identical": live_machine.ledger.call_shape_totals()
+        == cached_machine.ledger.call_shape_totals(),
+        "clock_identical": live.clock == cached.clock,
+        "batches_identical": all(
+            (a.launch, a.service, a.completion)
+            == (b.launch, b.service, b.completion)
+            for a, b in zip(live.batches, cached.batches)
+        ),
+        "cache_used": cached.cache_hits > 0,
+    }
+    REPORT["parity"] = {**gates, "requests": cached.completed}
+    assert all(gates.values()), f"cached replay parity violated: {gates}"

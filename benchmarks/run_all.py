@@ -23,6 +23,10 @@ Three sections are produced:
   gate, the preemption-beats-FIFO high-priority p99 gate on the
   two-class TPUv1 scenario, and the shed-rate-vs-load curve under
   queue-cap admission.
+* ``plan_cache`` — the headline numbers from ``BENCH_PR6.json``
+  (written by ``bench_plan_cache.py``): the cached-vs-uncached
+  hot-path speedup on the deep bulk-MLP TPUv1 scenario, the
+  bit-identity parity gate, and the cache hit rate.
 
 Usage::
 
@@ -289,6 +293,29 @@ def preemption_summary() -> dict | None:
     }
 
 
+def plan_cache_summary() -> dict | None:
+    """Headline plan-cache numbers from the BENCH_PR6.json the bench
+    pass just wrote (None when the file is missing, e.g. --skip-benches)."""
+    path = REPO / "BENCH_PR6.json"
+    if not path.is_file():
+        return None
+    data = json.loads(path.read_text())
+    hot = data.get("hot_path", {})
+    parity = data.get("parity", {})
+    cache = data.get("cache", {})
+    parity_flags = [value for value in parity.values() if isinstance(value, bool)]
+    return {
+        "speedup": hot.get("speedup"),
+        "speedup_gate": hot.get("gate"),
+        "cached_requests_per_s": hot.get("cached_requests_per_s"),
+        "uncached_requests_per_s": hot.get("uncached_requests_per_s"),
+        "hit_rate": cache.get("hit_rate"),
+        "hit_rate_ok": cache.get("hit_rate_ok"),
+        # no recorded parity evidence counts as a failure, not a pass
+        "parity_ok": bool(parity_flags) and all(parity_flags),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -322,6 +349,9 @@ def main(argv=None) -> int:
         preemption = preemption_summary()
         if preemption is not None:
             report["preemption"] = preemption
+        plan_cache = plan_cache_summary()
+        if plan_cache is not None:
+            report["plan_cache"] = plan_cache
 
     Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     paths = report["exec_paths"]
@@ -354,6 +384,17 @@ def main(argv=None) -> int:
                 **preemption,
             )
         )
+    plan_cache = report.get("plan_cache")
+    if plan_cache is not None:
+        speedup = plan_cache["speedup"]
+        print(
+            "plan cache: {cached_requests_per_s} req/s cached vs "
+            "{uncached_requests_per_s} uncached ({speedup}x, gate "
+            "{speedup_gate}x); hit rate {hit_rate}; parity: {parity_ok}".format(
+                speedup="n/a" if speedup is None else f"{speedup:.3g}",
+                **{k: v for k, v in plan_cache.items() if k != "speedup"},
+            )
+        )
     failures = [
         name
         for name, entry in report.get("benches", {}).items()
@@ -376,6 +417,15 @@ def main(argv=None) -> int:
         and preemption["clean_at_light_load"]
     ):
         print("FAILED: preemption gates (parity / hi-p99 / shedding)")
+        return 1
+    if plan_cache is not None and not (
+        plan_cache["parity_ok"]
+        and plan_cache["hit_rate_ok"]
+        and plan_cache["speedup"] is not None
+        and plan_cache["speedup_gate"] is not None
+        and plan_cache["speedup"] >= plan_cache["speedup_gate"]
+    ):
+        print("FAILED: plan-cache gates (parity / hit rate / speedup)")
         return 1
     return 0
 

@@ -23,7 +23,12 @@ through the ledger's ``reload`` column, never for free.
 
 Everything is model time from the CostLedger, so the numbers are exact
 and machine-independent; the cost-only engine replays thousands of
-requests in milliseconds of wall clock.
+requests in milliseconds of wall clock.  On cost-only machines the
+engine also routes every batch through the PR6 **plan cache**: each
+``(kind, rows)`` shape is lowered and planned once, then replayed as
+frozen bulk ledger charges — the ``cache`` column in the tables below
+is the hit rate, and both acts share one :class:`PlanCache` so the
+sweep's shapes are compiled exactly once across all nine runs.
 
 Run:  python examples/serving_sim.py
 """
@@ -33,6 +38,7 @@ from repro.analysis.tables import render_table
 from repro.core.presets import TPU_V1
 from repro.serve import (
     ContinuousBatcher,
+    PlanCache,
     PoissonWorkload,
     ServingEngine,
     TimeoutBatcher,
@@ -53,6 +59,10 @@ MLP = tpu_mlp_request_type()
 REQUESTS = 1200
 SLO = 8e6  # end-to-end latency objective
 
+# one cache for the whole walkthrough: every run below serves the same
+# request kinds, so after the first run almost every batch is a replay
+CACHE = PlanCache()
+
 
 def run(policy, period, seed=0):
     machine = TPU_V1.create(execute="cost-only", trace_calls=False)
@@ -64,7 +74,7 @@ def run(policy, period, seed=0):
         slo=SLO,
         seed=seed,
     )
-    result = ServingEngine(machine, policy).serve(workload)
+    result = ServingEngine(machine, policy, plan_cache=CACHE).serve(workload)
     return compute_metrics(result)
 
 
@@ -111,17 +121,27 @@ def main() -> None:
     )
     print()
     two_class_overload_demo()
+    print()
+    stats = CACHE.stats()
+    print(
+        "Plan cache, whole walkthrough: {hits} hits / {misses} misses "
+        "({hit_rate:.1%} hit rate), {size} compiled plans resident.\n"
+        "Every batch above a first-of-its-shape replayed frozen charge\n"
+        "columns instead of re-planning — same ledger, bit for bit, at a\n"
+        "fraction of the wall-clock cost.".format(**stats)
+    )
 
 
 def two_class_overload_demo() -> None:
-    """Interactive vs batch: what preemption buys the latency class."""
+    """Interactive vs batch: what preemption buys the latency class —
+    served through the shared plan cache, preemption and all."""
     entries = []
     preemptive = None
     for label, preempt in (("fifo (run-to-completion)", False), ("preemptive", True)):
         machine = TPU_V1.create(execute="cost-only", trace_calls=False)
-        result = ServingEngine(machine, "continuous", preempt=preempt).serve(
-            interactive_batch_mix()
-        )
+        result = ServingEngine(
+            machine, "continuous", preempt=preempt, plan_cache=CACHE
+        ).serve(interactive_batch_mix())
         metrics = compute_metrics(result)
         entries.append((label, metrics))
         if preempt:
@@ -136,6 +156,11 @@ def two_class_overload_demo() -> None:
     hi_fifo = entries[0][1].per_class[2]
     hi_pre = metrics.per_class[2]
     print()
+    print(
+        f"Cached path: {result.cache_hits} of {result.cache_lookups} batch "
+        f"launches were plan-cache hits ({result.cache_hit_rate:.1%}) — the "
+        "preemptive run checkpoints and resumes *compiled* plans."
+    )
     print(
         "The interactive class's p99 drops "
         f"{hi_fifo.latency_p99 / hi_pre.latency_p99:.1f}x under preemption "

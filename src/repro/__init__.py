@@ -37,11 +37,14 @@ from .core import (
     TPU_V1,
     VOLTA_TC,
     BatchStats,
+    CompiledCursor,
+    CompiledPlan,
     CostLedger,
     ExecutionCursor,
     MachineSpec,
     ParallelTCUMachine,
     Plan,
+    PlanCache,
     PlanStats,
     QuantizedTCUMachine,
     Schedule,
@@ -51,6 +54,7 @@ from .core import (
     TensorShapeError,
     WeakTCUMachine,
     available_schedulers,
+    compile_plan,
     get_scheduler,
     placeholder,
     run_program,
@@ -131,6 +135,10 @@ __all__ = [
     "MixedWorkload",
     "ClassMetrics",
     "ExecutionCursor",
+    "CompiledCursor",
+    "CompiledPlan",
+    "PlanCache",
+    "compile_plan",
     "compute_metrics",
     "replay_batches",
     "__version__",

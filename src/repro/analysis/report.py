@@ -53,7 +53,8 @@ def latency_table(entries, *, title: str | None = None, per_class: bool = True) 
     dict mapping labels to them).  Columns are the capacity-planning
     staples: completed requests, throughput, the latency percentiles,
     mean wait, SLO goodput, the admission **shed rate**, **preemption**
-    count and engine utilisation.  When a run carries several priority
+    count, engine utilisation and the plan-cache **hit rate** (``off``
+    for runs served without a cache).  When a run carries several priority
     classes (and ``per_class`` is true), one indented sub-row per class
     follows its scenario row — label ``<scenario>[p<priority>]`` —
     showing the class's completions, its p50/p99, its goodput and its
@@ -78,6 +79,7 @@ def latency_table(entries, *, title: str | None = None, per_class: bool = True) 
                 m.shed_rate,
                 m.preemptions,
                 m.utilization,
+                "off" if m.cache_hit_rate is None else m.cache_hit_rate,
             ]
         )
         classes = m.per_class if per_class else {}
@@ -97,6 +99,7 @@ def latency_table(entries, *, title: str | None = None, per_class: bool = True) 
                         cls.shed_rate,
                         "",
                         "",
+                        "",
                     ]
                 )
     return render_table(
@@ -112,6 +115,7 @@ def latency_table(entries, *, title: str | None = None, per_class: bool = True) 
             "shed",
             "preempt",
             "util",
+            "cache",
         ],
         rows,
         title=title or "serving latency / throughput",

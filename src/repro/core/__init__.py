@@ -25,7 +25,9 @@ from .scheduling import (
     register_scheduler,
     schedule_batch,
 )
+from .plan_cache import CompiledPlan, LevelCharges, PlanCache, compile_plan
 from .program import (
+    CompiledCursor,
     ExecutionCursor,
     Lazy,
     Plan,
@@ -62,6 +64,11 @@ __all__ = [
     "ProgramError",
     "Lazy",
     "ExecutionCursor",
+    "CompiledCursor",
+    "CompiledPlan",
+    "LevelCharges",
+    "PlanCache",
+    "compile_plan",
     "plan_program",
     "execute_plan",
     "run_program",

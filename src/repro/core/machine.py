@@ -137,6 +137,7 @@ class TCUMachine:
         self.execute = execute
         self.check_overflow = bool(check_overflow)
         self.ledger = ledger if ledger is not None else CostLedger(trace_calls=trace_calls)
+        self.ledger.bind_machine(self.sqrt_m, self.ell)
         self._words: WordSpec | None = None
         self._systolic: SystolicArray | None = None
 
@@ -389,6 +390,28 @@ class TCUMachine:
     def reset(self) -> None:
         """Zero the ledger (the machine parameters are untouched)."""
         self.ledger.reset()
+
+    def config_key(self) -> tuple:
+        """A stable fingerprint of every parameter that shapes charges.
+
+        Two machines with equal keys charge bit-identical ledgers for
+        the same sequence of calls, so the key is safe to memoise
+        compiled plans under (:mod:`repro.core.plan_cache`).  Subclasses
+        with extra cost-bearing parameters (units, scheduler, precision)
+        must extend the tuple.  ``trace_calls`` is deliberately absent:
+        trace mode changes what is recorded, never what is charged.
+        """
+        return (
+            type(self).__name__,
+            self.m,
+            self.ell,
+            self.kappa,
+            self.max_rows,
+            self.complex_cost_factor,
+            self.backend,
+            self.execute,
+            self.check_overflow,
+        )
 
     def fork(self) -> "TCUMachine":
         """A machine with identical parameters and a fresh ledger."""

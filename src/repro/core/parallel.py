@@ -280,6 +280,11 @@ class ParallelTCUMachine(TCUMachine):
             ]
         return [A @ B for A, B in pairs]
 
+    def config_key(self) -> tuple:
+        """Extends the base fingerprint with the unit count and the
+        scheduling policy (both change makespans, hence charges)."""
+        return super().config_key() + (self.units, self.scheduler.name)
+
     def fork(self) -> "ParallelTCUMachine":
         """A machine with identical parameters (including the unit
         count and scheduling policy) and a fresh ledger."""

@@ -72,6 +72,7 @@ __all__ = [
     "ProgramError",
     "Lazy",
     "ExecutionCursor",
+    "CompiledCursor",
     "plan_program",
     "execute_plan",
     "run_program",
@@ -853,6 +854,113 @@ class ExecutionCursor:
         resume, before stepping again; a cursor with no tensor work left
         charges nothing.
         """
+        return self.machine.ledger.charge_reload(self.resident_words())
+
+
+class CompiledCursor:
+    """Replays a frozen :class:`~repro.core.plan_cache.CompiledPlan`.
+
+    The drop-in twin of :class:`ExecutionCursor` for the serving hot
+    path: same interface (``step`` / ``run`` / ``done`` / ``next_level``
+    / ``remaining_levels`` / ``level_times`` / ``charge_reload``), but
+    each step applies the level's *pre-computed* charges as one bulk
+    ledger operation instead of walking ops — no program build, no
+    planner, no per-op dispatch.  Values are never produced, so compiled
+    replay is only offered on cost-only machines, where live execution
+    produces placeholders anyway.
+
+    Bit-identity to live execution holds for the ledger's counters,
+    clock, snapshot, per-shape trace totals and unit-id trace whenever
+    each counter's live per-level addends are either a single float (the
+    parallel makespan path) or all integer-valued (every serial charge
+    with integer ``ell`` — all shipped presets); both conditions make
+    float addition re-associate exactly.  The compile step verifies the
+    per-level deltas against the bulk formula rather than assuming them.
+
+    ``plan()``-build charges the live engine pays at launch (the
+    compiled plan's ``prelude``) are applied together with level 0, so a
+    cursor resumed at a later level never re-pays them.
+    """
+
+    def __init__(self, compiled, machine: TCUMachine) -> None:
+        self.compiled = compiled
+        self.machine = machine
+        self.next_level = 0
+        self.level_times: list[float] = []
+
+    @property
+    def total_levels(self) -> int:
+        return len(self.compiled.levels)
+
+    @property
+    def remaining_levels(self) -> int:
+        return len(self.compiled.levels) - self.next_level
+
+    @property
+    def done(self) -> bool:
+        return self.next_level >= len(self.compiled.levels)
+
+    def _apply(self, charges) -> None:
+        led = self.machine.ledger
+        s = self.compiled.sqrt_m
+        ell = self.compiled.ell
+        if charges.simple:
+            if charges.ns.size:
+                led.charge_tensor_bulk(charges.ns, s, ell)
+        else:
+            # a makespan-scaled parallel level: its counters carry one
+            # non-formula addend each, so replay the captured deltas and
+            # trace columns verbatim (mm_batch's own accounting), after
+            # the same machine-binding check the public path enforces
+            led._check_bound(s, ell)
+            led.tensor_time += charges.tensor_time
+            led.latency_time += charges.latency_time
+            led.tensor_calls += charges.tensor_calls
+            led._bump_sections(charges.tensor_time + charges.latency_time)
+            led.record_calls_bulk(
+                charges.ns, s, charges.times, charges.lats, units=charges.units
+            )
+        if charges.cpu_time:
+            led.charge_cpu(charges.cpu_time)
+
+    def step(self) -> float:
+        """Replay the next level's charges; returns the model time."""
+        if self.done:
+            raise ProgramError("cursor is exhausted; no levels left to execute")
+        with self.machine.ledger.stopwatch() as span:
+            if self.next_level == 0 and self.compiled.prelude is not None:
+                self._apply(self.compiled.prelude)
+            self._apply(self.compiled.levels[self.next_level])
+        self.next_level += 1
+        self.level_times.append(span.elapsed)
+        return span.elapsed
+
+    def run(self) -> None:
+        """Replay every remaining level.
+
+        A fresh cursor whose plan coalesces (see
+        :class:`~repro.core.plan_cache.CompiledPlan`) pays the whole
+        plan — prelude included — as a single bulk charge; otherwise
+        this is the plain step loop.
+        """
+        if self.next_level == 0 and self.compiled.coalesced is not None:
+            with self.machine.ledger.stopwatch() as span:
+                self._apply(self.compiled.coalesced)
+            self.next_level = self.total_levels
+            self.level_times.append(span.elapsed)
+            return
+        while not self.done:
+            self.step()
+
+    def resident_words(self, from_level: int | None = None) -> int:
+        """The frozen counterpart of :meth:`ExecutionCursor.resident_words`."""
+        start = self.next_level if from_level is None else from_level
+        if start >= len(self.compiled.reload_words):
+            return 0
+        return self.compiled.reload_words[start]
+
+    def charge_reload(self) -> float:
+        """Charge the resume cost of a suspended cursor and return it."""
         return self.machine.ledger.charge_reload(self.resident_words())
 
 

@@ -99,6 +99,15 @@ class QuantizedTCUMachine(TCUMachine):
         self.precision = precision
         self.error_stats = QuantizationErrorStats()
 
+    def config_key(self) -> tuple:
+        """Extends the base fingerprint with the precision format.
+
+        Charges are precision-independent today, but the key keeps
+        quantised machines from sharing cache entries with exact ones
+        should a format ever grow its own cost rule.
+        """
+        return super().config_key() + (self.precision,)
+
     def _quantize(self, x: np.ndarray) -> np.ndarray:
         if np.iscomplexobj(x):
             return quantize_array(x.real, self.precision) + 1j * quantize_array(

@@ -26,13 +26,16 @@ tensions, layered entirely on the existing machine stack:
   :class:`~repro.core.machine.TCUMachine` /
   :class:`~repro.core.parallel.ParallelTCUMachine`, with the simulated
   clock driven by the :class:`~repro.core.ledger.CostLedger`, resume
-  costs charged through the ledger's ``reload`` category, and an exact
-  batch-replay harness;
+  costs charged through the ledger's ``reload`` category, an exact
+  batch-replay harness, and (on cost-only machines) a
+  :class:`~repro.core.plan_cache.PlanCache` hot path that replays
+  frozen per-level charge columns instead of re-planning each batch;
 * :mod:`repro.serve.metrics`   -- throughput, p50/p95/p99 latency, SLO
   goodput, shed rate, preemption/reload counters, per-class
   breakdowns, engine and per-unit utilisation.
 """
 
+from ..core.plan_cache import CompiledPlan, PlanCache, compile_plan
 from .admission import (
     AdmissionPolicy,
     DeadlineAdmission,
@@ -121,4 +124,7 @@ __all__ = [
     "size1_capacity",
     "tpu_mlp_request_type",
     "interactive_batch_mix",
+    "PlanCache",
+    "CompiledPlan",
+    "compile_plan",
 ]

@@ -77,9 +77,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from itertools import count
 
+import numpy as np
+
 from ..core.ledger import CostLedger
 from ..core.machine import TCUMachine
-from ..core.program import ExecutionCursor
+from ..core.plan_cache import PlanCache
+from ..core.program import CompiledCursor, ExecutionCursor
 from .admission import AdmissionPolicy, get_admission
 from .batcher import BatchPolicy, get_batcher, priority_release
 from .workload import Request, Workload, get_request_type
@@ -156,10 +159,25 @@ class ServeResult:
     reload_time: float = 0.0
     admission: str = "unbounded"
     preempt: bool = False
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_size: int = 0
 
     @property
     def completed(self) -> int:
         return len(self.requests)
+
+    @property
+    def cache_lookups(self) -> int:
+        """Plan-cache lookups this run made (0 when caching is off)."""
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Hit fraction of this run's plan-cache lookups (``None`` when
+        the run made none — numeric machines, caching disabled)."""
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else None
 
     @property
     def offered(self) -> int:
@@ -198,58 +216,85 @@ class ServeResult:
         def close(a: float, b: float) -> bool:
             return math.isclose(a, b, rel_tol=rel_tol, abs_tol=rel_tol)
 
-        by_index = {b.index: b for b in self.batches}
-        for req in self.requests:
-            if not req.done:
-                raise ServeError(f"request {req.rid} never completed")
-            if req.launch < req.arrival:
-                raise ServeError(
-                    f"request {req.rid} launched at {req.launch} before its "
-                    f"arrival {req.arrival}"
-                )
-            batch = by_index.get(req.batch)
-            if batch is None:
-                raise ServeError(f"request {req.rid} has no batch record")
-            if not close(req.completion, batch.completion):
-                raise ServeError(
-                    f"request {req.rid} completion {req.completion} != its "
-                    f"batch's finish {batch.completion}"
-                )
+        def allclose(a: np.ndarray, b) -> np.ndarray:
+            # element-wise math.isclose with matching absolute tolerance
+            return np.isclose(a, b, rtol=rel_tol, atol=rel_tol)
+
+        # columnar views of the per-request / per-batch records: the
+        # invariants below check whole arrays at once, and only on a
+        # violation fall back to a scan for the offending record
+        index_of = {b.index: i for i, b in enumerate(self.batches)}
+        n = len(self.requests)
+        arrivals = np.fromiter((r.arrival for r in self.requests), float, n)
+        launches = np.fromiter((r.launch for r in self.requests), float, n)
+        completions = np.fromiter((r.completion for r in self.requests), float, n)
+        req_batch = np.fromiter(
+            (index_of.get(r.batch, -1) for r in self.requests), np.int64, n
+        )
+        k = len(self.batches)
+        b_launch = np.fromiter((b.launch for b in self.batches), float, k)
+        b_service = np.fromiter((b.service for b in self.batches), float, k)
+        b_finish = np.fromiter((b.completion for b in self.batches), float, k)
+        b_reload = np.fromiter((b.reload_time for b in self.batches), float, k)
+        b_size = np.fromiter((b.size for b in self.batches), np.int64, k)
+        b_preempted = np.fromiter((b.preemptions for b in self.batches), np.int64, k)
+
+        if np.isnan(completions).any():
+            bad = self.requests[int(np.isnan(completions).argmax())]
+            raise ServeError(f"request {bad.rid} never completed")
+        if (launches < arrivals).any():
+            bad = self.requests[int((launches < arrivals).argmax())]
+            raise ServeError(
+                f"request {bad.rid} launched at {bad.launch} before its "
+                f"arrival {bad.arrival}"
+            )
+        if (req_batch < 0).any():
+            bad = self.requests[int((req_batch < 0).argmax())]
+            raise ServeError(f"request {bad.rid} has no batch record")
+        matched = allclose(completions, b_finish[req_batch]) if n else np.ones(0, bool)
+        if not matched.all():
+            bad = self.requests[int((~matched).argmax())]
+            raise ServeError(
+                f"request {bad.rid} completion {bad.completion} != its "
+                f"batch's finish {b_finish[index_of[bad.batch]]}"
+            )
         for req in self.shed:
             if req.done or not math.isnan(req.launch):
                 raise ServeError(f"shed request {req.rid} was served anyway")
 
-        total_reload = 0.0
-        for batch in self.batches:
-            total_reload += batch.reload_time
-            if batch.reload_time < 0:
-                raise ServeError(f"batch {batch.index} has negative reload time")
-            if batch.preemptions == 0:
-                if not close(batch.completion, batch.launch + batch.service):
-                    raise ServeError(
-                        f"unpreempted batch {batch.index} finish {batch.completion} "
-                        f"!= launch+service {batch.launch + batch.service}"
-                    )
-            elif batch.completion < batch.launch + batch.service and not close(
-                batch.completion, batch.launch + batch.service
-            ):
+        if (b_reload < 0).any():
+            bad = self.batches[int((b_reload < 0).argmax())]
+            raise ServeError(f"batch {bad.index} has negative reload time")
+        serial_span = b_launch + b_service
+        unpreempted_ok = allclose(b_finish, serial_span) | (b_preempted > 0)
+        if not unpreempted_ok.all():
+            bad = self.batches[int((~unpreempted_ok).argmax())]
+            raise ServeError(
+                f"unpreempted batch {bad.index} finish {bad.completion} "
+                f"!= launch+service {bad.launch + bad.service}"
+            )
+        preempted_ok = (
+            (b_preempted == 0)
+            | (b_finish >= serial_span)
+            | allclose(b_finish, serial_span)
+        )
+        if not preempted_ok.all():
+            bad = self.batches[int((~preempted_ok).argmax())]
+            raise ServeError(
+                f"preempted batch {bad.index} finished at {bad.completion}, "
+                f"before its {bad.service} of service could fit"
+            )
+        if self.preemptions == 0 and k:
+            prev = np.concatenate(([0.0], b_finish[:-1]))
+            serial_ok = (b_launch >= prev) | allclose(b_launch, prev)
+            if not serial_ok.all():
+                bad = self.batches[int((~serial_ok).argmax())]
                 raise ServeError(
-                    f"preempted batch {batch.index} finished at {batch.completion}, "
-                    f"before its {batch.service} of service could fit"
+                    f"batch {bad.index} launched at {bad.launch} while the "
+                    f"engine was busy until {prev[int((~serial_ok).argmax())]}"
                 )
-        if self.preemptions == 0:
-            prev_completion = 0.0
-            for batch in self.batches:
-                if batch.launch < prev_completion and not close(
-                    batch.launch, prev_completion
-                ):
-                    raise ServeError(
-                        f"batch {batch.index} launched at {batch.launch} while the "
-                        f"engine was busy until {prev_completion}"
-                    )
-                prev_completion = batch.completion
-        if self.batches:
-            last = max(batch.completion for batch in self.batches)
+        if k:
+            last = float(b_finish.max())
             if not close(self.clock, last):
                 raise ServeError(
                     f"final clock {self.clock} != last completion {last}"
@@ -259,14 +304,15 @@ class ServeResult:
                 f"busy time {self.busy_time} diverged from the ledger-clock "
                 f"span {self.ledger_time}"
             )
+        total_reload = float(b_reload.sum())
         if not close(total_reload, self.reload_time):
             raise ServeError(
                 f"per-batch reloads {total_reload} != the run's ledgered "
                 f"reload time {self.reload_time}"
             )
-        total_latency = sum(r.latency for r in self.requests)
-        total_wait = sum(r.wait for r in self.requests)
-        total_span = sum(b.size * (b.completion - b.launch) for b in self.batches)
+        total_latency = float((completions - arrivals).sum())
+        total_wait = float((launches - arrivals).sum())
+        total_span = float((b_size * (b_finish - b_launch)).sum())
         if not close(total_latency, total_wait + total_span):
             raise ServeError(
                 f"sum(latency)={total_latency} != sum(wait)+sum(size*span)="
@@ -308,7 +354,7 @@ class _Run:
         self.kind = kind
         self.priority = priority
         self.requests = requests
-        self.cursor: ExecutionCursor | None = None
+        self.cursor: ExecutionCursor | CompiledCursor | None = None
         self.launch = launch
         self.seg_clock = launch
         self.seg_base = 0.0
@@ -338,6 +384,22 @@ class ServingEngine:
         and resumes it later, paying the ledgered ``reload`` charge.
         Off by default — the engine is then bit-identical to the PR4
         run-to-completion loop.
+    plan_cache:
+        Plan caching for the execution hot path.  ``None`` (default)
+        auto-enables a fresh :class:`~repro.core.plan_cache.PlanCache`
+        on cost-only machines and disables it on numeric ones (replay
+        charges costs but produces no values); ``False`` disables
+        caching unconditionally; ``True`` requests a fresh cache; a
+        :class:`PlanCache` instance is used as-is (and may be shared
+        across engines — the config fingerprint in its key keeps
+        differently parameterised machines apart).  Explicitly
+        requesting a cache on a numeric machine is a :class:`ValueError`.
+
+    With caching active, each batch's ``(kind, rows)`` is compiled once
+    into a frozen charge tensor and replayed thereafter as one bulk
+    ledger operation per level (or one per *batch* when the whole plan
+    coalesces) — bit-identical charges, clock and preemption behaviour
+    to live execution, at a fraction of the Python cost.
     """
 
     def __init__(
@@ -347,11 +409,24 @@ class ServingEngine:
         *,
         admission: str | AdmissionPolicy = "unbounded",
         preempt: bool = False,
+        plan_cache: PlanCache | bool | None = None,
     ) -> None:
         self.machine = machine
         self.batcher = get_batcher(batcher)
         self.admission = get_admission(admission)
         self.preempt = bool(preempt)
+        cost_only = machine.execute == "cost-only"
+        if plan_cache is None:
+            self.plan_cache = PlanCache() if cost_only else None
+        elif plan_cache is False:
+            self.plan_cache = None
+        else:
+            if not cost_only:
+                raise ValueError(
+                    "plan caching replays charges without producing values; "
+                    'it requires a machine with execute="cost-only"'
+                )
+            self.plan_cache = PlanCache() if plan_cache is True else plan_cache
 
     def serve(self, workload: Workload, *, validate: bool = True) -> ServeResult:
         machine = self.machine
@@ -402,6 +477,10 @@ class ServingEngine:
         # per-run section baselines: ledger sections are cumulative over
         # the machine's lifetime, results report only this run's share
         kind_base: dict[str, float] = {}
+        rtypes: dict[str, object] = {}  # per-run registry memo
+        cache = self.plan_cache
+        cache_hits_start = cache.hits if cache is not None else 0
+        cache_misses_start = cache.misses if cache is not None else 0
 
         def admit(req: Request) -> None:
             key = (req.priority, req.kind)
@@ -421,8 +500,10 @@ class ServingEngine:
             batch = policy.take(queues[key], clock)
             if not batch:
                 raise ServeError(f"policy {policy.name!r} released an empty batch")
-            rtype = get_request_type(kind)
-            kind_base.setdefault(kind, ledger.section_time(f"serve:{kind}"))
+            rtype = rtypes.get(kind)
+            if rtype is None:
+                rtype = rtypes[kind] = get_request_type(kind)
+                kind_base[kind] = ledger.section_time(f"serve:{kind}")
             run = _Run(len(batches), kind, priority, batch, clock)
             batches.append(None)  # slot: filled by complete()
             for req in batch:
@@ -430,14 +511,29 @@ class ServingEngine:
                 req.batch = run.index
             run.seg_base = ledger.clock
             rows = [r.rows for r in batch]
+            # With preemption off nothing can interrupt a running batch
+            # (releases happen only at idle), so the cursor runs to
+            # exhaustion in one event — on a cached plan that is a
+            # single coalesced bulk charge.  With preemption on, step
+            # level-by-level so boundaries stay visible to the kernel.
             with ledger.section(f"serve:{kind}"):
-                plan = rtype.plan(machine, rows)
-                if plan is None:
-                    rtype.serve(machine, rows)  # atomic: no checkpoints
-                else:
-                    run.cursor = ExecutionCursor(plan, machine)
-                    if not run.cursor.done:
+                if cache is not None:
+                    compiled = cache.get_or_compile(rtype, machine, rows)
+                    run.cursor = CompiledCursor(compiled, machine)
+                    if self.preempt:
                         run.cursor.step()
+                    else:
+                        run.cursor.run()
+                else:
+                    plan = rtype.plan(machine, rows)
+                    if plan is None:
+                        rtype.serve(machine, rows)  # atomic: no checkpoints
+                    elif plan.levels:
+                        run.cursor = ExecutionCursor(plan, machine)
+                        if self.preempt:
+                            run.cursor.step()
+                        else:
+                            run.cursor.run()
             set_boundary(run)
             running = run
 
@@ -499,28 +595,31 @@ class ServingEngine:
         while True:
             na = next_arrival_time()
             if running is not None:
-                # one event: level-complete vs arrival, boundary first
-                # at equal times (the PR4 completion/arrival tie-break)
-                if running.boundary <= na:
-                    clock = running.boundary
-                    run = running
-                    if run.cursor is None or run.cursor.done:
-                        complete(run)
-                    else:
-                        contender = None
-                        if self.preempt:
-                            contender = priority_release(
-                                queues, policy, clock, False, above=run.priority
-                            )
-                            if contender is not None and contender[0] > clock:
-                                contender = None  # due later: keep running
-                        if contender is not None:
-                            suspend(run)
-                        else:
-                            advance(run)
-                else:
+                # level-complete vs arrival, boundary first at equal
+                # times (the PR4 completion/arrival tie-break); every
+                # arrival due strictly before the boundary is admitted
+                # in one pump instead of a full event-loop turn each
+                boundary = running.boundary
+                while na < boundary:
                     clock = na
                     admit(pop_arrival())
+                    na = next_arrival_time()
+                clock = boundary
+                run = running
+                if run.cursor is None or run.cursor.done:
+                    complete(run)
+                else:
+                    contender = None
+                    if self.preempt:
+                        contender = priority_release(
+                            queues, policy, clock, False, above=run.priority
+                        )
+                        if contender is not None and contender[0] > clock:
+                            contender = None  # due later: keep running
+                    if contender is not None:
+                        suspend(run)
+                    else:
+                        advance(run)
                 continue
 
             # machine idle: resume / release selection.  Candidates are
@@ -585,6 +684,11 @@ class ServingEngine:
             reload_time=ledger.reload_time - reload_start,
             admission=admission.name,
             preempt=self.preempt,
+            cache_hits=(cache.hits - cache_hits_start) if cache is not None else 0,
+            cache_misses=(
+                (cache.misses - cache_misses_start) if cache is not None else 0
+            ),
+            cache_size=len(cache) if cache is not None else 0,
         )
         if validate:
             result.check_conservation()

@@ -103,6 +103,12 @@ class ServeMetrics:
         Model time charged per request kind *during this run* (the
         engine snapshots its ``serve:<kind>`` ledger sections per run,
         so reusing one machine across serves never double-counts).
+    cache_hits / cache_misses / cache_size:
+        Plan-cache lookup counters for this run and the cache's size
+        after it (all zero when the engine served without a cache).
+    cache_hit_rate:
+        ``hits / (hits + misses)``, or ``None`` when the run performed
+        no cache lookups.
     per_class:
         One :class:`ClassMetrics` per priority class seen in the run
         (completed or shed), keyed by priority.
@@ -130,6 +136,10 @@ class ServeMetrics:
     shed_rate: float = 0.0
     preemptions: int = 0
     reload_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_size: int = 0
+    cache_hit_rate: float | None = None
     per_class: dict[int, ClassMetrics] = field(default_factory=dict)
 
 
@@ -210,6 +220,10 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
             shed_rate=result.shed_rate,
             preemptions=result.preemptions,
             reload_time=result.reload_time,
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
+            cache_size=result.cache_size,
+            cache_hit_rate=result.cache_hit_rate,
             per_class=empty_classes,
         )
     latencies = np.array([r.latency for r in result.requests])
@@ -275,5 +289,9 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
         shed_rate=result.shed_rate,
         preemptions=result.preemptions,
         reload_time=result.reload_time,
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
+        cache_size=result.cache_size,
+        cache_hit_rate=result.cache_hit_rate,
         per_class=per_class,
     )

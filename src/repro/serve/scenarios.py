@@ -80,6 +80,12 @@ def tpu_bulk_mlp_request_type() -> RequestType:
         )
 
 
+# register the TPU kinds at import so workloads can name them directly
+# (``PoissonWorkload(kind="mlp-256-tpu")`` without calling the factory)
+tpu_mlp_request_type()
+tpu_bulk_mlp_request_type()
+
+
 def interactive_batch_mix(
     interactive_total: int = 600,
     batch_total: int = 8,

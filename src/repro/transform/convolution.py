@@ -29,6 +29,7 @@ __all__ = [
     "batched_circular_convolve2d",
     "embed_centered_kernel_1d",
     "embed_centered_kernel_2d",
+    "reversed_embedded_kernel_2d",
     "dft2",
     "idft2",
 ]
@@ -130,6 +131,22 @@ def embed_centered_kernel_2d(W: np.ndarray, size: int) -> np.ndarray:
     return ker
 
 
+def reversed_embedded_kernel_2d(kernel: np.ndarray, size: int) -> np.ndarray:
+    """The index-reversed circular embedding of a centred odd-side kernel.
+
+    ``out[i] = sum_t in[i+t] W[k+t]`` is circular convolution with the
+    index-reversed embedded kernel: build ``ker[-t, -u] = W[k+t, k+u]``.
+    Pure data movement (the caller charges the embedding cost); shared
+    by :func:`batched_circular_convolve2d` and the serving layer's
+    planned stencil lowering.
+    """
+    embedded = embed_centered_kernel_2d(np.asarray(kernel), size)
+    reversed_ker = np.zeros_like(embedded)
+    idx = (-np.arange(size)) % size
+    reversed_ker[np.ix_(idx, idx)] = embedded
+    return reversed_ker
+
+
 def batched_circular_convolve2d(
     tcu: TCUMachine,
     tiles: np.ndarray,
@@ -155,12 +172,7 @@ def batched_circular_convolve2d(
     if tiles.ndim != 3 or tiles.shape[1] != tiles.shape[2]:
         raise ValueError(f"tiles must be (T, S, S), got {tiles.shape}")
     S = tiles.shape[1]
-    # out[i] = sum_t in[i+t] W[k+t] is circular convolution with the
-    # index-reversed embedded kernel: build ker[-t] = W[k+t].
-    embedded = embed_centered_kernel_2d(np.asarray(kernel), S)
-    reversed_ker = np.zeros_like(embedded)
-    idx = (-np.arange(S)) % S
-    reversed_ker[np.ix_(idx, idx)] = embedded  # reversed_ker[-t, -u] = embedded[t, u]
+    reversed_ker = reversed_embedded_kernel_2d(kernel, S)
     tcu.charge_cpu(2 * S * S)
 
     cost_only = tcu.execute == "cost-only"

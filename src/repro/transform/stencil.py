@@ -39,6 +39,9 @@ __all__ = [
     "unrolled_weights",
     "unrolled_weights_direct",
     "heat_equation_weights",
+    "window_geometry",
+    "extract_windows",
+    "assemble_tiles",
     "HEAT_3X3",
 ]
 
@@ -226,6 +229,76 @@ def unrolled_weights(
     return result
 
 
+def window_geometry(
+    rows: int, cols: int, k: int, sqrt_m: int
+) -> tuple[int, int, int, int]:
+    """Tile/window geometry of the Theorem 8 decomposition.
+
+    The paper uses k x k tiles inside 3k x 3k windows (overlap factor
+    9); we keep the same asymptotics but take the FFT size S first and
+    let the output tile fill everything the k-halo leaves free,
+    ``t = S - 2k``, shrinking the overlap factor to ``(S/t)^2`` (< 2 for
+    S >= 6k).  S is also capped near the input size so small grids get a
+    single window.  Returns ``(S, t, rb, cb)``: the FFT side, the output
+    tile side, and the tile-block counts per grid dimension.  Shared by
+    :func:`stencil_tcu` and the serving layer's planned lowering, so the
+    two decompose (hence charge) identically.
+    """
+    cap = _next_fft_size(max(rows, cols) + 2 * k, sqrt_m)
+    best = None
+    S = _next_fft_size(2 * k + 1, sqrt_m)
+    while True:
+        t_cand = S - 2 * k
+        if t_cand >= 1:
+            area = (-(-rows // t_cand)) * (-(-cols // t_cand)) * S * S
+            if best is None or area < best[0]:
+                best = (area, S, t_cand)
+        if S >= cap:
+            break
+        S = _next_fft_size(S + 1, sqrt_m)
+    assert best is not None
+    _, S, t = best
+    return S, t, -(-rows // t), -(-cols // t)
+
+
+def extract_windows(
+    grid: np.ndarray, S: int, t: int, k: int, rb: int, cb: int
+) -> np.ndarray:
+    """Gather the (rb*cb, S, S) halo windows of a padded grid.
+
+    Window (r, c) covers grid rows ``[r*t - k, r*t + t + k)`` — exactly
+    S rows — so output cell x of the tile sits at window index ``k + x``
+    and its k-halo never wraps.  Pure data movement; the caller charges.
+    """
+    rpad, cpad = grid.shape
+    windows = np.zeros((rb * cb, S, S))
+    for r in range(rb):
+        for c in range(cb):
+            r0 = max(0, r * t - k)
+            r1 = min(rpad, r * t + t + k)
+            c0 = max(0, c * t - k)
+            c1 = min(cpad, c * t + t + k)
+            dst_r = r0 - (r * t - k)
+            dst_c = c0 - (c * t - k)
+            windows[
+                r * cb + c, dst_r : dst_r + (r1 - r0), dst_c : dst_c + (c1 - c0)
+            ] = grid[r0:r1, c0:c1]
+    return windows
+
+
+def assemble_tiles(
+    conv: np.ndarray, t: int, k: int, rb: int, cb: int
+) -> np.ndarray:
+    """Scatter the convolved windows' interior tiles back to a grid
+    (the inverse of :func:`extract_windows`, dropping the halos)."""
+    out = np.zeros((rb * t, cb * t))
+    for r in range(rb):
+        for c in range(cb):
+            tile = conv[r * cb + c, k : k + t, k : k + t]
+            out[r * t : (r + 1) * t, c * t : (c + 1) * t] = tile
+    return out
+
+
 def stencil_tcu(
     tcu: TCUMachine,
     A: np.ndarray,
@@ -268,58 +341,19 @@ def stencil_tcu(
         )
 
     rows, cols = A.shape
-    # Tile/window geometry.  The paper uses k x k tiles inside 3k x 3k
-    # windows (overlap factor 9); we keep the same asymptotics but take
-    # the FFT size S first and let the output tile fill everything the
-    # k-halo leaves free, t = S - 2k, shrinking the overlap factor to
-    # (S/t)^2 (< 2 for S >= 6k).  S is also capped near the input size
-    # so small grids get a single window.
-    cap = _next_fft_size(max(rows, cols) + 2 * k, tcu.sqrt_m)
-    best = None
-    S = _next_fft_size(2 * k + 1, tcu.sqrt_m)
-    while True:
-        t_cand = S - 2 * k
-        if t_cand >= 1:
-            area = (-(-rows // t_cand)) * (-(-cols // t_cand)) * S * S
-            if best is None or area < best[0]:
-                best = (area, S, t_cand)
-        if S >= cap:
-            break
-        S = _next_fft_size(S + 1, tcu.sqrt_m)
-    assert best is not None
-    _, S, t = best
-    rb = -(-rows // t)
-    cb = -(-cols // t)
+    S, t, rb, cb = window_geometry(rows, cols, k, tcu.sqrt_m)
     rpad, cpad = rb * t, cb * t
     grid = np.zeros((rpad, cpad))
     grid[:rows, :cols] = A
     tcu.charge_cpu(rpad * cpad)
 
-    # Window (r, c) covers grid rows [r*t - k, r*t + t + k) — exactly S
-    # rows — so output cell x of the tile sits at window index k + x and
-    # its k-halo never wraps.
     T = rb * cb
-    windows = np.zeros((T, S, S))
-    for r in range(rb):
-        for c in range(cb):
-            r0 = max(0, r * t - k)
-            r1 = min(rpad, r * t + t + k)
-            c0 = max(0, c * t - k)
-            c1 = min(cpad, c * t + t + k)
-            dst_r = r0 - (r * t - k)
-            dst_c = c0 - (c * t - k)
-            windows[
-                r * cb + c, dst_r : dst_r + (r1 - r0), dst_c : dst_c + (c1 - c0)
-            ] = grid[r0:r1, c0:c1]
+    windows = extract_windows(grid, S, t, k, rb, cb)
     tcu.charge_cpu(T * S * S)
 
     # One batched correlation of all windows against W (Lemma 1).
     conv = batched_circular_convolve2d(tcu, windows, W, plan=plan)
 
-    out = np.zeros((rpad, cpad))
-    for r in range(rb):
-        for c in range(cb):
-            tile = conv[r * cb + c, k : k + t, k : k + t]
-            out[r * t : (r + 1) * t, c * t : (c + 1) * t] = tile
+    out = assemble_tiles(conv, t, k, rb, cb)
     tcu.charge_cpu(rpad * cpad)
     return out[:rows, :cols]

@@ -1,0 +1,261 @@
+"""Plan cache core gates: compile-once/replay-forever bit-identity,
+LRU bookkeeping, and the ledger-binding poisoning guard.
+
+The cache's contract is *bitwise*: a :class:`CompiledCursor` replay must
+be indistinguishable — snapshot, clock, per-shape trace totals, unit-id
+columns, per-level boundaries, reload pricing — from live plan
+execution on every machine configuration, or the serving engine could
+not route through it unconditionally.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompiledCursor,
+    ParallelTCUMachine,
+    PlanCache,
+    TCUMachine,
+    compile_plan,
+)
+from repro.core.ledger import LedgerError
+from repro.core.program import ExecutionCursor, ProgramError
+from repro.serve import get_request_type
+
+ELL = 512.0
+
+MACHINE_CONFIGS = {
+    "serial-numeric": lambda: TCUMachine(m=16, ell=ELL),
+    "serial-cost-only": lambda: TCUMachine(m=16, ell=ELL, execute="cost-only"),
+    "serial-max-rows": lambda: TCUMachine(m=16, ell=ELL, max_rows=16),
+    "parallel-3": lambda: ParallelTCUMachine(m=16, ell=ELL, units=3),
+    "parallel-cost-only": lambda: ParallelTCUMachine(
+        m=16, ell=ELL, units=2, execute="cost-only"
+    ),
+}
+
+KINDS = [
+    ("matmul", [8, 16]),
+    ("mlp", [8, 8, 4]),
+    ("dft", [512]),
+    ("stencil", [16, 16]),
+]
+
+
+def live_machine_after(config, kind, rows):
+    machine = MACHINE_CONFIGS[config]()
+    get_request_type(kind).serve(machine, rows)
+    return machine
+
+
+def replay_machine_after(config, kind, rows, *, stepped=False):
+    machine = MACHINE_CONFIGS[config]()
+    compiled = compile_plan(get_request_type(kind), machine, rows)
+    cursor = CompiledCursor(compiled, machine)
+    if stepped:
+        while not cursor.done:
+            cursor.step()
+    else:
+        cursor.run()
+    return machine
+
+
+class TestReplayBitIdentity:
+    @pytest.mark.parametrize("config", sorted(MACHINE_CONFIGS))
+    @pytest.mark.parametrize("kind,rows", KINDS)
+    def test_replay_matches_live_execution(self, config, kind, rows):
+        live = live_machine_after(config, kind, rows)
+        replay = replay_machine_after(config, kind, rows)
+        assert live.ledger.snapshot() == replay.ledger.snapshot()
+        assert live.ledger.call_shape_totals() == replay.ledger.call_shape_totals()
+        assert live.ledger.total_time == replay.ledger.total_time
+        assert np.array_equal(
+            live.ledger.calls.unit_ids(), replay.ledger.calls.unit_ids()
+        )
+
+    @pytest.mark.parametrize("config", sorted(MACHINE_CONFIGS))
+    def test_stepped_replay_equals_run_replay(self, config):
+        stepped = replay_machine_after(config, "mlp", [8, 4], stepped=True)
+        ran = replay_machine_after(config, "mlp", [8, 4])
+        assert stepped.ledger.snapshot() == ran.ledger.snapshot()
+        assert stepped.ledger.call_shape_totals() == ran.ledger.call_shape_totals()
+
+    def test_level_boundaries_and_reload_pricing_match_live(self):
+        """Per-level elapsed times and resident-word reload prices are
+        what the live cursor would report at every boundary — the
+        preemption machinery sees no difference."""
+        kind, rows = "mlp", [8, 8]
+        rtype = get_request_type(kind)
+        live_m = TCUMachine(m=16, ell=ELL, max_rows=16)
+        plan = rtype.plan(live_m, rows)
+        live = ExecutionCursor(plan, live_m)
+
+        replay_m = TCUMachine(m=16, ell=ELL, max_rows=16)
+        compiled = compile_plan(rtype, replay_m, rows)
+        replay = CompiledCursor(compiled, replay_m)
+
+        assert replay.total_levels == live.total_levels
+        level = 0
+        while not live.done:
+            assert replay.resident_words() == live.resident_words()
+            live_dt = live.step()
+            replay_dt = replay.step()
+            if level == 0:
+                # the compiled cursor folds the plan-build prelude into
+                # level 0; live paid it before the walk began
+                assert replay_dt >= live_dt
+            else:
+                assert replay_dt == live_dt
+            level += 1
+        assert replay.done
+        assert live_m.ledger.snapshot() == replay_m.ledger.snapshot()
+
+    def test_charge_reload_prices_like_live_resume(self):
+        rtype = get_request_type("dft")
+        machine_a = TCUMachine(m=16, ell=ELL)
+        machine_b = TCUMachine(m=16, ell=ELL)
+        compiled = compile_plan(rtype, machine_a, [1024])
+        live = ExecutionCursor(rtype.plan(machine_a, [1024]), machine_a)
+        replay = CompiledCursor(compiled, machine_b)
+        live.step()
+        replay.step()
+        assert replay.resident_words() == live.resident_words()
+        live_reload = live.charge_reload()
+        replay_reload = replay.charge_reload()
+        assert replay_reload == live_reload
+        assert machine_b.ledger.reload_time == machine_a.ledger.reload_time > 0.0
+
+    def test_exhausted_cursor_raises(self):
+        machine = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        compiled = compile_plan(get_request_type("matmul"), machine, [8])
+        cursor = CompiledCursor(compiled, machine)
+        cursor.run()
+        with pytest.raises(ProgramError, match="exhausted"):
+            cursor.step()
+
+    def test_compilation_never_touches_the_live_ledger(self):
+        machine = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        before = machine.ledger.snapshot()
+        compile_plan(get_request_type("mlp"), machine, [8, 8])
+        assert machine.ledger.snapshot() == before
+
+
+class TestCompiledPlanShape:
+    def test_serial_integer_ell_plan_coalesces(self):
+        machine = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        compiled = compile_plan(get_request_type("matmul"), machine, [8, 8])
+        assert compiled.coalesced is not None
+        assert compiled.coalesced.simple
+        assert compiled.coalesced.total_time == pytest.approx(
+            (compiled.prelude.total_time if compiled.prelude else 0.0)
+            + sum(level.total_time for level in compiled.levels)
+        )
+
+    def test_parallel_plan_does_not_coalesce(self):
+        machine = ParallelTCUMachine(m=16, ell=ELL, units=3)
+        compiled = compile_plan(get_request_type("matmul"), machine, [8, 8, 8])
+        assert compiled.coalesced is None
+        assert any(not level.simple for level in compiled.levels)
+
+    def test_reload_words_mirror_live_cursor(self):
+        machine = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        rtype = get_request_type("mlp")
+        compiled = compile_plan(rtype, machine, [8])
+        assert len(compiled.reload_words) == compiled.total_levels
+        live = ExecutionCursor(rtype.plan(machine.fork(), [8]), machine.fork())
+        assert compiled.reload_words[0] == live.resident_words()
+
+
+class TestPlanCache:
+    def test_hit_returns_the_same_compiled_object(self):
+        cache = PlanCache()
+        machine = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        rtype = get_request_type("matmul")
+        first = cache.get_or_compile(rtype, machine, [8, 16])
+        second = cache.get_or_compile(rtype, machine, [8, 16])
+        assert second is first
+        assert (cache.hits, cache.misses, len(cache)) == (1, 1, 1)
+        stats = cache.stats()
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["size"] == 1
+
+    def test_key_separates_kinds_rows_and_machine_configs(self):
+        plain = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        capped = TCUMachine(m=16, ell=ELL, execute="cost-only", max_rows=16)
+        pooled = ParallelTCUMachine(m=16, ell=ELL, units=2, execute="cost-only")
+        keys = {
+            PlanCache.key("matmul", [8], plain),
+            PlanCache.key("matmul", [16], plain),
+            PlanCache.key("mlp", [8], plain),
+            PlanCache.key("matmul", [8], capped),
+            PlanCache.key("matmul", [8], pooled),
+        }
+        assert len(keys) == 5
+        # identical configuration on a distinct instance shares the key
+        twin = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        assert PlanCache.key("matmul", [8], twin) == PlanCache.key(
+            "matmul", [8], plain
+        )
+
+    def test_lru_evicts_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        machine = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        rtype = get_request_type("matmul")
+        cache.get_or_compile(rtype, machine, [8])
+        cache.get_or_compile(rtype, machine, [16])
+        cache.get_or_compile(rtype, machine, [8])  # refresh [8]
+        cache.get_or_compile(rtype, machine, [32])  # evicts [16]
+        assert cache.evictions == 1
+        assert PlanCache.key("matmul", [8], machine) in cache
+        assert PlanCache.key("matmul", [16], machine) not in cache
+        # the evicted shape recompiles as a miss
+        misses = cache.misses
+        cache.get_or_compile(rtype, machine, [16])
+        assert cache.misses == misses + 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PlanCache(capacity=0)
+
+    def test_clear_empties_entries_but_keeps_counters(self):
+        cache = PlanCache()
+        machine = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        cache.get_or_compile(get_request_type("matmul"), machine, [8])
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+
+class TestPoisoningGuard:
+    def test_replay_on_other_ell_machine_raises(self):
+        donor = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        compiled = compile_plan(get_request_type("matmul"), donor, [8])
+        victim = TCUMachine(m=16, ell=7.0, execute="cost-only")
+        with pytest.raises(LedgerError, match="different machine configuration"):
+            CompiledCursor(compiled, victim).run()
+
+    def test_replay_on_other_sqrt_m_machine_raises(self):
+        donor = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        compiled = compile_plan(get_request_type("matmul"), donor, [8])
+        victim = TCUMachine(m=64, ell=ELL, execute="cost-only")
+        with pytest.raises(LedgerError, match="different machine configuration"):
+            CompiledCursor(compiled, victim).run()
+
+    def test_raw_level_replay_is_guarded_too(self):
+        """Parallel plans bypass charge_tensor_bulk's formula path; the
+        raw counter replay must hit the same binding check."""
+        donor = ParallelTCUMachine(m=16, ell=ELL, units=3)
+        compiled = compile_plan(get_request_type("matmul"), donor, [8, 8, 8])
+        victim = ParallelTCUMachine(m=16, ell=9.0, units=3)
+        cursor = CompiledCursor(compiled, victim)
+        with pytest.raises(LedgerError, match="different machine configuration"):
+            while not cursor.done:
+                cursor.step()
+
+    def test_failed_replay_leaves_no_partial_bulk_charge(self):
+        donor = TCUMachine(m=16, ell=ELL, execute="cost-only")
+        compiled = compile_plan(get_request_type("matmul"), donor, [8])
+        victim = TCUMachine(m=16, ell=7.0, execute="cost-only")
+        with pytest.raises(LedgerError):
+            CompiledCursor(compiled, victim).run()
+        assert victim.ledger.tensor_calls == 0

@@ -189,11 +189,17 @@ class TestPreemptResumeChargeParity:
 
 
 class TestAtomicKindsNeverPreempt:
-    def test_stencil_batches_run_to_completion(self):
-        """Stencil has no planned lowering (plan() is None): its batches
-        execute atomically even under a preemptive engine."""
+    def test_legacy_atomic_stencil_batches_run_to_completion(self):
+        """A legacy_atomic stencil type has no planned lowering (plan()
+        is None): its batches execute atomically even under a
+        preemptive engine."""
+        from repro.serve.workload import StencilRequestType, register_request_type
+
+        register_request_type(
+            StencilRequestType(name="stencil-atomic", legacy_atomic=True)
+        )
         bulk = PoissonWorkload(
-            rate=2e-5, total=6, kind="stencil", rows=16, seed=1, priority=0
+            rate=2e-5, total=6, kind="stencil-atomic", rows=16, seed=1, priority=0
         )
         hot = PoissonWorkload(
             rate=4e-4, total=40, kind="matmul", rows=8, seed=2, priority=2
@@ -202,6 +208,26 @@ class TestAtomicKindsNeverPreempt:
         result = preempting_engine(machine).serve(MixedWorkload(bulk, hot))
         result.check_conservation()
         for batch in result.batches:
-            if batch.kind == "stencil":
+            if batch.kind == "stencil-atomic":
                 assert batch.preemptions == 0
                 assert batch.completion == batch.launch + batch.service
+
+    def test_default_stencil_is_now_preemptible(self):
+        """The default stencil kind lowers through the IR: under a
+        preemptive engine a hot stream can checkpoint its batches."""
+        s_hot = service_of("matmul", 8)
+        hot_rate = 0.3 / s_hot
+        horizon = 60 / hot_rate
+        bulk = PoissonWorkload(
+            rate=6 / horizon, total=6, kind="stencil", rows=128, seed=1, priority=0
+        )
+        hot = PoissonWorkload(
+            rate=hot_rate, total=60, kind="matmul", rows=8, seed=2, priority=2
+        )
+        machine = TCUMachine(m=16, ell=ELL)
+        result = preempting_engine(machine).serve(MixedWorkload(bulk, hot))
+        result.check_conservation()
+        assert any(
+            batch.kind == "stencil" and batch.preemptions > 0
+            for batch in result.batches
+        )

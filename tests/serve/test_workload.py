@@ -275,7 +275,7 @@ class TestPlanLowering:
 
     def test_plan_charges_equal_serve(self):
         rows = [8, 4, 12]
-        for kind in ("matmul", "mlp", "dft"):
+        for kind in ("matmul", "mlp", "dft", "stencil"):
             one_shot = TCUMachine(m=16, ell=8.0)
             stepped = TCUMachine(m=16, ell=8.0)
             get_request_type(kind).serve(one_shot, rows)
@@ -293,9 +293,28 @@ class TestPlanLowering:
             plan = get_request_type(kind).plan(machine, rows)
             assert len(plan.levels) >= floor, kind
 
-    def test_stencil_has_no_plan(self):
-        machine = TCUMachine(m=16, ell=8.0)
-        assert get_request_type("stencil").plan(machine, [8]) is None
+    def test_stencil_plans_and_matches_legacy_atomic_charges(self):
+        # the default stencil kind now lowers through the program IR;
+        # the legacy_atomic escape hatch keeps the old opaque serve()
+        # and is the charge-parity oracle for the lowering
+        from repro.serve.workload import StencilRequestType
+
+        legacy = StencilRequestType(name="stencil-atomic-test", legacy_atomic=True)
+        assert legacy.plan(TCUMachine(m=16, ell=8.0), [8]) is None
+        for rows in ([8], [8, 12, 8]):
+            planned_m = TCUMachine(m=16, ell=8.0)
+            legacy_m = TCUMachine(m=16, ell=8.0)
+            plan = get_request_type("stencil").plan(planned_m, rows)
+            assert plan is not None and len(plan.levels) >= 4
+            from repro.core.program import ExecutionCursor
+
+            ExecutionCursor(plan, planned_m).run()
+            legacy.serve(legacy_m, rows)
+            assert planned_m.ledger.snapshot() == legacy_m.ledger.snapshot(), rows
+            assert (
+                planned_m.ledger.call_shape_totals()
+                == legacy_m.ledger.call_shape_totals()
+            ), rows
 
     def test_legacy_type_without_serve_or_plan_fails_loudly(self):
         class Hollow(RequestType):
