@@ -53,14 +53,19 @@ def latency_table(entries, *, title: str | None = None, per_class: bool = True) 
     dict mapping labels to them).  Columns are the capacity-planning
     staples: completed requests, throughput, the latency percentiles,
     mean wait, SLO goodput, the admission **shed rate**, **preemption**
-    count, engine utilisation and the plan-cache **hit rate** (``off``
-    for runs served without a cache).  When a run carries several priority
-    classes (and ``per_class`` is true), one indented sub-row per class
-    follows its scenario row — label ``<scenario>[p<priority>]`` —
-    showing the class's completions, its p50/p99, its goodput and its
-    shed rate (classes serialise on one engine, so throughput and
-    utilisation stay run-level).  Latencies and throughput are model
-    time, so tables are machine-reproducible.
+    count, engine utilisation, the plan-cache **hit rate** (``off``
+    for runs served without a cache), and the fault-tolerance columns:
+    **availability** (completions over everything that entered service,
+    ``n/a`` when nothing did), **retry** count, the **wasted**-work
+    ratio, and the mean **recovery** time from first fault to batch
+    completion.  When a run carries several priority classes (and
+    ``per_class`` is true), one indented sub-row per class follows its
+    scenario row — label ``<scenario>[p<priority>]`` — showing the
+    class's completions, its p50/p99, its goodput, its shed rate and
+    its availability / retry / recovery numbers (classes serialise on
+    one engine, so throughput and utilisation stay run-level).
+    Latencies and throughput are model time, so tables are
+    machine-reproducible.
     """
     if isinstance(entries, dict):
         entries = entries.items()
@@ -80,6 +85,10 @@ def latency_table(entries, *, title: str | None = None, per_class: bool = True) 
                 m.preemptions,
                 m.utilization,
                 "off" if m.cache_hit_rate is None else m.cache_hit_rate,
+                "n/a" if m.availability is None else m.availability,
+                m.retries,
+                m.wasted_ratio,
+                m.recovery_time_mean,
             ]
         )
         classes = m.per_class if per_class else {}
@@ -100,6 +109,10 @@ def latency_table(entries, *, title: str | None = None, per_class: bool = True) 
                         "",
                         "",
                         "",
+                        "n/a" if cls.availability is None else cls.availability,
+                        cls.retries,
+                        "",
+                        cls.recovery_time_mean,
                     ]
                 )
     return render_table(
@@ -116,6 +129,10 @@ def latency_table(entries, *, title: str | None = None, per_class: bool = True) 
             "preempt",
             "util",
             "cache",
+            "avail",
+            "retries",
+            "wasted",
+            "recovery",
         ],
         rows,
         title=title or "serving latency / throughput",

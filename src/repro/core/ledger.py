@@ -19,6 +19,15 @@ decompose the totals the way the theorems do:
   :mod:`repro.serve`) charge checkpoint/restore through the ledger
   instead of treating it as free.
 
+On top of the four charge categories the ledger keeps one
+*attribution*: :meth:`CostLedger.attribute_wasted` marks a span of
+already-charged time as **wasted work** — model time the machine really
+spent (a failed attempt under fault injection) that produced no result.
+Attribution never advances the clock: ``wasted_time`` partitions
+``total_time`` (``total = useful + wasted + reload``, see
+:attr:`CostLedger.useful_time`) instead of adding to it, so a faulty
+run's clock stays exactly the time the machine was busy.
+
 The ledger also keeps an optional trace of tensor calls; the external
 memory simulation of Theorem 12 replays that trace.  Three trace modes
 are supported through ``trace_calls``:
@@ -364,6 +373,7 @@ class CostLedger:
     latency_time: float = 0.0
     cpu_time: float = 0.0
     reload_time: float = 0.0
+    wasted_time: float = 0.0
     tensor_calls: int = 0
     calls: CallTrace = field(default_factory=CallTrace)
     _agg: dict[tuple[int, int], list[float]] = field(default_factory=dict)
@@ -546,6 +556,33 @@ class CostLedger:
         self._bump_sections(float(words))
         return float(words)
 
+    def attribute_wasted(self, span: float) -> float:
+        """Mark ``span`` units of *already-charged* time as wasted work.
+
+        A fault-tolerant scheduler charges a failed attempt through the
+        ordinary categories (the machine really ran), then attributes
+        the lost portion here so ``total = useful + wasted + reload``
+        stays checkable.  Attribution is bookkeeping, not a charge: the
+        clock does not advance, and the wasted total can never exceed
+        the time actually charged so far (minus the reload column,
+        which is accounted separately and never double-counted).
+        """
+        if span < 0:
+            raise LedgerError(f"negative wasted attribution {span!r}")
+        if not math.isfinite(span):
+            raise LedgerError(f"non-finite wasted attribution {span!r}")
+        new_total = self.wasted_time + float(span)
+        budget = self.total_time - self.reload_time
+        # float accumulation headroom: a whole failed run attributed in
+        # many pieces may overshoot the charged total by round-off only
+        if new_total > budget * (1 + 1e-9) + 1e-9:
+            raise LedgerError(
+                f"cannot attribute {span} as wasted: total wasted {new_total} "
+                f"would exceed the {budget} of non-reload time charged"
+            )
+        self.wasted_time = new_total
+        return float(span)
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
@@ -553,6 +590,11 @@ class CostLedger:
     def total_time(self) -> float:
         """Model running time: the paper's single sequential clock."""
         return self.tensor_time + self.latency_time + self.cpu_time + self.reload_time
+
+    @property
+    def useful_time(self) -> float:
+        """Charged time that produced results: ``total - wasted - reload``."""
+        return self.total_time - self.wasted_time - self.reload_time
 
     @property
     def clock(self) -> float:
@@ -581,6 +623,7 @@ class CostLedger:
             "latency_time": self.latency_time,
             "cpu_time": self.cpu_time,
             "reload_time": self.reload_time,
+            "wasted_time": self.wasted_time,
             "tensor_calls": float(self.tensor_calls),
             "total_time": self.total_time,
         }
@@ -676,6 +719,7 @@ class CostLedger:
         self.latency_time = 0.0
         self.cpu_time = 0.0
         self.reload_time = 0.0
+        self.wasted_time = 0.0
         self.tensor_calls = 0
         self.calls.clear()
         self._agg.clear()
@@ -699,6 +743,7 @@ class CostLedger:
         out.latency_time = self.latency_time + other.latency_time
         out.cpu_time = self.cpu_time + other.cpu_time
         out.reload_time = self.reload_time + other.reload_time
+        out.wasted_time = self.wasted_time + other.wasted_time
         out.tensor_calls = self.tensor_calls + other.tensor_calls
         if mode is True:
             out.calls.extend(self.calls)

@@ -822,6 +822,26 @@ class ExecutionCursor:
         while not self.done:
             self.step()
 
+    def rewind(self, to_level: int) -> None:
+        """Roll the cursor back so levels at/after ``to_level`` re-execute.
+
+        The resume-after-abort path for fault-tolerant schedulers: when
+        a level's execution is lost (a transient call failure, a unit
+        crash), the scheduler rewinds to the failed level — or to 0 for
+        restart-from-scratch recovery — and steps again.  Rewinding is
+        free (op values of completed levels persist in host memory; a
+        checkpoint resume additionally pays :meth:`charge_reload`), and
+        re-executed levels append to :attr:`level_times` again: the
+        history records every step taken, not just the surviving ones.
+        """
+        to_level = int(to_level)
+        if not 0 <= to_level <= self.next_level:
+            raise ProgramError(
+                f"cannot rewind to level {to_level}: cursor has executed "
+                f"{self.next_level} of {self.total_levels} levels"
+            )
+        self.next_level = to_level
+
     def resident_words(self, from_level: int | None = None) -> int:
         """Words of distinct resident blocks the remaining levels consume.
 
@@ -887,6 +907,11 @@ class CompiledCursor:
         self.machine = machine
         self.next_level = 0
         self.level_times: list[float] = []
+        # the prelude (plan()-build charges) is paid exactly once per
+        # cursor, on the first step ever taken — a fault-recovery
+        # rewind back to level 0 must not re-pay it, mirroring the live
+        # path where the already-built plan is simply re-executed
+        self._prelude_paid = False
 
     @property
     def total_levels(self) -> int:
@@ -928,8 +953,10 @@ class CompiledCursor:
         if self.done:
             raise ProgramError("cursor is exhausted; no levels left to execute")
         with self.machine.ledger.stopwatch() as span:
-            if self.next_level == 0 and self.compiled.prelude is not None:
-                self._apply(self.compiled.prelude)
+            if not self._prelude_paid:
+                if self.compiled.prelude is not None:
+                    self._apply(self.compiled.prelude)
+                self._prelude_paid = True
             self._apply(self.compiled.levels[self.next_level])
         self.next_level += 1
         self.level_times.append(span.elapsed)
@@ -943,14 +970,35 @@ class CompiledCursor:
         plan — prelude included — as a single bulk charge; otherwise
         this is the plain step loop.
         """
-        if self.next_level == 0 and self.compiled.coalesced is not None:
+        if (
+            self.next_level == 0
+            and not self._prelude_paid
+            and self.compiled.coalesced is not None
+        ):
             with self.machine.ledger.stopwatch() as span:
                 self._apply(self.compiled.coalesced)
             self.next_level = self.total_levels
+            self._prelude_paid = True
             self.level_times.append(span.elapsed)
             return
         while not self.done:
             self.step()
+
+    def rewind(self, to_level: int) -> None:
+        """Roll the replay back so levels at/after ``to_level`` re-apply.
+
+        The frozen counterpart of :meth:`ExecutionCursor.rewind` — the
+        prelude stays paid (rewinding models re-execution of an
+        already-built plan, not a rebuild), so a restart recovery
+        charges exactly the re-run levels on both cursor kinds.
+        """
+        to_level = int(to_level)
+        if not 0 <= to_level <= self.next_level:
+            raise ProgramError(
+                f"cannot rewind to level {to_level}: cursor has executed "
+                f"{self.next_level} of {self.total_levels} levels"
+            )
+        self.next_level = to_level
 
     def resident_words(self, from_level: int | None = None) -> int:
         """The frozen counterpart of :meth:`ExecutionCursor.resident_words`."""

@@ -32,7 +32,13 @@ tensions, layered entirely on the existing machine stack:
   frozen per-level charge columns instead of re-planning each batch;
 * :mod:`repro.serve.metrics`   -- throughput, p50/p95/p99 latency, SLO
   goodput, shed rate, preemption/reload counters, per-class
-  breakdowns, engine and per-unit utilisation.
+  breakdowns, engine and per-unit utilisation, availability and
+  wasted-work accounting;
+* :mod:`repro.serve.faults`    -- seeded deterministic fault injection
+  (transient call failures, MTBF/MTTR unit crashes, stragglers),
+  retry policies with backoff, and graceful degradation onto cheaper
+  variants (fewer rows, or a quantized machine twin) — every faulty
+  run bit-replayable from ``(workload seed, fault seed)``.
 """
 
 from ..core.plan_cache import CompiledPlan, PlanCache, compile_plan
@@ -56,8 +62,26 @@ from .batcher import (
     register_batcher,
 )
 from .engine import BatchRecord, ServeError, ServeResult, ServingEngine, replay_batches
+from .faults import (
+    Degrader,
+    ExponentialRetry,
+    FaultEvent,
+    FaultInjector,
+    FixedRetry,
+    NoFaultInjector,
+    NoRetry,
+    RetryPolicy,
+    SeededFaultInjector,
+    available_fault_injectors,
+    available_retry_policies,
+    get_fault_injector,
+    get_retry_policy,
+    register_fault_injector,
+    register_retry_policy,
+)
 from .metrics import ClassMetrics, ServeMetrics, compute_metrics
 from .scenarios import (
+    chaos_injector,
     interactive_batch_mix,
     size1_capacity,
     tpu_mlp_request_type,
@@ -121,9 +145,25 @@ __all__ = [
     "ServeMetrics",
     "ClassMetrics",
     "compute_metrics",
+    "FaultEvent",
+    "FaultInjector",
+    "NoFaultInjector",
+    "SeededFaultInjector",
+    "register_fault_injector",
+    "get_fault_injector",
+    "available_fault_injectors",
+    "RetryPolicy",
+    "NoRetry",
+    "FixedRetry",
+    "ExponentialRetry",
+    "register_retry_policy",
+    "get_retry_policy",
+    "available_retry_policies",
+    "Degrader",
     "size1_capacity",
     "tpu_mlp_request_type",
     "interactive_batch_mix",
+    "chaos_injector",
     "PlanCache",
     "CompiledPlan",
     "compile_plan",

@@ -85,6 +85,14 @@ from ..core.plan_cache import PlanCache
 from ..core.program import CompiledCursor, ExecutionCursor
 from .admission import AdmissionPolicy, get_admission
 from .batcher import BatchPolicy, get_batcher, priority_release
+from .faults import (
+    Degrader,
+    FaultEvent,
+    FaultInjector,
+    RetryPolicy,
+    get_fault_injector,
+    get_retry_policy,
+)
 from .workload import Request, Workload, get_request_type
 
 __all__ = ["ServingEngine", "ServeResult", "BatchRecord", "ServeError", "replay_batches"]
@@ -109,6 +117,18 @@ class BatchRecord:
     ``finish`` is the absolute completion clock.  For an unpreempted
     batch ``finish == launch + service`` bit-exactly; a preempted batch
     additionally sat suspended for ``finish - launch - service``.
+
+    Under fault injection a batch may take several *attempts*:
+    ``attempt_spans`` records the model time each attempt charged (they
+    sum to ``service`` — failed work is real work), ``wasted_time`` is
+    the portion of ``service`` that produced no surviving results,
+    ``faults`` counts the fault events the batch absorbed, ``retry_at``
+    the clock times its retries started, and ``first_failure`` the time
+    its first fault surfaced (``recovery_time`` measures failure to
+    finish).  ``degraded`` names the cheaper variant the batch was
+    re-planned onto (``None`` when served at full fidelity; degraded
+    ``rows`` are the rows actually executed, which a degraded batch's
+    requests did not originally ask for).
     """
 
     index: int
@@ -122,6 +142,13 @@ class BatchRecord:
     reload_time: float = 0.0
     resumes: tuple[float, ...] = ()
     finish: float = math.nan
+    attempts: int = 1
+    attempt_spans: tuple[float, ...] = ()
+    wasted_time: float = 0.0
+    faults: int = 0
+    retry_at: tuple[float, ...] = ()
+    first_failure: float = math.nan
+    degraded: str | None = None
 
     @property
     def size(self) -> int:
@@ -137,6 +164,14 @@ class BatchRecord:
     def suspended_time(self) -> float:
         """Model time the batch sat checkpointed between its segments."""
         return self.completion - self.launch - self.service
+
+    @property
+    def recovery_time(self) -> float:
+        """Model time from the batch's first fault to its completion
+        (0 for batches that never failed)."""
+        if math.isnan(self.first_failure):
+            return 0.0
+        return self.completion - self.first_failure
 
 
 @dataclass
@@ -162,10 +197,38 @@ class ServeResult:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_size: int = 0
+    abandoned: list[Request] = field(default_factory=list)
+    wasted_time: float = 0.0
+    faults: int = 0
+    fault_events: list[FaultEvent] = field(default_factory=list)
+    retries: int = 0
+    degraded: int = 0
+    injector: str = "none"
+    recovery: str = "checkpoint"
+    retry_policy: str = "no-retry"
 
     @property
     def completed(self) -> int:
         return len(self.requests)
+
+    @property
+    def useful_time(self) -> float:
+        """Charged time that produced surviving results:
+        ``ledger_time - wasted_time - reload_time``."""
+        return self.ledger_time - self.wasted_time - self.reload_time
+
+    @property
+    def wasted_ratio(self) -> float:
+        """Fraction of the run's charged time that was wasted work."""
+        return self.wasted_time / self.ledger_time if self.ledger_time else 0.0
+
+    @property
+    def availability(self) -> float | None:
+        """Completions over everything the engine committed to serve
+        (completed + abandoned; shed requests never entered service).
+        ``None`` when nothing entered service."""
+        entered = len(self.requests) + len(self.abandoned)
+        return len(self.requests) / entered if entered else None
 
     @property
     def cache_lookups(self) -> int:
@@ -181,8 +244,9 @@ class ServeResult:
 
     @property
     def offered(self) -> int:
-        """Requests that arrived at the engine (completed + shed)."""
-        return len(self.requests) + len(self.shed)
+        """Requests that arrived at the engine (completed + shed +
+        abandoned)."""
+        return len(self.requests) + len(self.shed) + len(self.abandoned)
 
     @property
     def shed_rate(self) -> float:
@@ -208,9 +272,19 @@ class ServeResult:
           the previous completion (the PR4 invariant);
         * the busy time (sum of segment spans) matches the ledger-clock
           span of the run, per-batch reloads sum to the run's ledgered
-          reload time, and the final clock is the last completion;
+          reload time (abandoned batches may hold the remainder), and
+          the final clock is the last completion;
         * the identity sum(latency) = sum(wait) + sum over batches of
-          ``size * (finish - launch)`` holds (up to float accumulation).
+          ``size * (finish - launch)`` holds (up to float accumulation);
+        * fault accounting conserves: ``total = useful + wasted +
+          reload`` (``useful_time`` is non-negative), every batch's
+          attempt spans sum to its service span, batches that never
+          faulted carry no waste, a zero-fault run carries none at all,
+          per-batch waste sums to the run's (abandoned batches hold the
+          remainder), and abandoned requests never completed.
+
+        All fault invariants hold vacuously on degenerate runs (zero
+        requests, all shed, all abandoned).
         """
 
         def close(a: float, b: float) -> bool:
@@ -238,6 +312,8 @@ class ServeResult:
         b_reload = np.fromiter((b.reload_time for b in self.batches), float, k)
         b_size = np.fromiter((b.size for b in self.batches), np.int64, k)
         b_preempted = np.fromiter((b.preemptions for b in self.batches), np.int64, k)
+        b_faults = np.fromiter((b.faults for b in self.batches), np.int64, k)
+        b_wasted = np.fromiter((b.wasted_time for b in self.batches), float, k)
 
         if np.isnan(completions).any():
             bad = self.requests[int(np.isnan(completions).argmax())]
@@ -266,7 +342,9 @@ class ServeResult:
             bad = self.batches[int((b_reload < 0).argmax())]
             raise ServeError(f"batch {bad.index} has negative reload time")
         serial_span = b_launch + b_service
-        unpreempted_ok = allclose(b_finish, serial_span) | (b_preempted > 0)
+        unpreempted_ok = (
+            allclose(b_finish, serial_span) | (b_preempted > 0) | (b_faults > 0)
+        )
         if not unpreempted_ok.all():
             bad = self.batches[int((~unpreempted_ok).argmax())]
             raise ServeError(
@@ -274,7 +352,7 @@ class ServeResult:
                 f"!= launch+service {bad.launch + bad.service}"
             )
         preempted_ok = (
-            (b_preempted == 0)
+            ((b_preempted == 0) & (b_faults == 0))
             | (b_finish >= serial_span)
             | allclose(b_finish, serial_span)
         )
@@ -284,7 +362,7 @@ class ServeResult:
                 f"preempted batch {bad.index} finished at {bad.completion}, "
                 f"before its {bad.service} of service could fit"
             )
-        if self.preemptions == 0 and k:
+        if self.preemptions == 0 and self.faults == 0 and k:
             prev = np.concatenate(([0.0], b_finish[:-1]))
             serial_ok = (b_launch >= prev) | allclose(b_launch, prev)
             if not serial_ok.all():
@@ -305,7 +383,15 @@ class ServeResult:
                 f"span {self.ledger_time}"
             )
         total_reload = float(b_reload.sum())
-        if not close(total_reload, self.reload_time):
+        if self.abandoned:
+            # abandoned batches left no record; their reloads stay on
+            # the ledger, so the recorded batches can only hold a part
+            if total_reload > self.reload_time * (1 + rel_tol) + rel_tol:
+                raise ServeError(
+                    f"per-batch reloads {total_reload} exceed the run's "
+                    f"ledgered reload time {self.reload_time}"
+                )
+        elif not close(total_reload, self.reload_time):
             raise ServeError(
                 f"per-batch reloads {total_reload} != the run's ledgered "
                 f"reload time {self.reload_time}"
@@ -318,6 +404,58 @@ class ServeResult:
                 f"sum(latency)={total_latency} != sum(wait)+sum(size*span)="
                 f"{total_wait + total_span}"
             )
+
+        # fault accounting: total = useful + wasted + reload
+        for req in self.abandoned:
+            if req.done:
+                raise ServeError(f"abandoned request {req.rid} completed anyway")
+        if self.wasted_time < 0:
+            raise ServeError(f"negative wasted time {self.wasted_time}")
+        if self.useful_time < -rel_tol * max(1.0, self.ledger_time):
+            raise ServeError(
+                f"useful time {self.useful_time} is negative: wasted "
+                f"{self.wasted_time} + reload {self.reload_time} exceed "
+                f"the ledger span {self.ledger_time}"
+            )
+        if self.faults == 0 and not close(self.wasted_time, 0.0):
+            raise ServeError(
+                f"zero-fault run carries {self.wasted_time} of wasted time"
+            )
+        if (b_wasted < 0).any():
+            bad = self.batches[int((b_wasted < 0).argmax())]
+            raise ServeError(f"batch {bad.index} has negative wasted time")
+        faultless_waste = (b_faults == 0) & ~allclose(b_wasted, 0.0)
+        if faultless_waste.any():
+            bad = self.batches[int(faultless_waste.argmax())]
+            raise ServeError(
+                f"batch {bad.index} never faulted but wasted {bad.wasted_time}"
+            )
+        total_wasted = float(b_wasted.sum())
+        if self.abandoned:
+            if total_wasted > self.wasted_time * (1 + rel_tol) + rel_tol:
+                raise ServeError(
+                    f"per-batch waste {total_wasted} exceeds the run's "
+                    f"wasted time {self.wasted_time}"
+                )
+        elif not close(total_wasted, self.wasted_time):
+            raise ServeError(
+                f"per-batch waste {total_wasted} != the run's wasted "
+                f"time {self.wasted_time}"
+            )
+        for batch in self.batches:
+            if not batch.attempt_spans:
+                continue
+            if len(batch.attempt_spans) != batch.attempts:
+                raise ServeError(
+                    f"batch {batch.index} records {batch.attempts} attempts "
+                    f"but {len(batch.attempt_spans)} attempt spans"
+                )
+            attempt_sum = float(sum(batch.attempt_spans))
+            if not close(attempt_sum, batch.service):
+                raise ServeError(
+                    f"batch {batch.index} attempt spans sum to {attempt_sum} "
+                    f"!= its service {batch.service}"
+                )
 
 
 class _Run:
@@ -345,6 +483,23 @@ class _Run:
         "reload",
         "preemptions",
         "resumes",
+        "rows",
+        "rtype",
+        "exec_machine",
+        "atomic",
+        "pending_fail",
+        "last_span",
+        "ready_at",
+        "retry_pending",
+        "degrade_pending",
+        "degraded",
+        "attempt_span",
+        "attempt_reload",
+        "attempt_spans",
+        "retry_at",
+        "wasted",
+        "faults",
+        "first_failure",
     )
 
     def __init__(
@@ -363,6 +518,24 @@ class _Run:
         self.reload = 0.0
         self.preemptions = 0
         self.resumes: list[float] = []
+        # fault-tolerance bookkeeping (inert on a zero-fault run)
+        self.rows: list[int] = []
+        self.rtype = None
+        self.exec_machine: TCUMachine | None = None
+        self.atomic = False
+        self.pending_fail: str | None = None
+        self.last_span = 0.0
+        self.ready_at = 0.0
+        self.retry_pending = False
+        self.degrade_pending = False
+        self.degraded: str | None = None
+        self.attempt_span = 0.0
+        self.attempt_reload = 0.0
+        self.attempt_spans: list[float] = []
+        self.retry_at: list[float] = []
+        self.wasted = 0.0
+        self.faults = 0
+        self.first_failure = math.nan
 
 
 class ServingEngine:
@@ -384,6 +557,32 @@ class ServingEngine:
         and resumes it later, paying the ledgered ``reload`` charge.
         Off by default — the engine is then bit-identical to the PR4
         run-to-completion loop.
+    faults:
+        A :class:`~repro.serve.faults.FaultInjector` (or registered
+        name) drawing per-level faults and unit crashes from its own
+        seeded streams.  ``None`` (default) or an inactive injector
+        (``"none"``, or ``"seeded"`` with all rates zero) keeps the
+        exact zero-fault code path — bit-identical to no injector.
+    retry:
+        A :class:`~repro.serve.faults.RetryPolicy` (or name) governing
+        how many attempts a failed batch gets and the backoff between
+        them.  Default ``"no-retry"``: any failure abandons the batch.
+    recovery:
+        ``"checkpoint"`` (default) resumes a failed cursor from its
+        last completed level, paying the ledgered reload and wasting
+        only the failed level; ``"restart"`` rewinds to level 0 and
+        wastes the whole attempt.  Atomic (plan-less) batches always
+        restart — there is no checkpoint to resume.
+    degrade:
+        A :class:`~repro.serve.faults.Degrader`, or ``None`` (default).
+        When set, a batch that keeps failing (or whose deadline the
+        next backoff would blow) is re-planned onto the cheaper
+        variant on its next retry.
+    abandon:
+        Abandon batches whose every request's deadline has already
+        passed when they would launch or retry (their charges stay on
+        the ledger as wasted work).  Off by default; retry-budget
+        exhaustion abandons regardless.
     plan_cache:
         Plan caching for the execution hot path.  ``None`` (default)
         auto-enables a fresh :class:`~repro.core.plan_cache.PlanCache`
@@ -409,12 +608,29 @@ class ServingEngine:
         *,
         admission: str | AdmissionPolicy = "unbounded",
         preempt: bool = False,
+        faults: str | FaultInjector | None = None,
+        retry: str | RetryPolicy = "no-retry",
+        recovery: str = "checkpoint",
+        degrade: Degrader | None = None,
+        abandon: bool = False,
         plan_cache: PlanCache | bool | None = None,
     ) -> None:
         self.machine = machine
         self.batcher = get_batcher(batcher)
         self.admission = get_admission(admission)
         self.preempt = bool(preempt)
+        self.faults = None if faults is None else get_fault_injector(faults)
+        self.retry = get_retry_policy(retry)
+        if recovery not in ("checkpoint", "restart"):
+            raise ValueError(
+                f"unknown recovery policy {recovery!r}; "
+                "choose 'checkpoint' or 'restart'"
+            )
+        self.recovery = recovery
+        if degrade is not None and not isinstance(degrade, Degrader):
+            raise ValueError(f"degrade must be a Degrader or None, got {degrade!r}")
+        self.degrade = degrade
+        self.abandon = bool(abandon)
         cost_only = machine.execute == "cost-only"
         if plan_cache is None:
             self.plan_cache = PlanCache() if cost_only else None
@@ -428,11 +644,30 @@ class ServingEngine:
                 )
             self.plan_cache = PlanCache() if plan_cache is True else plan_cache
 
-    def serve(self, workload: Workload, *, validate: bool = True) -> ServeResult:
+    def serve(
+        self, workload: Workload, *, validate: bool = True, seed: int | None = None
+    ) -> ServeResult:
         machine = self.machine
         ledger = machine.ledger
         policy = self.batcher
         admission = self.admission
+        injector = self.faults
+        retry = self.retry
+        degrader = self.degrade
+        # one top-level seed reproduces the whole faulty run: it splits
+        # into independent workload and fault streams, so changing the
+        # fault seed never shifts an arrival (and vice versa)
+        if seed is not None:
+            wl_state, fault_state = np.random.SeedSequence(int(seed)).generate_state(2)
+            workload.reseed(int(wl_state))
+            if injector is not None:
+                injector.reseed(int(fault_state))
+        if injector is not None:
+            injector.begin_run()
+        fault_active = injector is not None and injector.active
+        # an inactive injector must not perturb the event kernel at all:
+        # stepwise execution is forced only when faults can actually fire
+        stepwise = self.preempt or fault_active
         queues: dict[tuple[int, str], deque[Request]] = {}
         injected: list[tuple[float, int, Request]] = []
         seq = count()
@@ -468,6 +703,13 @@ class ServingEngine:
         suspended: list[_Run] = []
         finished: list[Request] = []
         shed: list[Request] = []
+        abandoned: list[Request] = []
+        fault_events: list[FaultEvent] = []
+        down_until = 0.0  # unit under repair until this model time
+        retries_total = 0
+        degraded_total = 0
+        wasted_total = 0.0
+        degraded_machine: TCUMachine | None = None  # lazy quantized twin
         batches: list[BatchRecord | None] = []
         trace_start = len(ledger.calls) if ledger.trace_calls is True else 0
         ledger_start = ledger.clock
@@ -493,6 +735,86 @@ class ServingEngine:
         def set_boundary(run: _Run) -> None:
             run.boundary = run.seg_clock + (ledger.clock - run.seg_base)
 
+        def up_time(t: float) -> float:
+            """Earliest model time >= ``t`` the unit is up, consuming
+            every crash window due by then.  Called only on *committed*
+            action times — consuming windows while merely evaluating
+            candidates would corrupt the renewal stream."""
+            nonlocal down_until
+            t = max(t, down_until)
+            while injector.next_crash() <= t:
+                _, up = injector.take_crash()
+                down_until = max(down_until, up)
+                t = max(t, down_until)
+            return t
+
+        def add_wasted(run: _Run, span: float) -> None:
+            nonlocal wasted_total
+            if span <= 0.0:
+                return
+            ledger.attribute_wasted(span)
+            run.wasted += span
+            wasted_total += span
+
+        def exec_unit(run: _Run) -> None:
+            """Execute one unit of work — a level (stepwise) or the whole
+            remaining plan — drawing this unit's fault before running it.
+
+            With preemption off and no active injector nothing can
+            interrupt a running batch (releases happen only at idle), so
+            the cursor runs to exhaustion in one event — on a cached
+            plan that is a single coalesced bulk charge.  Stepwise
+            execution keeps level boundaries visible to the kernel, for
+            preemption and for faults alike.
+            """
+            nonlocal down_until
+            factor, corrupt = (1.0, False)
+            if fault_active:
+                factor, corrupt = injector.draw_level()
+            span_base = ledger.clock
+            with ledger.section(f"serve:{run.kind}"):
+                if run.cursor is not None:
+                    if stepwise:
+                        run.cursor.step()
+                    else:
+                        run.cursor.run()
+                else:
+                    run.rtype.serve(run.exec_machine, run.rows)  # atomic
+                if factor > 1.0:
+                    # straggler: the level really ran factor-x slower;
+                    # the surplus is charged (cpu) but the level still
+                    # completes, so it is useful work, not waste
+                    ledger.charge_cpu((factor - 1.0) * (ledger.clock - span_base))
+            run.last_span = ledger.clock - span_base
+            set_boundary(run)
+            if fault_active:
+                crashed = False
+                while injector.next_crash() <= run.boundary:
+                    _, up = injector.take_crash()
+                    down_until = max(down_until, up)
+                    crashed = True
+                run.pending_fail = (
+                    "crash" if crashed else "transient" if corrupt else None
+                )
+
+        def build_cursor(run: _Run, exec_machine: TCUMachine, rows: list[int]) -> None:
+            """(Re)plan the batch on ``exec_machine`` — at launch, or at
+            a degraded retry (a re-plan can never checkpoint-resume)."""
+            run.exec_machine = exec_machine
+            run.rows = rows
+            run.atomic = False
+            run.cursor = None
+            with ledger.section(f"serve:{run.kind}"):
+                if cache is not None:
+                    compiled = cache.get_or_compile(run.rtype, exec_machine, rows)
+                    run.cursor = CompiledCursor(compiled, exec_machine)
+                else:
+                    plan = run.rtype.plan(exec_machine, rows)
+                    if plan is None:
+                        run.atomic = True  # legacy serve(): no checkpoints
+                    elif plan.levels:
+                        run.cursor = ExecutionCursor(plan, exec_machine)
+
         def launch(key: tuple[int, str], release: float) -> None:
             nonlocal clock, running
             priority, kind = key
@@ -500,63 +822,91 @@ class ServingEngine:
             batch = policy.take(queues[key], clock)
             if not batch:
                 raise ServeError(f"policy {policy.name!r} released an empty batch")
+            if self.abandon:
+                live: list[Request] = []
+                for req in batch:
+                    if req.deadline is not None and req.deadline <= clock:
+                        abandoned.append(req)
+                    else:
+                        live.append(req)
+                if not live:
+                    return
+                batch = live
             rtype = rtypes.get(kind)
             if rtype is None:
                 rtype = rtypes[kind] = get_request_type(kind)
                 kind_base[kind] = ledger.section_time(f"serve:{kind}")
             run = _Run(len(batches), kind, priority, batch, clock)
+            run.rtype = rtype
             batches.append(None)  # slot: filled by complete()
             for req in batch:
                 req.launch = clock
                 req.batch = run.index
             run.seg_base = ledger.clock
-            rows = [r.rows for r in batch]
-            # With preemption off nothing can interrupt a running batch
-            # (releases happen only at idle), so the cursor runs to
-            # exhaustion in one event — on a cached plan that is a
-            # single coalesced bulk charge.  With preemption on, step
-            # level-by-level so boundaries stay visible to the kernel.
-            with ledger.section(f"serve:{kind}"):
-                if cache is not None:
-                    compiled = cache.get_or_compile(rtype, machine, rows)
-                    run.cursor = CompiledCursor(compiled, machine)
-                    if self.preempt:
-                        run.cursor.step()
-                    else:
-                        run.cursor.run()
-                else:
-                    plan = rtype.plan(machine, rows)
-                    if plan is None:
-                        rtype.serve(machine, rows)  # atomic: no checkpoints
-                    elif plan.levels:
-                        run.cursor = ExecutionCursor(plan, machine)
-                        if self.preempt:
-                            run.cursor.step()
-                        else:
-                            run.cursor.run()
-            set_boundary(run)
+            build_cursor(run, machine, [r.rows for r in batch])
+            if run.cursor is not None or run.atomic:
+                exec_unit(run)
+            else:
+                set_boundary(run)  # empty plan: completes instantly
             running = run
 
-        def resume(run: _Run) -> None:
-            nonlocal running
+        def charge_resume_reload(run: _Run) -> None:
+            with ledger.section(f"serve:{run.kind}"):
+                reload = run.cursor.charge_reload()
+                run.reload += reload
+                run.attempt_reload += reload
+
+        def resume(run: _Run, at: float) -> None:
+            nonlocal clock, running, degraded_machine, degraded_total
+            clock = max(clock, at)
             run.seg_clock = clock
             run.seg_base = ledger.clock
-            run.resumes.append(clock)
-            with ledger.section(f"serve:{run.kind}"):
-                run.reload += run.cursor.charge_reload()
-                run.cursor.step()
-            set_boundary(run)
+            if not run.retry_pending:
+                # preemption resume: the PR5 path, bit-identical when
+                # no fault machinery is configured
+                run.resumes.append(clock)
+                charge_resume_reload(run)
+                exec_unit(run)
+                running = run
+                return
+            run.retry_pending = False
+            run.ready_at = 0.0
+            run.retry_at.append(clock)
+            if run.degrade_pending:
+                run.degrade_pending = False
+                degraded_total += 1
+                if degrader.mode == "quantize":
+                    if degraded_machine is None:
+                        degraded_machine = degrader.quantized_twin(machine)
+                    run.degraded = f"quantize:{degrader.precision}"
+                    build_cursor(run, degraded_machine, run.rows)
+                else:
+                    run.degraded = "rows"
+                    build_cursor(run, machine, degrader.degraded_rows(run.rows))
+            elif (
+                self.recovery == "checkpoint"
+                and run.cursor is not None
+                and run.cursor.next_level > 0
+            ):
+                # resuming mid-plan re-loads the remaining resident
+                # blocks, exactly as a preemption resume does; a restart
+                # (or a failure on the very first level) has no resident
+                # state to re-load and pays only the re-run levels
+                charge_resume_reload(run)
+            if run.cursor is not None or run.atomic:
+                exec_unit(run)
+            else:
+                set_boundary(run)
             running = run
 
         def advance(run: _Run) -> None:
-            with ledger.section(f"serve:{run.kind}"):
-                run.cursor.step()
-            set_boundary(run)
+            exec_unit(run)
 
         def close_segment(run: _Run) -> None:
             nonlocal busy_time
             span = ledger.clock - run.seg_base
             run.service += span
+            run.attempt_span += span
             busy_time += span
 
         def suspend(run: _Run) -> None:
@@ -567,16 +917,81 @@ class ServingEngine:
             suspended.append(run)
             running = None
 
+        def abandon_run(run: _Run) -> None:
+            # everything the batch charged, minus its separately
+            # accounted reloads and what is already attributed, is waste:
+            # an abandoned batch produced nothing
+            add_wasted(run, run.service - run.reload - run.wasted)
+            abandoned.extend(run.requests)
+
+        def park(run: _Run, ready_at: float) -> None:
+            nonlocal retries_total
+            run.retry_pending = True
+            run.ready_at = ready_at
+            retries_total += 1
+            suspended.append(run)
+
+        def fail(run: _Run) -> None:
+            nonlocal running
+            fkind = run.pending_fail
+            run.pending_fail = None
+            close_segment(run)
+            run.faults += 1
+            if math.isnan(run.first_failure):
+                run.first_failure = clock
+            level = -1 if run.cursor is None else run.cursor.next_level - 1
+            run.attempt_spans.append(run.attempt_span)
+            attempt = len(run.attempt_spans)
+            fault_events.append(FaultEvent(fkind, run.index, level, attempt, clock))
+            running = None
+            if attempt >= retry.max_attempts:
+                abandon_run(run)
+                return
+            delay = retry.delay(attempt + 1)
+            if self.abandon and all(
+                r.deadline is not None and r.deadline <= clock
+                for r in run.requests
+            ):
+                abandon_run(run)
+                return
+            if degrader is not None and run.degraded is None and not run.degrade_pending:
+                pressure = any(
+                    r.deadline is not None and clock + delay >= r.deadline
+                    for r in run.requests
+                )
+                if degrader.wants(attempt, pressure):
+                    run.degrade_pending = True
+            if (
+                run.cursor is not None
+                and self.recovery == "checkpoint"
+                and not run.degrade_pending
+            ):
+                # only the failed level is lost; completed levels stand
+                add_wasted(run, run.last_span)
+                run.cursor.rewind(run.cursor.next_level - 1)
+            else:
+                # restart (or imminent re-plan): the whole attempt is
+                # lost, except its reloads, which sit in their own bucket
+                add_wasted(run, run.attempt_span - run.attempt_reload)
+                if run.cursor is not None:
+                    run.cursor.rewind(0)
+            run.attempt_span = 0.0
+            run.attempt_reload = 0.0
+            park(run, clock + delay)
+
         def complete(run: _Run) -> None:
             nonlocal running, completion_clock
             close_segment(run)
             finish = run.boundary
             completion_clock = max(completion_clock, finish)
+            spans = (
+                (*run.attempt_spans, run.attempt_span) if fault_active else ()
+            )
             batches[run.index] = BatchRecord(
                 index=run.index,
                 kind=run.kind,
                 rids=tuple(r.rid for r in run.requests),
-                rows=tuple(r.rows for r in run.requests),
+                rows=tuple(run.rows),
                 launch=run.launch,
                 service=run.service,
                 priority=run.priority,
@@ -584,6 +999,13 @@ class ServingEngine:
                 reload_time=run.reload,
                 resumes=tuple(run.resumes),
                 finish=finish,
+                attempts=len(spans) if spans else 1,
+                attempt_spans=spans,
+                wasted_time=run.wasted,
+                faults=run.faults,
+                retry_at=tuple(run.retry_at),
+                first_failure=run.first_failure,
+                degraded=run.degraded,
             )
             for req in run.requests:
                 req.completion = finish
@@ -606,7 +1028,11 @@ class ServingEngine:
                     na = next_arrival_time()
                 clock = boundary
                 run = running
-                if run.cursor is None or run.cursor.done:
+                if run.pending_fail is not None:
+                    # the just-executed unit was lost: account, rewind,
+                    # and (budget permitting) schedule the retry
+                    fail(run)
+                elif run.cursor is None or run.cursor.done:
                     complete(run)
                 else:
                     contender = None
@@ -625,17 +1051,28 @@ class ServingEngine:
             # machine idle: resume / release selection.  Candidates are
             # ordered by (release, -priority, action rank, tie-break);
             # a suspended batch resumes at `clock` and outranks a fresh
-            # launch of its own class at the same instant.
+            # launch of its own class at the same instant.  A retrying
+            # batch is not ready before its backoff expires, and nothing
+            # starts while the unit is down — both terms are 0 on a
+            # zero-fault run, so the keys collapse to the PR5 ones.
             draining = na == math.inf
             best: tuple | None = None
             if suspended:
-                bi = min(range(len(suspended)), key=lambda i: (-suspended[i].priority, i))
-                best = (clock, -suspended[bi].priority, 0, bi, ("resume", bi))
+                bi = min(
+                    range(len(suspended)),
+                    key=lambda i: (
+                        max(clock, suspended[i].ready_at, down_until),
+                        -suspended[i].priority,
+                        i,
+                    ),
+                )
+                ready = max(clock, suspended[bi].ready_at, down_until)
+                best = (ready, -suspended[bi].priority, 0, bi, ("resume", bi))
             released = priority_release(queues, policy, clock, draining)
             if released is not None:
                 release, priority, head_arrival, key = released
                 candidate = (
-                    release,
+                    max(release, down_until),
                     -priority,
                     1,
                     (head_arrival, key[1]),
@@ -648,11 +1085,21 @@ class ServingEngine:
             # first, so simultaneous arrivals batch together instead of
             # splitting into a size-1 batch plus a remainder
             if best is not None and best[0] < na:
+                when = best[0]
+                if fault_active:
+                    # commit point: consume crash windows due by now; a
+                    # repair may push the action past the next arrival,
+                    # in which case the arrival goes first
+                    when = up_time(when)
+                    if na <= when and na < math.inf:
+                        clock = na
+                        admit(pop_arrival())
+                        continue
                 action, payload = best[4]
                 if action == "resume":
-                    resume(suspended.pop(payload))
+                    resume(suspended.pop(payload), when)
                 else:
-                    launch(payload, best[0])
+                    launch(payload, when)
             elif na < math.inf:
                 clock = na
                 admit(pop_arrival())
@@ -689,6 +1136,15 @@ class ServingEngine:
                 (cache.misses - cache_misses_start) if cache is not None else 0
             ),
             cache_size=len(cache) if cache is not None else 0,
+            abandoned=abandoned,
+            wasted_time=wasted_total,
+            faults=len(fault_events),
+            fault_events=fault_events,
+            retries=retries_total,
+            degraded=degraded_total,
+            injector=injector.name if injector is not None else "none",
+            recovery=self.recovery,
+            retry_policy=retry.name,
         )
         if validate:
             result.check_conservation()

@@ -44,6 +44,21 @@ class ClassMetrics:
         (``None`` when no request carried one).
     goodput:
         The class's SLO-meeting completions per unit of model time.
+    abandoned:
+        Requests of the class the engine gave up on (retry budget
+        exhausted, or deadline-based abandonment).
+    availability:
+        ``requests / (requests + abandoned)`` — completions over
+        everything the class committed to service (``None`` when the
+        class never entered service).
+    retries:
+        Retry attempts the class's completed batches made.
+    wasted_time:
+        Model time the class's completed batches charged for work that
+        produced no surviving results.
+    recovery_time_mean:
+        Mean model time from a batch's first fault to its completion,
+        over the class's faulted batches (0 when none faulted).
     """
 
     priority: int
@@ -54,6 +69,11 @@ class ClassMetrics:
     latency_p99: float
     slo_attainment: float | None
     goodput: float | None
+    abandoned: int = 0
+    availability: float | None = None
+    retries: int = 0
+    wasted_time: float = 0.0
+    recovery_time_mean: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -109,9 +129,24 @@ class ServeMetrics:
     cache_hit_rate:
         ``hits / (hits + misses)``, or ``None`` when the run performed
         no cache lookups.
+    abandoned:
+        Requests the engine gave up on (retry budget exhausted, or
+        deadline-based abandonment).
+    availability:
+        ``requests / (requests + abandoned)`` — completions over
+        everything that entered service (``None`` when nothing did).
+    faults, retries, degraded:
+        Injected fault events, retry attempts scheduled, and batches
+        re-planned onto the degraded variant.
+    wasted_time, wasted_ratio:
+        Model time charged for work that produced no surviving results,
+        and its fraction of the run's total charged time.
+    recovery_time_mean:
+        Mean model time from a batch's first fault to its completion,
+        over faulted batches (0 when none faulted).
     per_class:
         One :class:`ClassMetrics` per priority class seen in the run
-        (completed or shed), keyed by priority.
+        (completed, shed or abandoned), keyed by priority.
     """
 
     requests: int
@@ -140,6 +175,14 @@ class ServeMetrics:
     cache_misses: int = 0
     cache_size: int = 0
     cache_hit_rate: float | None = None
+    abandoned: int = 0
+    availability: float | None = None
+    faults: int = 0
+    retries: int = 0
+    degraded: int = 0
+    wasted_time: float = 0.0
+    wasted_ratio: float = 0.0
+    recovery_time_mean: float = 0.0
     per_class: dict[int, ClassMetrics] = field(default_factory=dict)
 
 
@@ -181,21 +224,33 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
     shed_by_class: dict[int, int] = {}
     for req in result.shed:
         shed_by_class[req.priority] = shed_by_class.get(req.priority, 0) + 1
+    abandoned_by_class: dict[int, int] = {}
+    for req in result.abandoned:
+        abandoned_by_class[req.priority] = (
+            abandoned_by_class.get(req.priority, 0) + 1
+        )
+    faulted = [b for b in result.batches if b.faults > 0]
+    recovery_mean = (
+        float(np.mean([b.recovery_time for b in faulted])) if faulted else 0.0
+    )
     if n == 0:
-        # classes that only ever shed still get their breakdown — the
-        # total-overload case is exactly what admission studies measure
+        # classes that only ever shed (or abandoned) still get their
+        # breakdown — the total-overload case is exactly what admission
+        # and availability studies measure
         empty_classes = {
             priority: ClassMetrics(
                 priority=priority,
                 requests=0,
-                shed=count,
-                shed_rate=1.0,
+                shed=shed_by_class.get(priority, 0),
+                shed_rate=1.0 if shed_by_class.get(priority, 0) else 0.0,
                 latency_p50=0.0,
                 latency_p99=0.0,
                 slo_attainment=None,
                 goodput=None,
+                abandoned=abandoned_by_class.get(priority, 0),
+                availability=0.0 if abandoned_by_class.get(priority, 0) else None,
             )
-            for priority, count in sorted(shed_by_class.items())
+            for priority in sorted(set(shed_by_class) | set(abandoned_by_class))
         }
         return ServeMetrics(
             requests=0,
@@ -224,6 +279,14 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
             cache_misses=result.cache_misses,
             cache_size=result.cache_size,
             cache_hit_rate=result.cache_hit_rate,
+            abandoned=len(result.abandoned),
+            availability=result.availability,
+            faults=result.faults,
+            retries=result.retries,
+            degraded=result.degraded,
+            wasted_time=result.wasted_time,
+            wasted_ratio=result.wasted_ratio,
+            recovery_time_mean=recovery_mean,
             per_class=empty_classes,
         )
     latencies = np.array([r.latency for r in result.requests])
@@ -244,10 +307,14 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
             effective_slo = float(distinct[0])
 
     per_class: dict[int, ClassMetrics] = {}
-    for priority in sorted(set(priorities.tolist()) | set(shed_by_class)):
+    classes = (
+        set(priorities.tolist()) | set(shed_by_class) | set(abandoned_by_class)
+    )
+    for priority in sorted(classes):
         mask = priorities == priority
         count = int(mask.sum())
         cls_shed = shed_by_class.get(priority, 0)
+        cls_abandoned = abandoned_by_class.get(priority, 0)
         if count:
             cls_lat = latencies[mask]
             cls_p50, cls_p99 = np.percentile(cls_lat, [50.0, 99.0])
@@ -255,6 +322,8 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
         else:
             cls_p50 = cls_p99 = 0.0
             cls_att = cls_good = None
+        cls_batches = [b for b in result.batches if b.priority == priority]
+        cls_faulted = [b for b in cls_batches if b.faults > 0]
         per_class[int(priority)] = ClassMetrics(
             priority=int(priority),
             requests=count,
@@ -264,6 +333,17 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
             latency_p99=float(cls_p99),
             slo_attainment=cls_att,
             goodput=cls_good,
+            abandoned=cls_abandoned,
+            availability=(
+                count / (count + cls_abandoned) if count + cls_abandoned else None
+            ),
+            retries=sum(len(b.retry_at) for b in cls_batches),
+            wasted_time=float(sum(b.wasted_time for b in cls_batches)),
+            recovery_time_mean=(
+                float(np.mean([b.recovery_time for b in cls_faulted]))
+                if cls_faulted
+                else 0.0
+            ),
         )
 
     return ServeMetrics(
@@ -293,5 +373,13 @@ def compute_metrics(result: ServeResult, *, slo: float | None = None) -> ServeMe
         cache_misses=result.cache_misses,
         cache_size=result.cache_size,
         cache_hit_rate=result.cache_hit_rate,
+        abandoned=len(result.abandoned),
+        availability=result.availability,
+        faults=result.faults,
+        retries=result.retries,
+        degraded=result.degraded,
+        wasted_time=result.wasted_time,
+        wasted_ratio=result.wasted_ratio,
+        recovery_time_mean=recovery_mean,
         per_class=per_class,
     )

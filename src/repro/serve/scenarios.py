@@ -17,6 +17,7 @@ gate) and the ``examples/serving_sim.py`` overload demo.
 from __future__ import annotations
 
 from ..core.presets import TPU_V1, MachineSpec
+from .faults import SeededFaultInjector
 from .workload import (
     MixedWorkload,
     MLPRequestType,
@@ -33,6 +34,7 @@ __all__ = [
     "tpu_bulk_mlp_request_type",
     "size1_capacity",
     "interactive_batch_mix",
+    "chaos_injector",
 ]
 
 TPU_MLP_NAME = "mlp-256-tpu"
@@ -131,3 +133,33 @@ def interactive_batch_mix(
         seed=seed + 1,
     )
     return MixedWorkload(interactive, bulk)
+
+
+def chaos_injector(
+    *,
+    fail_rate: float = 0.02,
+    crash_every: float | None = 50.0,
+    repair_for: float = 2.0,
+    straggle_rate: float = 0.05,
+    straggle_factor: float = 2.0,
+    seed: int = 0,
+) -> SeededFaultInjector:
+    """A TPUv1-scaled fault injector for the two-class chaos scenario.
+
+    MTBF/MTTR are expressed in *size-1 service times* of the §2.2 MLP
+    (``crash_every`` / ``repair_for`` multiples of
+    :func:`size1_capacity`), so the crash pressure tracks the preset's
+    cost model instead of a hand-picked absolute number.
+    ``crash_every=None`` disables crashes.  Shared by
+    ``benchmarks/bench_faults.py`` and the ``examples/serving_sim.py``
+    fault demo so gate and walkthrough see the same chaos.
+    """
+    cap = size1_capacity()
+    return SeededFaultInjector(
+        fail_rate=fail_rate,
+        mtbf=None if crash_every is None else crash_every * cap,
+        mttr=None if crash_every is None else repair_for * cap,
+        straggle_rate=straggle_rate,
+        straggle_factor=straggle_factor,
+        seed=seed,
+    )

@@ -184,6 +184,7 @@ class TestResetAndMerge:
             "latency_time",
             "cpu_time",
             "reload_time",
+            "wasted_time",
             "tensor_calls",
             "total_time",
         }

@@ -34,6 +34,15 @@ def test_two_class_overload_demo_registered():
     assert "preempt=preempt" in source
 
 
+def test_fault_tolerance_demo_registered():
+    """PR7 adds the chaos act: seeded fault injection with checkpoint
+    vs restart recovery; keep it wired into the script it documents."""
+    source = (EXAMPLES_DIR / "serving_sim.py").read_text()
+    assert "fault_tolerance_demo" in source
+    assert "chaos_injector" in source
+    assert "check_conservation" in source
+
+
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs_clean(script):
     proc = subprocess.run(
