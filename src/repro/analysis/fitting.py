@@ -14,7 +14,7 @@ Three tools cover every shape check the benches perform:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -7,7 +7,7 @@ log all read the same numbers.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 __all__ = ["render_table", "format_number", "render_kv"]
 
@@ -46,10 +46,10 @@ def render_table(
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
-        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 

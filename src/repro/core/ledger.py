@@ -48,7 +48,7 @@ import math
 from array import array
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -292,7 +292,7 @@ class CallTrace:
         if ns.size == 0:
             return {}
         values, counts = np.unique(ns, return_counts=True)
-        return dict(zip(values.tolist(), counts.tolist()))
+        return dict(zip(values.tolist(), counts.tolist(), strict=True))
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -308,7 +308,7 @@ class CallTrace:
             unit=self._units[i],
         )
 
-    def __getitem__(self, index):
+    def __getitem__(self, index: int | slice) -> TensorCall | list[TensorCall]:
         if isinstance(index, slice):
             return [self._materialise(i) for i in range(*index.indices(len(self)))]
         if index < 0:
@@ -324,7 +324,7 @@ class CallTrace:
     def __eq__(self, other: object) -> bool:
         if isinstance(other, (CallTrace, list, tuple)):
             return len(self) == len(other) and all(
-                a == b for a, b in zip(self, other)
+                a == b for a, b in zip(self, other, strict=True)
             )
         return NotImplemented
 
@@ -379,7 +379,7 @@ class CostLedger:
     _agg: dict[tuple[int, int], list[float]] = field(default_factory=dict)
     _section_stack: list[str] = field(default_factory=list)
     _section_totals: dict[str, float] = field(default_factory=dict)
-    _bound: set = field(default_factory=set, repr=False)
+    _bound: set[tuple[int, float]] = field(default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         # identity checks: the int 1 equals True but would silently
@@ -521,7 +521,8 @@ class CostLedger:
             time_sums = np.bincount(inverse, weights=times)
             lat_sums = np.bincount(inverse, weights=lats)
             for v, c, t, lat in zip(
-                values.tolist(), counts.tolist(), time_sums.tolist(), lat_sums.tolist()
+                values.tolist(), counts.tolist(), time_sums.tolist(), lat_sums.tolist(),
+                strict=True,
             ):
                 bucket = self._agg.setdefault((v, int(sqrt_m)), [0, 0.0, 0.0])
                 bucket[0] += c
@@ -652,7 +653,8 @@ class CostLedger:
             return {
                 (int(un), int(us)): (int(c), float(ts), float(ls))
                 for (un, us), c, ts, ls in zip(
-                    uniq.tolist(), counts.tolist(), time_sums.tolist(), lat_sums.tolist()
+                    uniq.tolist(), counts.tolist(), time_sums.tolist(), lat_sums.tolist(),
+                    strict=True,
                 )
             }
         raise LedgerError(

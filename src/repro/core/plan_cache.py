@@ -35,15 +35,26 @@ of silently poisoning it.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
 from .ledger import CostLedger
 from .machine import TCUMachine
-from .program import ExecutionCursor, PlanStats
+from .program import ExecutionCursor, Plan, PlanStats
 
-__all__ = ["LevelCharges", "CompiledPlan", "PlanCache", "compile_plan"]
+__all__ = ["LevelCharges", "CompiledPlan", "PlanCache", "Plannable", "compile_plan"]
+
+
+class Plannable(Protocol):
+    """What compilation needs from a request type — structural, so the
+    serve-layer types satisfy it without a core -> serve import."""
+
+    def plan(self, machine: TCUMachine, rows: Sequence[int]) -> Plan | None: ...
+
+    def serve(self, machine: TCUMachine, rows: Sequence[int]) -> None: ...
 
 
 @dataclass(frozen=True, eq=False)
@@ -194,7 +205,7 @@ def _coalesce(
     )
 
 
-def compile_plan(rtype, machine: TCUMachine, rows) -> CompiledPlan:
+def compile_plan(rtype: Plannable, machine: TCUMachine, rows: Sequence[int]) -> CompiledPlan:
     """Execute ``rtype``'s plan for ``rows`` once and freeze its charges.
 
     Runs on ``machine.fork()`` with a fresh full-trace scratch ledger —
@@ -275,7 +286,7 @@ class PlanCache:
         self.evictions = 0
 
     @staticmethod
-    def key(kind: str, rows, machine: TCUMachine) -> tuple:
+    def key(kind: str, rows: Sequence[int], machine: TCUMachine) -> tuple:
         return (str(kind), tuple(int(r) for r in rows), machine.config_key())
 
     def get(self, key: tuple) -> CompiledPlan | None:
@@ -294,7 +305,9 @@ class PlanCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
-    def get_or_compile(self, rtype, machine: TCUMachine, rows) -> CompiledPlan:
+    def get_or_compile(
+        self, rtype: Plannable, machine: TCUMachine, rows: Sequence[int]
+    ) -> CompiledPlan:
         """The hot-path entry point: one dict probe on a hit, one
         compile + insert on a miss."""
         key = self.key(getattr(rtype, "name", type(rtype).__name__), rows, machine)

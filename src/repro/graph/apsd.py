@@ -170,7 +170,7 @@ def apsd(
         labels[start] = comp
         while frontier:
             u = frontier.pop()
-            for v in np.nonzero(A[u])[0]:
+            for v in np.nonzero(A[u])[0]:  # repro-lint: disable=COST001 -- component discovery is value-dependent by design; seidel() below rejects cost-only machines for exactly this reason
                 if labels[v] == -1:
                     labels[v] = comp
                     frontier.append(int(v))
@@ -179,7 +179,7 @@ def apsd(
 
     D = np.full((n, n), np.inf)
     for c in range(comp):
-        idx = np.nonzero(labels == c)[0]
+        idx = np.nonzero(labels == c)[0]  # repro-lint: disable=COST001 -- value-dependent by design; seidel() below rejects cost-only machines
         if stats is not None:
             stats.component_sizes.append(len(idx))
         sub = A[np.ix_(idx, idx)]

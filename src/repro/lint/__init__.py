@@ -1,0 +1,71 @@
+"""repro.lint — ledger-safety & determinism static analysis.
+
+The cost ledger's value is that charges are *exact* — bit-replayable
+from shapes and seeds alone — yet the repo's worst historical bugs
+(free padding copies, ``mm_batch`` undercharging, placeholder
+mis-merging) were all silent violations of two unwritten invariants:
+
+* **no hardware work without a ledger charge**, and
+* **no randomness outside a seeded stream**.
+
+This package machine-checks those invariants (plus registry, cost-only
+and exception discipline) with an AST pass over the source tree — no
+imports, no execution — wired into CI as a hard gate::
+
+    python -m repro.lint src/                 # text report, exit 1 on findings
+    python -m repro.lint src/ -f json -o lint.json
+    python -m repro.lint --list-rules
+
+Findings are waived only by an inline suppression **with a reason**::
+
+    W.copy()  # repro-lint: disable=LED001 -- per-call load charged above
+
+Rules, reporters and the engine all follow the repo's name-registry
+idiom (:mod:`repro.core.scheduling`), so adding a rule is: subclass
+:class:`~repro.lint.rules.LintRule`, implement ``check``, call
+:func:`~repro.lint.rules.register_rule`, add fixture tests.
+"""
+
+from .engine import (
+    Finding,
+    LintContext,
+    LintError,
+    Suppression,
+    collect_suppressions,
+    lint_paths,
+    lint_source,
+)
+from .reporters import (
+    JsonReporter,
+    Reporter,
+    TextReporter,
+    available_reporters,
+    get_reporter,
+    register_reporter,
+)
+from .rules import (
+    LintRule,
+    available_rules,
+    get_rule,
+    register_rule,
+)
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintError",
+    "Suppression",
+    "collect_suppressions",
+    "lint_paths",
+    "lint_source",
+    "LintRule",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "Reporter",
+    "TextReporter",
+    "JsonReporter",
+    "available_reporters",
+    "get_reporter",
+    "register_reporter",
+]

@@ -1,0 +1,116 @@
+"""``python -m repro.lint`` — the ledger-safety & determinism gate.
+
+Exit codes
+----------
+``0``  no unsuppressed findings (suppressed ones are reported, not fatal)
+``1``  at least one unsuppressed finding (including reasonless
+       suppressions, :data:`~repro.lint.engine.SUP001`)
+``2``  usage error: unknown path, rule code or report format, or a file
+       that does not parse
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .engine import LintError, lint_paths
+from .reporters import TextReporter, available_reporters, get_reporter
+from .rules import available_rules, get_rule
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based static analysis for the repo's ledger-safety and "
+            "determinism invariants (no hardware work without a ledger "
+            "charge; no randomness outside a seeded stream)."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        "-f",
+        default="text",
+        help=f"report format: {', '.join(available_reporters())} (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="write the report to this file instead of stdout",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="text format: also print suppressed findings with their reasons",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def _split_codes(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [c.strip().upper() for c in raw.split(",") if c.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in available_rules():
+            rule = get_rule(code)
+            print(f"{code}  {rule.name}: {rule.description}")
+        return 0
+
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (try 'src/')", file=sys.stderr)
+        return 2
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    try:
+        if select:
+            for code in select:
+                get_rule(code)  # validate early: unknown codes are usage errors
+        if ignore:
+            for code in ignore:
+                get_rule(code)
+        reporter = get_reporter(args.format)
+        if isinstance(reporter, TextReporter) and args.show_suppressed:
+            reporter = TextReporter(show_suppressed=True)
+        findings, files_checked = lint_paths(args.paths, select=select, ignore=ignore)
+    except (LintError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    report = reporter.render(findings, files_checked)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        summary = TextReporter().render(findings, files_checked).splitlines()[-1]
+        print(f"{summary} -> {args.output}")
+    else:
+        print(report)
+    return 1 if any(not f.suppressed for f in findings) else 0

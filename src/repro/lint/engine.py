@@ -1,0 +1,274 @@
+"""The analysis engine: parse, run rules, apply suppressions.
+
+The engine is deliberately small: it turns one source text into an
+:class:`ast` tree plus a :class:`LintContext`, offers the context to
+every selected rule (each rule decides for itself whether the module is
+in its scope), and then reconciles the raw findings against the file's
+inline suppressions.
+
+Suppressions
+------------
+A finding is suppressed by a comment on the *same physical line* as the
+finding, and the comment **must carry a reason**::
+
+    W.copy()  # repro-lint: disable=LED001 -- per-call load is charged above
+
+Several codes may be disabled at once (``disable=LED001,DET001``).  A
+suppression without a ``-- reason`` trailer does not suppress anything;
+instead it raises its own finding (:data:`SUP001`), which is itself not
+suppressible — the ledger-safety invariants may be waived only with a
+written justification that survives review.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintError",
+    "Suppression",
+    "SUP001",
+    "collect_suppressions",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "module_name_for",
+]
+
+SUP001 = "SUP001"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+class LintError(RuntimeError):
+    """Raised on unusable input (unreadable file, syntax error)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``suppressed`` findings are kept (the JSON report lists them next to
+    their written reasons) but do not affect the exit code.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    rule: str = ""
+    suppressed: bool = False
+    reason: str | None = None
+
+    def format(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{mark}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str | None
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at for one module."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def finding(self, code: str, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=code,
+            message=message,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+        )
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    """Extract every suppression comment, keyed by physical line."""
+    out: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = tuple(
+                c.strip().upper() for c in match.group("codes").split(",") if c.strip()
+            )
+            out.append(
+                Suppression(line=tok.start[0], codes=codes, reason=match.group("reason"))
+            )
+    except tokenize.TokenError:
+        # an untokenisable file already failed ast.parse upstream
+        pass
+    return out
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str = "<module>",
+    rules: Sequence[object] | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one source text; returns *all* findings, suppressed ones marked.
+
+    ``rules`` defaults to every registered rule; ``select``/``ignore``
+    filter by code.  ``module`` is the dotted module name rules scope on
+    (derived from the path by :func:`lint_paths`; tests pass it
+    explicitly so fixtures can impersonate any module).
+    """
+    from .rules import available_rules, get_rule
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: cannot parse: {exc}") from exc
+
+    if rules is None:
+        rules = [get_rule(code) for code in available_rules()]
+    if select is not None:
+        wanted = {c.upper() for c in select}
+        rules = [r for r in rules if r.code in wanted]
+    if ignore is not None:
+        dropped = {c.upper() for c in ignore}
+        rules = [r for r in rules if r.code not in dropped]
+
+    ctx = LintContext(
+        path=path, module=module, source=source, tree=tree, lines=source.splitlines()
+    )
+    raw: list[Finding] = []
+    for rule in rules:
+        if rule.applies(ctx):
+            raw.extend(rule.check(ctx))
+
+    suppressions = collect_suppressions(source)
+    by_line: dict[int, Suppression] = {s.line: s for s in suppressions}
+
+    findings: list[Finding] = []
+    for f in raw:
+        sup = by_line.get(f.line)
+        if sup is not None and f.code in sup.codes:
+            if sup.reason:
+                findings.append(
+                    Finding(
+                        code=f.code,
+                        message=f.message,
+                        path=f.path,
+                        line=f.line,
+                        col=f.col,
+                        rule=f.rule,
+                        suppressed=True,
+                        reason=sup.reason,
+                    )
+                )
+                continue
+        findings.append(f)
+
+    # a reasonless suppression never suppresses; it is a finding itself
+    for sup in suppressions:
+        if not sup.reason:
+            findings.append(
+                Finding(
+                    code=SUP001,
+                    message=(
+                        "suppression without a reason; write "
+                        "'# repro-lint: disable=<CODE> -- <why>'"
+                    ),
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    rule="suppression-needs-reason",
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the sorted set of ``.py`` files."""
+    seen: set[Path] = set()
+    for item in paths:
+        p = Path(item)
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.is_file():
+            candidates = [p]
+        else:
+            raise LintError(f"no such file or directory: {p}")
+        for c in candidates:
+            r = c.resolve()
+            if r not in seen:
+                seen.add(r)
+                yield c
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path``: the part from the topmost package
+    directory (``repro`` when present) down to the file's stem."""
+    parts = list(path.resolve().parts)
+    name_parts = [path.stem]
+    for anchor in ("repro",):
+        if anchor in parts[:-1]:
+            idx = len(parts) - 2 - parts[:-1][::-1].index(anchor)
+            name_parts = list(parts[idx:-1]) + [path.stem]
+            break
+    if name_parts[-1] == "__init__":
+        name_parts = name_parts[:-1] or [path.stem]
+    return ".".join(name_parts)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(findings, files_checked)``; findings are sorted and
+    include suppressed entries (marked).
+    """
+    findings: list[Finding] = []
+    count = 0
+    for file in iter_python_files(paths):
+        count += 1
+        source = file.read_text(encoding="utf-8")
+        findings.extend(
+            lint_source(
+                source,
+                path=str(file),
+                module=module_name_for(file),
+                select=select,
+                ignore=ignore,
+            )
+        )
+    return findings, count

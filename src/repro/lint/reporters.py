@@ -1,0 +1,127 @@
+"""Reporters: render a finding list for humans (text) or CI (json).
+
+Reporters follow the same name-registry idiom as the rules themselves,
+so the CLI selects them with ``--format``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from .engine import Finding
+
+__all__ = [
+    "Reporter",
+    "TextReporter",
+    "JsonReporter",
+    "register_reporter",
+    "get_reporter",
+    "available_reporters",
+]
+
+
+class Reporter:
+    """Base class: render findings plus run stats to a string."""
+
+    name = "abstract"
+
+    def render(self, findings: Sequence[Finding], files_checked: int) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class TextReporter(Reporter):
+    """One ``path:line:col: CODE message`` per finding, then a summary."""
+
+    name = "text"
+
+    def __init__(self, show_suppressed: bool = False) -> None:
+        self.show_suppressed = bool(show_suppressed)
+
+    def render(self, findings: Sequence[Finding], files_checked: int) -> str:
+        lines: list[str] = []
+        active = [f for f in findings if not f.suppressed]
+        suppressed = [f for f in findings if f.suppressed]
+        for f in active:
+            lines.append(f.format())
+        if self.show_suppressed:
+            for f in suppressed:
+                lines.append(f"{f.format()} -- {f.reason}")
+        lines.append(
+            f"{len(active)} finding{'s' if len(active) != 1 else ''} "
+            f"({len(suppressed)} suppressed) across {files_checked} "
+            f"file{'s' if files_checked != 1 else ''}"
+        )
+        return "\n".join(lines)
+
+
+class JsonReporter(Reporter):
+    """Machine-readable report (the CI artifact)."""
+
+    name = "json"
+
+    def render(self, findings: Sequence[Finding], files_checked: int) -> str:
+        from .rules import available_rules, get_rule
+
+        def row(f: Finding) -> dict[str, object]:
+            entry: dict[str, object] = {
+                "code": f.code,
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            if f.suppressed:
+                entry["reason"] = f.reason
+            return entry
+
+        active = [f for f in findings if not f.suppressed]
+        suppressed = [f for f in findings if f.suppressed]
+        report = {
+            "tool": "repro.lint",
+            "rules": {
+                code: get_rule(code).description for code in available_rules()
+            },
+            "files_checked": files_checked,
+            "findings": [row(f) for f in active],
+            "suppressed": [row(f) for f in suppressed],
+            "summary": {
+                "unsuppressed": len(active),
+                "suppressed": len(suppressed),
+            },
+        }
+        return json.dumps(report, indent=2, sort_keys=False)
+
+
+_REGISTRY: dict[str, Reporter] = {}
+
+
+def register_reporter(reporter: Reporter) -> Reporter:
+    """Add a reporter instance to the name registry (last write wins)."""
+    _REGISTRY[reporter.name] = reporter
+    return reporter
+
+
+for _reporter in (TextReporter(), JsonReporter()):
+    register_reporter(_reporter)
+
+
+def available_reporters() -> tuple[str, ...]:
+    """Registered reporter names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_reporter(fmt: str | Reporter) -> Reporter:
+    """Resolve a reporter by name (or pass an instance through)."""
+    if isinstance(fmt, Reporter):
+        return fmt
+    try:
+        return _REGISTRY[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown report format {fmt!r}; available: {available_reporters()}"
+        ) from None

@@ -76,7 +76,7 @@ def parallel_matmul(
     results = ptcu.mm_batch(jobs)
 
     C = np.zeros((p_pad, r_pad), dtype=np.result_type(Ap.dtype, Bp.dtype))
-    for j, partial in zip(coords, results):
+    for j, partial in zip(coords, results, strict=True):
         C[:, j * s : (j + 1) * s] += partial
         ptcu.charge_cpu(p_pad * s)
     return C[:p_rows, :r]

@@ -10,7 +10,7 @@ charged to the ledger by the callers (one unit per word written).
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from collections.abc import Iterator
 
 import numpy as np
 

@@ -269,7 +269,7 @@ def sparse_mm(
 
     stats.recovered = len(recovered)
     if recovered:
-        rows, cols, vals = zip(*((i, j, v) for (i, j), v in recovered.items()))
+        rows, cols, vals = zip(*((i, j, v) for (i, j), v in recovered.items()), strict=True)
         data = np.asarray(vals)
         if is_integer:
             data = np.rint(data).astype(np.int64)

@@ -53,7 +53,7 @@ class AdmissionPolicy:
 
     name = "abstract"
 
-    def admit(self, request: Request, queue: deque, clock: float) -> bool:
+    def admit(self, request: Request, queue: deque[Request], clock: float) -> bool:
         """True to enqueue ``request``, False to shed it.  ``queue`` is
         the request's own class queue as it stands at arrival time."""
         raise NotImplementedError
@@ -67,7 +67,7 @@ class UnboundedAdmission(AdmissionPolicy):
 
     name = "unbounded"
 
-    def admit(self, request: Request, queue: deque, clock: float) -> bool:
+    def admit(self, request: Request, queue: deque[Request], clock: float) -> bool:
         return True
 
 
@@ -81,7 +81,7 @@ class QueueCapAdmission(AdmissionPolicy):
             raise ValueError(f"cap must be >= 1, got {cap}")
         self.cap = int(cap)
 
-    def admit(self, request: Request, queue: deque, clock: float) -> bool:
+    def admit(self, request: Request, queue: deque[Request], clock: float) -> bool:
         return len(queue) < self.cap
 
 
@@ -104,7 +104,7 @@ class DeadlineAdmission(AdmissionPolicy):
             raise ValueError(f"est_service must be >= 0, got {est_service}")
         self.est_service = float(est_service)
 
-    def admit(self, request: Request, queue: deque, clock: float) -> bool:
+    def admit(self, request: Request, queue: deque[Request], clock: float) -> bool:
         if request.deadline is None:
             return True
         predicted = clock + self.est_service * (len(queue) + 1)

@@ -70,7 +70,7 @@ class BatchPolicy:
     name = "abstract"
     max_size: int = 2**31
 
-    def release_time(self, queue: deque, now: float, draining: bool) -> float:
+    def release_time(self, queue: deque[Request], now: float, draining: bool) -> float:
         """Earliest model time a batch should launch from ``queue``,
         assuming no further arrivals; ``math.inf`` for "not yet".
 
@@ -80,7 +80,7 @@ class BatchPolicy:
         """
         raise NotImplementedError
 
-    def take(self, queue: deque, now: float) -> list[Request]:
+    def take(self, queue: deque[Request], now: float) -> list[Request]:
         """Pop and return the batch to launch now (FIFO prefix)."""
         count = min(len(queue), self.max_size)
         return [queue.popleft() for _ in range(count)]
@@ -99,7 +99,7 @@ class ContinuousBatcher(BatchPolicy):
             raise ValueError(f"max_size must be >= 1, got {max_size}")
         self.max_size = int(max_size)
 
-    def release_time(self, queue: deque, now: float, draining: bool) -> float:
+    def release_time(self, queue: deque[Request], now: float, draining: bool) -> float:
         return now if queue else math.inf
 
 
@@ -114,7 +114,7 @@ class SizeBatcher(BatchPolicy):
         self.size = int(size)
         self.max_size = int(size)
 
-    def release_time(self, queue: deque, now: float, draining: bool) -> float:
+    def release_time(self, queue: deque[Request], now: float, draining: bool) -> float:
         if not queue:
             return math.inf
         if len(queue) >= self.size or draining:
@@ -136,7 +136,7 @@ class TimeoutBatcher(BatchPolicy):
         self.timeout = float(timeout)
         self.max_size = int(max_size)
 
-    def release_time(self, queue: deque, now: float, draining: bool) -> float:
+    def release_time(self, queue: deque[Request], now: float, draining: bool) -> float:
         if not queue:
             return math.inf
         if len(queue) >= self.max_size or draining:
@@ -145,7 +145,7 @@ class TimeoutBatcher(BatchPolicy):
 
 
 def priority_release(
-    queues: dict[tuple[int, str], deque],
+    queues: dict[tuple[int, str], deque[Request]],
     policy: BatchPolicy,
     now: float,
     draining: bool,

@@ -121,7 +121,7 @@ def unrolled_weights_direct(
         raise ValueError(f"k must be >= 1, got {k}")
     out = np.zeros((1, 1))
     out[0, 0] = 1.0
-    for step in range(k):
+    for _step in range(k):
         side = out.shape[0] + 2
         nxt = np.zeros((side, side))
         for a in (-1, 0, 1):

@@ -110,7 +110,7 @@ class TestLPT:
         """LPT vs the brute-force oracle on random small batches: the
         Graham (4/3 - 1/(3p)) guarantee holds on every instance."""
         rng = np.random.default_rng(7)
-        for trial in range(40):
+        for _trial in range(40):
             units = int(rng.integers(2, 5))
             k = int(rng.integers(2, 9))
             costs = rng.integers(1, 40, size=k).astype(float)
@@ -129,7 +129,7 @@ class TestLPT:
 class TestGreedyOnline:
     def test_within_two_minus_one_over_p_of_exact(self):
         rng = np.random.default_rng(11)
-        for trial in range(25):
+        for _trial in range(25):
             units = int(rng.integers(2, 4))
             k = int(rng.integers(2, 8))
             costs = rng.integers(1, 30, size=k).astype(float)
@@ -155,7 +155,7 @@ class TestBruteForce:
 
     def test_never_beaten_by_heuristics(self):
         rng = np.random.default_rng(3)
-        for trial in range(20):
+        for _trial in range(20):
             costs = rng.integers(1, 25, size=7).astype(float)
             opt = schedule_batch(costs, 3, "exact")
             for policy in ("lpt", "greedy", "round-robin"):

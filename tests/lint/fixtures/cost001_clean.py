@@ -1,0 +1,24 @@
+"""COST001 clean fixture: the three sanctioned shapes — reject
+cost-only explicitly, substitute a placeholder, or stay shape-only."""
+
+import numpy as np
+
+from repro.core.machine import placeholder
+
+
+def rejects_cost_only(machine, A):
+    if machine.execute == "cost-only":
+        raise ValueError("value-dependent; use a numeric machine")
+    machine.charge_cpu(A.size)
+    return int(np.argmax(A))
+
+
+def placeholder_guard(machine, shape):
+    if machine.execute == "cost-only":
+        return placeholder(shape)
+    return np.zeros(shape)
+
+
+def shape_only(machine, A):
+    machine.charge_cpu(A.shape[0] * A.shape[1])
+    return A.shape

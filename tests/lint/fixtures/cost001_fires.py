@@ -1,0 +1,18 @@
+"""COST001 fixture: payload-value reads with no cost-only guard.
+
+Both functions take a machine plus payload arrays and branch on the
+values — a placeholder flowing in from a cost-only serve would crash or
+silently diverge, and the charges stop being shape-only.
+"""
+
+import numpy as np
+
+
+def pivot_scan(machine, A):
+    machine.charge_cpu(A.size)
+    return int(np.argmax(A))
+
+
+def converged(tcu, X, Y):
+    tcu.charge_cpu(X.size)
+    return np.allclose(X, Y)

@@ -1,0 +1,12 @@
+"""DET001 clean fixture: every draw comes from a seeded, split stream."""
+
+import numpy as np
+
+
+def seeded_stream(seed):
+    return np.random.default_rng(seed)
+
+
+def split_streams(seed, k):
+    children = np.random.SeedSequence(int(seed)).spawn(k)
+    return [np.random.default_rng(ss) for ss in children]

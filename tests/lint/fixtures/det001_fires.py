@@ -1,0 +1,22 @@
+"""DET001 fixture: randomness outside a seeded stream, wall-clock reads."""
+
+import random
+import time
+
+import numpy as np
+
+
+def unseeded_stream():
+    return np.random.default_rng()
+
+
+def global_numpy_state(n):
+    return np.random.standard_normal(n)
+
+
+def stdlib_global_state():
+    return random.random()
+
+
+def wall_clock_seed():
+    return time.time()

@@ -1,0 +1,12 @@
+"""DET002 clean fixture: the fixed, order-sensitive seed derivation —
+the byte *sequence* feeds SeedSequence, so anagram names diverge."""
+
+import numpy as np
+
+
+def resident_seed(name: str) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence([0xC0FFEE, *name.encode()]))
+
+
+def explicit_list(name: str) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(list(name.encode())))

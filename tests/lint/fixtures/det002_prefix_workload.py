@@ -1,0 +1,45 @@
+"""DET002 fixture: the *real pre-fix* seed derivation from
+repro/serve/workload.py (PR 4 through PR 7) — kept verbatim so the rule
+is pinned against the live bug it was written from: ``sum(b"ab") ==
+sum(b"ba")``, so anagram-named request types shared weights.
+"""
+
+import numpy as np
+
+from repro.core.machine import TCUMachine, placeholder
+
+
+class MatmulRequestType:
+    def __init__(self, name: str = "matmul", width: int = 64) -> None:
+        self.name = name
+        self.width = int(width)
+        self._weights = None
+
+    def _resident(self, machine: TCUMachine) -> np.ndarray:
+        if machine.execute == "cost-only":
+            return placeholder((self.width, self.width))
+        if self._weights is None:
+            rng = np.random.default_rng(0xC0FFEE + sum(self.name.encode()))
+            self._weights = rng.standard_normal((self.width, self.width))
+        return self._weights
+
+
+class MLPRequestType:
+    def __init__(self, name: str = "mlp", dims=(64, 32, 16)) -> None:
+        self.name = name
+        self.dims = tuple(int(d) for d in dims)
+        self._weights = None
+
+    def _layers(self, machine: TCUMachine) -> list:
+        if machine.execute == "cost-only":
+            return [
+                placeholder((d_in, d_out))
+                for d_in, d_out in zip(self.dims, self.dims[1:])
+            ]
+        if self._weights is None:
+            rng = np.random.default_rng(0x11F + sum(self.name.encode()))
+            self._weights = [
+                rng.standard_normal((d_in, d_out)) / np.sqrt(d_in)
+                for d_in, d_out in zip(self.dims, self.dims[1:])
+            ]
+        return self._weights

@@ -1,0 +1,16 @@
+"""EXC001 clean fixture: specific exceptions only (and a suppressed
+broad handler with its written reason)."""
+
+
+def specific(run):
+    try:
+        return run()
+    except (ValueError, KeyError):
+        return None
+
+
+def suppressed_broad(run):
+    try:
+        return run()
+    except Exception:  # repro-lint: disable=EXC001 -- top-level CLI boundary: report and re-raise
+        raise

@@ -1,0 +1,22 @@
+"""EXC001 fixture: bare/broad excepts that can swallow LedgerError."""
+
+
+def swallow_everything(run):
+    try:
+        return run()
+    except:  # noqa: E722
+        return None
+
+
+def swallow_exception(run):
+    try:
+        return run()
+    except Exception:
+        return None
+
+
+def swallow_in_tuple(run):
+    try:
+        return run()
+    except (ValueError, BaseException):
+        return None

@@ -1,0 +1,27 @@
+"""LED001 clean fixture: the same ops, priced through the ledger.
+
+Charges may sit directly in the function or in a same-module helper it
+calls (the `_concrete_padded` idiom) — both count as reachable.
+"""
+
+import numpy as np
+
+
+def pad_and_charge(machine, A, s):
+    machine.charge_cpu(s * A.shape[1])
+    pad = np.zeros((s - A.shape[0], A.shape[1]), dtype=A.dtype)
+    return np.vstack([A, pad])
+
+
+def _charged_helper(machine, cost):
+    machine.ledger.charge_cpu(cost)
+
+
+def pad_via_helper(machine, A, s):
+    _charged_helper(machine, s * A.shape[1])
+    return np.pad(A, ((0, s - A.shape[0]), (0, 0)))
+
+
+def copy_and_charge(machine, A):
+    machine.charge_cpu(A.size)
+    return A.copy()

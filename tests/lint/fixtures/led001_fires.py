@@ -1,0 +1,38 @@
+"""LED001 fixture: hardware work in a ledger-owning module, never charged.
+
+This module "owns a ledger" because it mentions charge_cpu somewhere —
+but the functions below do hardware/copy work without any charge
+reachable, the exact shape of the PR 1 free-padding bug.
+"""
+
+import numpy as np
+
+
+def charged_elsewhere(machine):
+    machine.charge_cpu(1)
+
+
+def pad_for_free(A, s):
+    # the PR 1 bug class: a materialised padding copy with no charge
+    pad = np.zeros((s - A.shape[0], A.shape[1]), dtype=A.dtype)
+    return np.vstack([A, pad])
+
+
+def multiply_for_free(A, B):
+    return np.matmul(A, B)
+
+
+def contract_for_free(A, B):
+    return np.tensordot(A, B, axes=2)
+
+
+def einsum_for_free(A, B):
+    return np.einsum("ij,jk->ik", A, B)
+
+
+def numpy_pad_for_free(A):
+    return np.pad(A, ((0, 3), (0, 0)))
+
+
+def copy_for_free(A):
+    return A.copy()

@@ -1,0 +1,15 @@
+"""LED001 suppressed fixture: deliberately free work, with a reason."""
+
+import numpy as np
+
+
+def charged_elsewhere(machine):
+    machine.charge_cpu(1)
+
+
+def stack_bookkeeping(groups):
+    return np.vstack(groups)  # repro-lint: disable=LED001 -- row bookkeeping only; the unit consumes rows wherever they live
+
+
+def stack_without_reason(groups):
+    return np.vstack(groups)  # repro-lint: disable=LED001

@@ -1,0 +1,21 @@
+"""REG001 clean fixture: the canonical register/names/resolve idiom."""
+
+_POLICIES = {}
+
+
+def register_policy(policy):
+    _POLICIES[policy.name] = policy
+    return policy
+
+
+def available_policies():
+    return tuple(_POLICIES)
+
+
+def get_policy(name):
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        ) from None

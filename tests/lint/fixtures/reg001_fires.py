@@ -1,0 +1,31 @@
+"""REG001 fixture: registry discipline violations.
+
+1. Subscripting another module's private table (bypasses the resolver
+   and its uniform error message).
+2. An owner-side lookup that lets the raw KeyError leak instead of
+   raising with the known names listed.
+"""
+
+from repro.core import scheduling
+
+_POLICIES = {}
+
+
+def register_policy(policy):
+    _POLICIES[policy.name] = policy
+    return policy
+
+
+def poke_foreign_registry(name):
+    return scheduling._REGISTRY[name]
+
+
+def leaky_lookup(name):
+    return _POLICIES[name]
+
+
+def swallowed_lookup(name):
+    try:
+        return _POLICIES[name]
+    except KeyError:
+        raise ValueError(f"no such policy {name!r}") from None

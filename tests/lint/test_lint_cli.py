@@ -1,0 +1,110 @@
+"""CLI contract tests: exit codes, report formats, file output."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.reporters import available_reporters, get_reporter
+
+CLEAN = "def f(x):\n    return x + 1\n"
+DIRTY = (
+    "import numpy as np\n"
+    "def stream():\n"
+    "    return np.random.default_rng()\n"
+)
+SUPPRESSED = (
+    "import numpy as np\n"
+    "def stream():\n"
+    "    return np.random.default_rng()"
+    "  # repro-lint: disable=DET001 -- fixture stream, reseeded by caller\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A fake package tree whose paths carry the ``repro`` anchor so the
+    CLI's path->module mapping puts files in rule scope."""
+    pkg = tmp_path / "repro" / "core"
+    pkg.mkdir(parents=True)
+    return pkg
+
+
+def test_exit_zero_on_clean_tree(tree, capsys):
+    (tree / "clean.py").write_text(CLEAN)
+    assert main([str(tree)]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_exit_one_on_finding(tree, capsys):
+    (tree / "dirty.py").write_text(DIRTY)
+    assert main([str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+
+
+def test_suppressed_finding_exits_zero(tree, capsys):
+    (tree / "hushed.py").write_text(SUPPRESSED)
+    assert main([str(tree)]) == 0
+    # hidden by default, shown with --show-suppressed
+    assert "DET001" not in capsys.readouterr().out
+    assert main(["--show-suppressed", str(tree)]) == 0
+    shown = capsys.readouterr().out
+    assert "DET001" in shown and "fixture stream" in shown
+
+
+def test_exit_two_on_usage_errors(tree, capsys):
+    assert main([]) == 2  # no paths
+    assert main([str(tree / "absent.py")]) == 2  # missing path
+    (tree / "clean.py").write_text(CLEAN)
+    assert main(["--select", "NOPE999", str(tree)]) == 2  # unknown rule
+    assert main(["--format", "xml", str(tree)]) == 2  # unknown reporter
+    (tree / "broken.py").write_text("def broken(:\n")
+    assert main([str(tree)]) == 2  # unparseable file
+    err = capsys.readouterr().err
+    assert "error:" in err
+
+
+def test_json_report_shape(tree, capsys):
+    (tree / "dirty.py").write_text(DIRTY)
+    (tree / "hushed.py").write_text(SUPPRESSED)
+    assert main(["--format", "json", str(tree)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["tool"] == "repro.lint"
+    assert report["files_checked"] == 2
+    assert report["summary"] == {"unsuppressed": 1, "suppressed": 1}
+    [finding] = report["findings"]
+    assert finding["code"] == "DET001"
+    [sup] = report["suppressed"]
+    assert sup["reason"] == "fixture stream, reseeded by caller"
+    assert "DET001" in report["rules"]
+
+
+def test_output_file(tree, tmp_path, capsys):
+    (tree / "dirty.py").write_text(DIRTY)
+    out_file = tmp_path / "report.json"
+    assert main(["-f", "json", "-o", str(out_file), str(tree)]) == 1
+    report = json.loads(out_file.read_text())
+    assert report["summary"]["unsuppressed"] == 1
+    assert str(out_file) in capsys.readouterr().out
+
+
+def test_select_and_ignore(tree):
+    (tree / "dirty.py").write_text(DIRTY)
+    assert main(["--select", "LED001", str(tree)]) == 0
+    assert main(["--ignore", "DET001", str(tree)]) == 0
+    assert main(["--select", "det001", str(tree)]) == 1  # case folded
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("LED001", "DET001", "DET002", "REG001", "COST001", "EXC001"):
+        assert code in out
+
+
+def test_reporter_registry_rejects_unknown():
+    assert set(available_reporters()) == {"json", "text"}
+    with pytest.raises(ValueError, match="available"):
+        get_reporter("xml")

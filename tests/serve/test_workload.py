@@ -10,6 +10,7 @@ from repro.serve import (
     DiurnalWorkload,
     MatmulRequestType,
     MixedWorkload,
+    MLPRequestType,
     PoissonWorkload,
     RequestType,
     TraceWorkload,
@@ -75,6 +76,43 @@ class TestRequestTypeCharging:
         machine = TCUMachine(m=16, ell=8.0)
         get_request_type("matmul").serve(machine, [])
         assert machine.ledger.total_time == 0.0
+
+
+class TestSeedDerivation:
+    """Resident weights are derived from the type *name*; the digest must
+    be order-sensitive so anagram names never alias the same weights."""
+
+    def test_anagram_matmul_types_get_distinct_weights(self):
+        machine = TCUMachine(m=16, ell=8.0)
+        ab = MatmulRequestType(name="ab", width=8, default_rows=4)
+        ba = MatmulRequestType(name="ba", width=8, default_rows=4)
+        assert not np.array_equal(ab._resident(machine), ba._resident(machine))
+
+    def test_anagram_mlp_types_get_distinct_layers(self):
+        machine = TCUMachine(m=16, ell=8.0)
+        ab = MLPRequestType(name="ab", dims=(8, 8, 8), default_rows=4)
+        ba = MLPRequestType(name="ba", dims=(8, 8, 8), default_rows=4)
+        assert any(
+            not np.array_equal(x, y)
+            for x, y in zip(ab._layers(machine), ba._layers(machine))
+        )
+
+    def test_weights_stable_across_instances(self):
+        machine = TCUMachine(m=16, ell=8.0)
+        one = MatmulRequestType(name="pin", width=8, default_rows=4)
+        two = MatmulRequestType(name="pin", width=8, default_rows=4)
+        assert np.array_equal(one._resident(machine), two._resident(machine))
+
+    def test_charges_unchanged_by_reseeding(self):
+        # charges are shape-only, so the seed-derivation fix must not
+        # move a single ledger entry
+        for name in ("ab", "ba"):
+            numeric = TCUMachine(m=16, ell=8.0)
+            cost = TCUMachine(m=16, ell=8.0, execute="cost-only")
+            rtype = MatmulRequestType(name=name, width=16, default_rows=8)
+            rtype.serve(numeric, [8, 4])
+            rtype.serve(cost, [8, 4])
+            assert numeric.ledger.snapshot() == cost.ledger.snapshot()
 
 
 class TestPoisson:

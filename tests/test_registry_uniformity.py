@@ -1,0 +1,55 @@
+"""Registry error uniformity (ISSUE PR 8, satellite 3).
+
+Every name registry in the tree follows one contract: resolving an
+unknown name raises ``ValueError`` whose message lists the known names,
+so a typo at a call site is self-diagnosing.  This test pins that
+contract for all of them at once — a registry added without the idiom
+should extend ``REGISTRIES`` and will fail here if it drifts.
+"""
+
+import pytest
+
+from repro.core.scheduling import available_schedulers, get_scheduler
+from repro.serve.admission import available_admissions, get_admission
+from repro.serve.batcher import available_batchers, get_batcher
+from repro.serve.faults import (
+    available_fault_injectors,
+    available_retry_policies,
+    get_fault_injector,
+    get_retry_policy,
+)
+from repro.serve.workload import available_request_types, get_request_type
+
+REGISTRIES = [
+    pytest.param(get_scheduler, available_schedulers, id="schedulers"),
+    pytest.param(get_admission, available_admissions, id="admissions"),
+    pytest.param(get_batcher, available_batchers, id="batchers"),
+    pytest.param(get_retry_policy, available_retry_policies, id="retry-policies"),
+    pytest.param(get_fault_injector, available_fault_injectors, id="fault-injectors"),
+    pytest.param(get_request_type, available_request_types, id="request-types"),
+]
+
+
+@pytest.mark.parametrize("resolve, names", REGISTRIES)
+def test_unknown_name_raises_value_error_listing_known_names(resolve, names):
+    with pytest.raises(ValueError) as exc_info:
+        resolve("definitely-not-registered")
+    message = str(exc_info.value)
+    assert "definitely-not-registered" in message
+    for known in names():
+        assert known in message
+
+
+@pytest.mark.parametrize("resolve, names", REGISTRIES)
+def test_registry_ships_builtins_as_tuple(resolve, names):
+    known = names()
+    assert known, "registry must ship with builtins"
+    assert isinstance(known, tuple)
+    assert len(set(known)) == len(known)
+
+
+@pytest.mark.parametrize("resolve, names", REGISTRIES)
+def test_every_known_name_resolves_and_instances_pass_through(resolve, names):
+    for name in names():
+        instance = resolve(name)
+        assert resolve(instance) is instance
