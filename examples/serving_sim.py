@@ -47,7 +47,6 @@ Run:  python examples/serving_sim.py
 """
 
 from repro.analysis.report import latency_table
-from repro.analysis.tables import render_table
 from repro.core.presets import TPU_V1
 from repro.serve import (
     ContinuousBatcher,
@@ -112,15 +111,12 @@ def main() -> None:
         print()
 
     # head-to-head at the overload point: batching keeps the tail flat
-    rows = []
-    for policy_name, make_policy in policies:
-        m = run(make_policy(), capacity / 1.5)
-        rows.append(
-            [policy_name, m.batch_size_mean, m.throughput * 1e6, m.latency_p99, m.slo_attainment]
-        )
-    print(render_table(
-        ["policy", "mean batch", "thr x1e6", "p99 latency", "SLO attainment"],
-        rows,
+    head_to_head = [
+        (policy_name, run(make_policy(), capacity / 1.5))
+        for policy_name, make_policy in policies
+    ]
+    print(latency_table(
+        head_to_head,
         title="1.5x the size-1 capacity: latency amortisation is the whole game",
     ))
     print()

@@ -19,7 +19,7 @@ import numpy as np
 
 from .tables import render_table
 
-__all__ = ["compile_report", "utilization_table", "latency_table", "main"]
+__all__ = ["compile_report", "utilization_table", "latency_table", "trace_table", "main"]
 
 _SECTION_ORDER = [
     ("e1_", "Figure 1 / Section 2.2 — systolic array"),
@@ -42,6 +42,7 @@ _SECTION_ORDER = [
     ("e18_", "Extension — scan / reduction / triangles"),
     ("e19_", "Extension — multi-unit scheduling"),
     ("e20_", "Extension — online serving"),
+    ("e21_", "Extension — observability & tracing"),
 ]
 
 
@@ -137,6 +138,85 @@ def latency_table(entries, *, title: str | None = None, per_class: bool = True) 
         rows,
         title=title or "serving latency / throughput",
     )
+
+
+def trace_table(tracer, result, *, title: str | None = None, limit: int = 20) -> str:
+    """Critical-path breakdown of a traced run — one row per request.
+
+    Takes the :class:`~repro.obs.Tracer` a run was served with and its
+    :class:`~repro.serve.engine.ServeResult`, and renders the ``limit``
+    slowest completed requests (latency-descending, i.e. the run's
+    critical path first).  Per request: **queue** (arrival → launch),
+    the batch's **exec** time (segment-duration fold, bit-identical to
+    ``run.service``), its **reload** and **wasted** charges, the
+    **backoff** spent parked between retries, the residual **stall**
+    (time in service but not executing: preempted-out gaps, crash
+    windows, backoff), the end-to-end **latency**, and whether the SLO
+    was met.  A footer reconciles the span view against the ledger:
+    the segment fold must equal ``result.busy_time`` exactly, and
+    ``useful + wasted + reload`` must equal ``ledger_time`` — nonzero
+    deviations mean the trace and the charges disagree.
+    """
+    batch_rows = {row[0]: row for row in tracer.batch_rows}
+    exec_by_batch = tracer.exec_time_by_batch()
+    backoff: dict[int, float] = {}
+    for batch, _kind, _prio, start, end in tracer.waits:
+        backoff[batch] = backoff.get(batch, 0.0) + (end - start)
+    done = [r for r in tracer.requests if r[3] == "done"]
+    done.sort(key=lambda r: (-(r[6] - r[4]), r[0]))
+    shown = done[: max(0, limit)]
+    rows = []
+    for rid, kind, prio, _outcome, arrival, launch, finish, batch, met in shown:
+        info = batch_rows.get(batch)
+        service = info[6] if info else exec_by_batch.get(batch, 0.0)
+        reload = info[7] if info else 0.0
+        wasted = info[8] if info else 0.0
+        rows.append(
+            [
+                rid,
+                kind,
+                prio,
+                batch,
+                launch - arrival,
+                service,
+                reload,
+                wasted,
+                backoff.get(batch, 0.0),
+                (finish - launch) - service,
+                finish - arrival,
+                "n/a" if met is None else ("yes" if met else "no"),
+            ]
+        )
+    table = render_table(
+        [
+            "rid",
+            "kind",
+            "prio",
+            "batch",
+            "queue",
+            "exec",
+            "reload",
+            "wasted",
+            "backoff",
+            "stall",
+            "latency",
+            "slo met",
+        ],
+        rows,
+        title=title
+        or f"per-request critical path (slowest {len(shown)} of {len(done)} completed)",
+    )
+    exec_total = tracer.exec_time()
+    accounted = result.useful_time + result.wasted_time + result.reload_time
+    footer = (
+        f"exec (spans) {exec_total:g} | busy_time {result.busy_time:g} | "
+        f"deviation {exec_total - result.busy_time:g}\n"
+        f"useful {result.useful_time:g} + wasted {result.wasted_time:g} + "
+        f"reload {result.reload_time:g} = {accounted:g} | "
+        f"ledger {result.ledger_time:g} | "
+        f"deviation {accounted - result.ledger_time:g}"
+    )
+    return table + "\n" + footer
 
 
 def utilization_table(schedule, *, title: str | None = None) -> str:

@@ -48,7 +48,7 @@ import math
 from array import array
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
@@ -366,6 +366,13 @@ class CostLedger:
         per distinct call shape — use for very long runs that still want
         :meth:`calls_summary` or an aggregate Theorem 12 replay);
         ``False`` keeps totals only.
+
+    ``on_charge``, when set, is called as ``on_charge(category, amount)``
+    after every successful charge or attribution (categories
+    ``"tensor"`` — throughput *plus* latency, ``"cpu"``, ``"reload"``,
+    ``"wasted"``).  It is a pure observer for telemetry
+    (:meth:`repro.obs.tracer.Tracer.bind_ledger`): totals, the clock and
+    the trace are byte-identical with or without it.
     """
 
     trace_calls: bool | str = True
@@ -380,6 +387,9 @@ class CostLedger:
     _section_stack: list[str] = field(default_factory=list)
     _section_totals: dict[str, float] = field(default_factory=dict)
     _bound: set[tuple[int, float]] = field(default_factory=set, repr=False)
+    on_charge: Callable[[str, float], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         # identity checks: the int 1 equals True but would silently
@@ -434,6 +444,8 @@ class CostLedger:
         total = throughput + float(latency)
         self._bump_sections(total)
         self.record_call(n, sqrt_m, total, float(latency))
+        if self.on_charge is not None:
+            self.on_charge("tensor", total)
         return total
 
     def charge_tensor_bulk(self, ns: np.ndarray, sqrt_m: int, latency: float) -> float:
@@ -473,6 +485,8 @@ class CostLedger:
         total = throughput + latency_total
         self._bump_sections(total)
         self.record_calls_bulk(ns, s, ns * float(s) + float(latency), float(latency))
+        if self.on_charge is not None:
+            self.on_charge("tensor", total)
         return total
 
     def record_call(
@@ -537,6 +551,8 @@ class CostLedger:
             raise LedgerError(f"non-finite cpu charge {ops!r}")
         self.cpu_time += float(ops)
         self._bump_sections(float(ops))
+        if self.on_charge is not None:
+            self.on_charge("cpu", float(ops))
         return float(ops)
 
     def charge_reload(self, words: float) -> float:
@@ -555,6 +571,8 @@ class CostLedger:
             raise LedgerError(f"non-finite reload charge {words!r}")
         self.reload_time += float(words)
         self._bump_sections(float(words))
+        if self.on_charge is not None:
+            self.on_charge("reload", float(words))
         return float(words)
 
     def attribute_wasted(self, span: float) -> float:
@@ -582,6 +600,8 @@ class CostLedger:
                 f"would exceed the {budget} of non-reload time charged"
             )
         self.wasted_time = new_total
+        if self.on_charge is not None:
+            self.on_charge("wasted", float(span))
         return float(span)
 
     # ------------------------------------------------------------------

@@ -786,6 +786,12 @@ class ExecutionCursor:
     level_times:
         Model time charged by each executed level, in step order (the
         per-level ledger spans an engine turns into event boundaries).
+    observer:
+        Optional ``observer(level, elapsed)`` callback fired after each
+        executed level, with the level index just run and the ledger
+        span it charged.  A pure telemetry hook
+        (:mod:`repro.obs` level spans): execution and charges are
+        bit-identical with or without it.
     """
 
     def __init__(self, plan: Plan, machine: TCUMachine, *, fused: bool = True) -> None:
@@ -794,6 +800,7 @@ class ExecutionCursor:
         self.fused = fused
         self.next_level = 0
         self.level_times: list[float] = []
+        self.observer: Callable[[int, float], None] | None = None
 
     @property
     def total_levels(self) -> int:
@@ -816,6 +823,8 @@ class ExecutionCursor:
             _execute_level(groups, others, self.machine, self.fused)
         self.next_level += 1
         self.level_times.append(span.elapsed)
+        if self.observer is not None:
+            self.observer(self.next_level - 1, span.elapsed)
         return span.elapsed
 
     def run(self) -> None:
@@ -908,6 +917,9 @@ class CompiledCursor:
         self.machine = machine
         self.next_level = 0
         self.level_times: list[float] = []
+        # same telemetry seam as ExecutionCursor.observer; the coalesced
+        # run() path reports its single bulk span as level 0
+        self.observer: Callable[[int, float], None] | None = None
         # the prelude (plan()-build charges) is paid exactly once per
         # cursor, on the first step ever taken — a fault-recovery
         # rewind back to level 0 must not re-pay it, mirroring the live
@@ -961,6 +973,8 @@ class CompiledCursor:
             self._apply(self.compiled.levels[self.next_level])
         self.next_level += 1
         self.level_times.append(span.elapsed)
+        if self.observer is not None:
+            self.observer(self.next_level - 1, span.elapsed)
         return span.elapsed
 
     def run(self) -> None:
@@ -981,6 +995,8 @@ class CompiledCursor:
             self.next_level = self.total_levels
             self._prelude_paid = True
             self.level_times.append(span.elapsed)
+            if self.observer is not None:
+                self.observer(0, span.elapsed)
             return
         while not self.done:
             self.step()

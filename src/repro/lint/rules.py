@@ -29,6 +29,12 @@ so the CLI, CI gate and tests select them with a string.
 ``EXC001``  Bare or broad ``except`` in ``repro.core`` /
             ``repro.serve`` — swallows :class:`LedgerError` and
             conservation failures.
+``OBS001``  Telemetry emission (``tracer.*``/``sampler.*``/
+            ``monitor.*``) whose timestamp argument (``ts``/``start``/
+            ``end``/…) is a literal, inline arithmetic, or a fresh
+            call — trace timestamps must be *read* from the ledger
+            clock (a name or attribute), never recomputed at the
+            emission site.
 =========  ===========================================================
 """
 
@@ -48,6 +54,7 @@ __all__ = [
     "RegistryDiscipline",
     "CostOnlySafety",
     "BroadExcept",
+    "RecomputedTraceTimestamp",
     "register_rule",
     "get_rule",
     "available_rules",
@@ -673,6 +680,82 @@ class BroadExcept(LintRule):
                 )
 
 
+# ----------------------------------------------------------------------
+# OBS001 — trace timestamps must come from the ledger clock
+# ----------------------------------------------------------------------
+_OBS_RECEIVERS = {"tr", "tracer", "sampler", "monitor", "obs"}
+_OBS_RECEIVER_SUFFIXES = ("_tracer", "_sampler", "_monitor")
+_OBS_TS_KWARGS = {"ts", "start", "end", "at", "now", "clock"}
+
+
+class RecomputedTraceTimestamp(LintRule):
+    """Telemetry is only bit-replayable when every event's timestamp is
+    the ledger clock *as charged* — the same float the engine's
+    accounting folded, read from a variable, never re-derived at the
+    emission site.  A literal, an inline ``BinOp``/``UnaryOp``, or a
+    fresh call as the ``ts``/``start``/``end`` argument of a tracer /
+    sampler / monitor emission re-computes time outside the ledger's
+    fold order: the trace then drifts from the charges by float
+    re-association and the span-reconciliation gate
+    (``sum(segments) == busy_time`` bit-exact) silently breaks.  Bind
+    the timestamp to a name first (``lvl_end = ...; tr.level_span(...,
+    end=lvl_end)``) so trace and ledger share one float.
+    """
+
+    code = "OBS001"
+    name = "recomputed-trace-timestamp"
+    description = (
+        "telemetry emission timestamp recomputed inline instead of read "
+        "from the ledger clock"
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.module.startswith(("repro.core", "repro.serve"))
+
+    @staticmethod
+    def _is_obs_receiver(call: ast.Call) -> str | None:
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        base = dotted_name(call.func.value)
+        if not base:
+            return None
+        tail = base.rsplit(".", 1)[-1].lower()
+        if tail in _OBS_RECEIVERS or tail.endswith(_OBS_RECEIVER_SUFFIXES):
+            return base
+        return None
+
+    @staticmethod
+    def _recomputed(value: ast.expr) -> str | None:
+        if isinstance(value, ast.Constant) and isinstance(value.value, (int, float)):
+            return "a numeric literal"
+        if isinstance(value, (ast.BinOp, ast.UnaryOp)):
+            return "inline arithmetic"
+        if isinstance(value, ast.Call):
+            return "a fresh call"
+        return None
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            receiver = self._is_obs_receiver(node)
+            if receiver is None:
+                continue
+            for kw in node.keywords:
+                if kw.arg not in _OBS_TS_KWARGS:
+                    continue
+                how = self._recomputed(kw.value)
+                if how is not None:
+                    yield self.finding(
+                        ctx,
+                        kw.value,
+                        f"{receiver}.{node.func.attr}({kw.arg}=...) passes "
+                        f"{how} as a timestamp; read the ledger clock into a "
+                        "name and pass that name, so the trace carries the "
+                        "exact float the ledger charged",
+                    )
+
+
 for _rule in (
     UnchargedHardwareOp(),
     UnseededRandomness(),
@@ -680,5 +763,6 @@ for _rule in (
     RegistryDiscipline(),
     CostOnlySafety(),
     BroadExcept(),
+    RecomputedTraceTimestamp(),
 ):
     register_rule(_rule)

@@ -1,0 +1,324 @@
+"""Trace and metrics exporters: Perfetto/Chrome trace JSON, Prometheus.
+
+:func:`to_chrome_trace` renders a :class:`~repro.obs.tracer.Tracer`
+into the Chrome trace-event JSON format, which the Perfetto UI
+(https://ui.perfetto.dev) opens directly:
+
+* one process per view — ``priority classes`` (execution segments,
+  backoff waits per class lane), ``tensor units`` (per-level spans on
+  the unit that executed them), ``requests`` (async queued→done spans,
+  one track per request id), ``faults & alerts`` (instant events for
+  preemptions, faults, retries, degradations, SLO alerts, crash-repair
+  windows) and ``metrics`` (counter tracks from the sampler);
+* timestamps are the simulated ledger clock verbatim — the trace of a
+  seeded run is **byte-identical across replays**
+  (:func:`chrome_trace_json` serialises with sorted keys and no
+  whitespace to make that checkable with ``==``).
+
+:func:`prometheus_text` renders a
+:class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+exposition format (``# HELP``/``# TYPE`` plus samples; histograms
+expand to cumulative ``_bucket``/``_sum``/``_count`` series).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from .metrics import Histogram, MetricsRegistry
+from .spans import ObsError
+from .tracer import Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "prometheus_text",
+]
+
+# process ids of the export views (arbitrary but stable)
+_PID_CLASSES = 1
+_PID_UNITS = 2
+_PID_REQUESTS = 3
+_PID_EVENTS = 4
+_PID_METRICS = 5
+
+_PROCESS_NAMES = {
+    _PID_CLASSES: "priority classes",
+    _PID_UNITS: "tensor units",
+    _PID_REQUESTS: "requests",
+    _PID_EVENTS: "faults & alerts",
+    _PID_METRICS: "metrics",
+}
+
+
+def to_chrome_trace(tracer: Tracer, *, label: str = "serve") -> dict:
+    """Render ``tracer`` as a Chrome trace-event dict (see module doc)."""
+    events: list[dict] = []
+    threads: dict[tuple[int, int], str] = {}
+
+    def complete(
+        name: str, cat: str, start: float, dur: float, pid: int, tid: int, **args
+    ) -> None:
+        events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": start,
+                "dur": dur,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+
+    # -- priority-class lanes: execution segments + backoff waits ------
+    for batch, kind, prio, start, dur in tracer.segments:
+        threads.setdefault((_PID_CLASSES, prio), f"class p{prio}")
+        complete(f"{kind}#b{batch}", "exec", start, dur, _PID_CLASSES, prio, batch=batch)
+    for batch, kind, prio, start, end in tracer.waits:
+        threads.setdefault((_PID_CLASSES, prio), f"class p{prio}")
+        complete(
+            f"{kind}#b{batch} backoff",
+            "backoff",
+            start,
+            end - start,
+            _PID_CLASSES,
+            prio,
+            batch=batch,
+        )
+
+    # -- tensor-unit lanes: per-level spans (stepwise runs); fall back
+    # to mirroring segments on the serial lane so the view never blanks
+    if tracer.levels:
+        for batch, level, units, start, end in tracer.levels:
+            for unit in units if units else (-1,):
+                tid = unit + 1  # unit -1 (serial) renders as tid 0
+                threads.setdefault(
+                    (_PID_UNITS, tid), "serial" if unit < 0 else f"unit {unit}"
+                )
+                complete(
+                    f"b{batch}/L{level}",
+                    "level",
+                    start,
+                    end - start,
+                    _PID_UNITS,
+                    tid,
+                    batch=batch,
+                    level=level,
+                )
+    else:
+        threads.setdefault((_PID_UNITS, 0), "serial")
+        for batch, kind, prio, start, dur in tracer.segments:
+            complete(f"{kind}#b{batch}", "exec", start, dur, _PID_UNITS, 0, batch=batch)
+
+    # -- request lifecycle: async spans, one track per request id ------
+    for rid, kind, prio, outcome, arrival, launch, finish, batch, met in (
+        tracer.requests
+    ):
+        threads.setdefault((_PID_REQUESTS, prio), f"class p{prio}")
+        if outcome == "shed":
+            events.append(
+                {
+                    "name": f"{kind}#r{rid} shed",
+                    "cat": "request",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": arrival,
+                    "pid": _PID_REQUESTS,
+                    "tid": prio,
+                    "args": {"rid": rid},
+                }
+            )
+            continue
+        args = {"rid": rid, "batch": batch, "outcome": outcome}
+        if met is not None:
+            args["slo_met"] = met
+        for ph, ts in (("b", arrival), ("e", finish)):
+            events.append(
+                {
+                    "name": f"{kind}#r{rid}",
+                    "cat": "request",
+                    "ph": ph,
+                    "id": rid,
+                    "ts": ts,
+                    "pid": _PID_REQUESTS,
+                    "tid": prio,
+                    "args": args if ph == "b" else {},
+                }
+            )
+
+    # -- faults & alerts: instants + crash-repair windows --------------
+    threads.setdefault((_PID_EVENTS, 0), "events")
+    for name, ts, batch, detail in tracer.instants:
+        args: dict[str, object] = {"batch": batch}
+        if detail:
+            args["detail"] = detail
+        events.append(
+            {
+                "name": name,
+                "cat": "fault" if not name.startswith("alert:") else "alert",
+                "ph": "i",
+                "s": "t",
+                "ts": ts,
+                "pid": _PID_EVENTS,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    if tracer.downs:
+        threads.setdefault((_PID_EVENTS, 1), "unit repair")
+        for start, end in tracer.downs:
+            complete("unit down", "down", start, end - start, _PID_EVENTS, 1)
+
+    # -- metrics: counter tracks from the sampler ----------------------
+    if tracer.sampler is not None:
+        for ts, snap in tracer.sampler.rows:
+            for full_name, value in snap.items():
+                events.append(
+                    {
+                        "name": full_name,
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": _PID_METRICS,
+                        "tid": 0,
+                        "args": {"value": value},
+                    }
+                )
+
+    meta: list[dict] = []
+    for pid, pname in _PROCESS_NAMES.items():
+        meta.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{label}: {pname}"},
+            }
+        )
+    for (pid, tid), tname in sorted(threads.items()):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tname},
+            }
+        )
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(tracer: Tracer, *, label: str = "serve") -> str:
+    """Deterministic serialisation: sorted keys, no whitespace — equal
+    traces compare equal as strings (the replay-identity gate)."""
+    return json.dumps(
+        to_chrome_trace(tracer, label=label), sort_keys=True, separators=(",", ":")
+    )
+
+
+def write_chrome_trace(tracer: Tracer, path: str | Path, *, label: str = "serve") -> Path:
+    """Write the Perfetto-loadable trace JSON to ``path`` and return it."""
+    out = Path(path)
+    out.write_text(chrome_trace_json(tracer, label=label))
+    return out
+
+
+_PHASES = {"X", "i", "b", "e", "M", "C"}
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Schema-check a trace dict; raises :class:`ObsError` on the first
+    violation.  Covers the subset of the trace-event format the
+    exporter emits (and Perfetto requires to render it)."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ObsError("trace must be a dict with a 'traceEvents' list")
+    if not isinstance(trace["traceEvents"], list):
+        raise ObsError("'traceEvents' must be a list")
+    for i, ev in enumerate(trace["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ObsError(f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise ObsError(f"{where} has unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise ObsError(f"{where} is missing a name")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                raise ObsError(f"{where} is missing integer {field!r}")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            raise ObsError(f"{where} has invalid ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or not math.isfinite(dur) or dur < 0:
+                raise ObsError(f"{where} has invalid dur {dur!r}")
+        if ph in ("b", "e") and "id" not in ev:
+            raise ObsError(f"{where} async event is missing an id")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            raise ObsError(f"{where} instant has invalid scope {ev.get('s')!r}")
+        if ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not all(
+                isinstance(v, (int, float)) for v in args.values()
+            ):
+                raise ObsError(f"{where} counter needs numeric args")
+    try:
+        json.dumps(trace)
+    except (TypeError, ValueError) as exc:
+        raise ObsError(f"trace is not JSON-serialisable: {exc}") from exc
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(registry: MetricsRegistry, *, ts: float | None = None) -> str:
+    """Render ``registry`` in the Prometheus text exposition format.
+
+    ``ts``, when given, stamps every sample with the (simulated)
+    timestamp — truncated to an integer, as the format requires.
+    """
+    stamp = f" {int(ts)}" if ts is not None else ""
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for metric in registry:
+        if metric.name not in seen_header:
+            seen_header.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            base = metric.name
+            labels = dict(metric.labels)
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts, strict=False):
+                cumulative += count
+                le = {**labels, "le": _fmt(bound)}
+                body = ",".join(f'{k}="{v}"' for k, v in sorted(le.items()))
+                lines.append(f"{base}_bucket{{{body}}} {cumulative}{stamp}")
+            body = ",".join(
+                f'{k}="{v}"' for k, v in sorted({**labels, "le": "+Inf"}.items())
+            )
+            lines.append(f"{base}_bucket{{{body}}} {metric.count}{stamp}")
+            suffix = (
+                "{" + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items())) + "}"
+                if labels
+                else ""
+            )
+            lines.append(f"{base}_sum{suffix} {_fmt(metric.sum)}{stamp}")
+            lines.append(f"{base}_count{suffix} {metric.count}{stamp}")
+        else:
+            value = metric.value  # type: ignore[attr-defined]
+            lines.append(f"{metric.full_name} {_fmt(value)}{stamp}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,242 @@
+"""Name-registered counters, gauges and histograms.
+
+A :class:`MetricsRegistry` is the single mutable store the serving
+engine (and any other instrumented layer) writes into; the
+:class:`~repro.obs.sampler.Sampler` snapshots it on the simulated clock
+and :func:`~repro.obs.exporters.prometheus_text` renders it in the
+Prometheus text exposition format.  All updates are plain attribute
+arithmetic — no wall clock, no locks, no background threads — so a
+metrics stream is as deterministic as the ledger that drives it.
+
+Metrics follow Prometheus semantics: counters only go up, gauges go
+anywhere, histograms bucket observations under fixed upper bounds.
+Labels are a frozen ``dict[str, str]`` fixed at registration; a metric
+is keyed by its full name (``name{k="v",...}``), so the same base name
+may carry several label sets (e.g. per-priority SLO attainment).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+import numpy as np
+
+from .spans import ObsError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _full_name(name: str, labels: dict[str, str] | None) -> str:
+    if not labels:
+        return name
+    body = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+class _Metric:
+    """Common identity: base name, rendered full name, help text."""
+
+    __slots__ = ("name", "full_name", "help", "labels")
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ObsError(f"invalid metric name {name!r}")
+        self.name = name
+        self.labels = dict(labels) if labels else {}
+        self.full_name = _full_name(name, labels)
+        self.help = help
+
+
+class Counter(_Metric):
+    """A monotonically non-decreasing accumulator."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> None:
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObsError(f"counter {self.full_name} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge(_Metric):
+    """A value that can be set to anything at any time."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> None:
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram (Prometheus ``le`` semantics: cumulative
+    on export, stored per-bucket here; the ``+Inf`` bucket is implicit).
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        bounds: tuple[float, ...],
+        help: str = "",
+        labels: dict[str, str] | None = None,
+    ) -> None:
+        super().__init__(name, help, labels)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ObsError(
+                f"histogram {name!r} needs sorted, non-empty bucket bounds"
+            )
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def observe_many(self, values) -> None:
+        """Vectorised bulk observation: same buckets and count as one
+        :meth:`observe` per value (``sum`` may differ in the last float
+        bits — numpy reduces in a different association order)."""
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            return
+        bins = np.bincount(
+            np.searchsorted(self.bounds, arr, side="left"),
+            minlength=len(self.counts),
+        )
+        self.counts = [c + int(b) for c, b in zip(self.counts, bins, strict=True)]
+        self.sum += float(arr.sum())
+        self.count += arr.size
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile (the upper bound of the bucket the
+        q-th observation falls in; ``inf`` for the overflow bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+
+class MetricsRegistry:
+    """The name → metric table telemetry writes into.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: re-requesting
+    an existing full name returns the live instance (so instrumented
+    code never needs to thread metric handles around), but re-requesting
+    it as a *different* type is an :class:`ObsError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- registration --------------------------------------------------
+    def _get_or_create(self, cls: type, key: str, factory) -> _Metric:
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = factory()
+        elif not isinstance(metric, cls):
+            raise ObsError(
+                f"metric {key!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> Counter:
+        key = _full_name(name, labels)
+        metric = self._get_or_create(Counter, key, lambda: Counter(name, help, labels))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(
+        self, name: str, help: str = "", labels: dict[str, str] | None = None
+    ) -> Gauge:
+        key = _full_name(name, labels)
+        metric = self._get_or_create(Gauge, key, lambda: Gauge(name, help, labels))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: tuple[float, ...],
+        help: str = "",
+        labels: dict[str, str] | None = None,
+    ) -> Histogram:
+        key = _full_name(name, labels)
+        metric = self._get_or_create(
+            Histogram, key, lambda: Histogram(name, bounds, help, labels)
+        )
+        assert isinstance(metric, Histogram)
+        return metric
+
+    # -- access --------------------------------------------------------
+    def get(self, full_name: str) -> _Metric:
+        try:
+            return self._metrics[full_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown metric {full_name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def snapshot(self) -> dict[str, float]:
+        """Scalar view of every metric, keyed by full name (histograms
+        contribute ``_count`` and ``_sum``).  Key order is sorted, so a
+        snapshot stream serialises deterministically."""
+        out: dict[str, float] = {}
+        for metric in self:
+            if isinstance(metric, Histogram):
+                out[metric.full_name + "_count"] = float(metric.count)
+                out[metric.full_name + "_sum"] = metric.sum
+            else:
+                out[metric.full_name] = metric.value  # type: ignore[attr-defined]
+        return out

@@ -39,7 +39,25 @@ tensions, layered entirely on the existing machine stack:
   retry policies with backoff, and graceful degradation onto cheaper
   variants (fewer rows, or a quantized machine twin) — every faulty
   run bit-replayable from ``(workload seed, fault seed)``.
+
+Observability rides on top: pass a :class:`~repro.obs.Tracer` to
+:class:`ServingEngine` and the run emits request/batch/level spans,
+fault instants and time-series metric samples, all timestamped on the
+ledger clock — export via :mod:`repro.obs` (Perfetto/Chrome trace
+JSON, Prometheus text) with zero cost and bit-identical charges when
+no tracer is attached.
 """
+
+from ..obs import (
+    MetricsRegistry,
+    Sampler,
+    SloBurnMonitor,
+    Tracer,
+    chrome_trace_json,
+    prometheus_text,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 from ..core.plan_cache import CompiledPlan, PlanCache, compile_plan
 from .admission import (
@@ -167,4 +185,12 @@ __all__ = [
     "PlanCache",
     "CompiledPlan",
     "compile_plan",
+    "Tracer",
+    "MetricsRegistry",
+    "Sampler",
+    "SloBurnMonitor",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "prometheus_text",
 ]

@@ -83,6 +83,7 @@ from ..core.ledger import CostLedger
 from ..core.machine import TCUMachine
 from ..core.plan_cache import PlanCache
 from ..core.program import CompiledCursor, ExecutionCursor
+from ..obs.tracer import Tracer
 from .admission import AdmissionPolicy, get_admission
 from .batcher import BatchPolicy, get_batcher, priority_release
 from .faults import (
@@ -173,6 +174,31 @@ class BatchRecord:
             return 0.0
         return self.completion - self.first_failure
 
+    def to_dict(self) -> dict:
+        """JSON-ready view: tuples become lists, NaN sentinels ``None``."""
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "rids": list(self.rids),
+            "rows": list(self.rows),
+            "launch": self.launch,
+            "service": self.service,
+            "priority": self.priority,
+            "preemptions": self.preemptions,
+            "reload_time": self.reload_time,
+            "resumes": list(self.resumes),
+            "finish": None if math.isnan(self.finish) else self.finish,
+            "attempts": self.attempts,
+            "attempt_spans": list(self.attempt_spans),
+            "wasted_time": self.wasted_time,
+            "faults": self.faults,
+            "retry_at": list(self.retry_at),
+            "first_failure": (
+                None if math.isnan(self.first_failure) else self.first_failure
+            ),
+            "degraded": self.degraded,
+        }
+
 
 @dataclass
 class ServeResult:
@@ -253,6 +279,55 @@ class ServeResult:
         """Fraction of offered requests the admission policy refused."""
         offered = self.offered
         return len(self.shed) / offered if offered else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the whole run — requests, batches, shed and
+        abandoned records, fault events and the run-level accounting —
+        so results ship in one artifact bundle next to traces and
+        metrics.  The machine is identified by its config fingerprint
+        (:meth:`~repro.core.machine.TCUMachine.config_key`), not
+        embedded; derived quantities (rates, ``useful_time``…) are
+        properties and recompute from the stored fields.  Strict JSON:
+        NaN sentinels serialise as ``null``.
+        """
+        return {
+            "requests": [r.to_dict() for r in self.requests],
+            "batches": [b.to_dict() for b in self.batches],
+            "clock": self.clock,
+            "busy_time": self.busy_time,
+            "ledger_time": self.ledger_time,
+            "policy": self.policy,
+            "machine": list(self.machine.config_key()),
+            "trace_start": self.trace_start,
+            "trace_end": self.trace_end,
+            "kind_time": dict(self.kind_time),
+            "shed": [r.to_dict() for r in self.shed],
+            "preemptions": self.preemptions,
+            "reload_time": self.reload_time,
+            "admission": self.admission,
+            "preempt": self.preempt,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_size": self.cache_size,
+            "abandoned": [r.to_dict() for r in self.abandoned],
+            "wasted_time": self.wasted_time,
+            "faults": self.faults,
+            "fault_events": [
+                {
+                    "kind": e.kind,
+                    "batch": e.batch,
+                    "level": e.level,
+                    "attempt": e.attempt,
+                    "clock": e.clock,
+                }
+                for e in self.fault_events
+            ],
+            "retries": self.retries,
+            "degraded": self.degraded,
+            "injector": self.injector,
+            "recovery": self.recovery,
+            "retry_policy": self.retry_policy,
+        }
 
     def check_conservation(self, rel_tol: float = 1e-9) -> None:
         """Verify the engine-clock invariants; raises :class:`ServeError`.
@@ -500,6 +575,7 @@ class _Run:
         "wasted",
         "faults",
         "first_failure",
+        "trace_mark",
     )
 
     def __init__(
@@ -536,6 +612,7 @@ class _Run:
         self.wasted = 0.0
         self.faults = 0
         self.first_failure = math.nan
+        self.trace_mark = 0  # call-trace cursor for per-level unit lanes
 
 
 class ServingEngine:
@@ -593,6 +670,15 @@ class ServingEngine:
         across engines — the config fingerprint in its key keeps
         differently parameterised machines apart).  Explicitly
         requesting a cache on a numeric machine is a :class:`ValueError`.
+    tracer:
+        A :class:`~repro.obs.tracer.Tracer`, or ``None`` (default).
+        When set, :meth:`serve` emits request/segment/level/fault spans
+        and registry metrics, all timestamped on the simulated clock —
+        charges, clock and results are bit-identical to an untraced
+        run.  ``None`` keeps the exact untraced code path.  A tracer
+        with ``detail="level"`` forces stepwise execution so per-level
+        spans are always recorded (stepwise replay is charge-identical;
+        only event granularity changes).
 
     With caching active, each batch's ``(kind, rows)`` is compiled once
     into a frozen charge tensor and replayed thereafter as one bulk
@@ -614,6 +700,7 @@ class ServingEngine:
         degrade: Degrader | None = None,
         abandon: bool = False,
         plan_cache: PlanCache | bool | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.machine = machine
         self.batcher = get_batcher(batcher)
@@ -643,6 +730,9 @@ class ServingEngine:
                     'it requires a machine with execute="cost-only"'
                 )
             self.plan_cache = PlanCache() if plan_cache is True else plan_cache
+        if tracer is not None and not isinstance(tracer, Tracer):
+            raise ValueError(f"tracer must be a Tracer or None, got {tracer!r}")
+        self.tracer = tracer
 
     def serve(
         self, workload: Workload, *, validate: bool = True, seed: int | None = None
@@ -665,9 +755,13 @@ class ServingEngine:
         if injector is not None:
             injector.begin_run()
         fault_active = injector is not None and injector.active
+        tr = self.tracer
+        tracing = tr is not None
         # an inactive injector must not perturb the event kernel at all:
-        # stepwise execution is forced only when faults can actually fire
-        stepwise = self.preempt or fault_active
+        # stepwise execution is forced only when faults can actually
+        # fire (or a tracer explicitly asks for per-level spans —
+        # stepwise replay is charge-identical, see CompiledCursor)
+        stepwise = self.preempt or fault_active or (tracing and tr.detail == "level")
         queues: dict[tuple[int, str], deque[Request]] = {}
         injected: list[tuple[float, int, Request]] = []
         seq = count()
@@ -724,13 +818,62 @@ class ServingEngine:
         cache_hits_start = cache.hits if cache is not None else 0
         cache_misses_start = cache.misses if cache is not None else 0
 
+        # telemetry plumbing: metric handles are resolved once, every
+        # emission below sits behind `if tracing` so tracer=None keeps
+        # the untraced hot path (one falsy branch per event)
+        sampler = tr.sampler if tracing else None
+        sampling = sampler is not None
+        queued_now = 0
+        if tracing:
+            reg = tr.registry
+            g_queue = reg.gauge("queue_depth", "requests waiting in class queues")
+            g_inflight = reg.gauge("in_flight_rows", "rows of the running batch")
+            g_avail = reg.gauge(
+                "availability", "completed over completed + abandoned"
+            )
+            g_cache = reg.gauge("cache_hit_rate", "plan-cache hit fraction, this run")
+            c_completed = reg.counter("requests_completed")
+            c_shed = reg.counter("requests_shed")
+            c_abandoned = reg.counter("requests_abandoned")
+            c_preempt = reg.counter("preemptions")
+            c_faults = reg.counter("faults")
+            c_retries = reg.counter("retries")
+            h_latency = reg.histogram(
+                "request_latency",
+                tuple(10.0**k for k in range(-3, 10)),
+                "end-to-end request latency (model time)",
+            )
+            slo_stats: dict[int, list[int]] = {}  # priority -> [hits, total]
+            full_trace = ledger.trace_calls is True
+            # the per-request completion loop is the one traced path that
+            # scales with the stream, not with batches/faults: pre-bind
+            # its callees and append request rows directly in the
+            # tracer's documented tuple layout
+            observe_latency = h_latency.observe
+            request_rows_append = tr.requests.append
+
+        def note_availability() -> None:
+            entered = len(finished) + len(abandoned)
+            if entered:
+                g_avail.set(len(finished) / entered)
+
         def admit(req: Request) -> None:
+            nonlocal queued_now
             key = (req.priority, req.kind)
             queue = queues.setdefault(key, deque())
             if admission.admit(req, queue, clock):
                 queue.append(req)
+                if tracing:
+                    queued_now += 1
+                    if sampling:
+                        g_queue.set(queued_now)
             else:
                 shed.append(req)
+                if tracing:
+                    c_shed.inc()
+                    tr.request_shed(
+                        req.rid, req.kind, req.priority, req.arrival, ts=clock
+                    )
 
         def set_boundary(run: _Run) -> None:
             run.boundary = run.seg_clock + (ledger.clock - run.seg_base)
@@ -743,7 +886,9 @@ class ServingEngine:
             nonlocal down_until
             t = max(t, down_until)
             while injector.next_crash() <= t:
-                _, up = injector.take_crash()
+                crash_at, up = injector.take_crash()
+                if tracing:
+                    tr.down(start=crash_at, end=up)
                 down_until = max(down_until, up)
                 t = max(t, down_until)
             return t
@@ -790,7 +935,9 @@ class ServingEngine:
             if fault_active:
                 crashed = False
                 while injector.next_crash() <= run.boundary:
-                    _, up = injector.take_crash()
+                    crash_at, up = injector.take_crash()
+                    if tracing:
+                        tr.down(start=crash_at, end=up)
                     down_until = max(down_until, up)
                     crashed = True
                 run.pending_fail = (
@@ -814,6 +961,35 @@ class ServingEngine:
                         run.atomic = True  # legacy serve(): no checkpoints
                     elif plan.levels:
                         run.cursor = ExecutionCursor(plan, exec_machine)
+            if tracing and stepwise and run.cursor is not None:
+                attach_level_observer(run)
+
+        def attach_level_observer(run: _Run) -> None:
+            """Wire the cursor's observer hook to per-level trace spans.
+
+            Level endpoints are mapped through the segment anchor
+            (``seg_clock + charged-so-far``), i.e. derived from the same
+            ledger deltas the engine clock advances by; ``trace_mark``
+            slices the call trace to tag the level with the tensor
+            units that executed it (full-trace ledgers only).
+            """
+            cursor = run.cursor
+            run.trace_mark = len(ledger.calls)
+
+            def observe(level: int, elapsed: float) -> None:
+                lvl_end = run.seg_clock + (ledger.clock - run.seg_base)
+                lvl_start = lvl_end - elapsed
+                units: tuple[int, ...] = ()
+                if full_trace:
+                    mark = len(ledger.calls)
+                    lo = run.trace_mark
+                    if mark > lo:
+                        lane_ids = ledger.calls.unit_ids()[lo:mark]
+                        units = tuple(np.unique(lane_ids).tolist())
+                    run.trace_mark = mark
+                tr.level_span(run.index, level, units, start=lvl_start, end=lvl_end)
+
+            cursor.observer = observe
 
         def launch(key: tuple[int, str], release: float) -> None:
             nonlocal clock, running
@@ -822,14 +998,32 @@ class ServingEngine:
             batch = policy.take(queues[key], clock)
             if not batch:
                 raise ServeError(f"policy {policy.name!r} released an empty batch")
+            if tracing:
+                nonlocal queued_now
+                queued_now -= len(batch)
+                if sampling:
+                    g_queue.set(queued_now)
             if self.abandon:
                 live: list[Request] = []
                 for req in batch:
                     if req.deadline is not None and req.deadline <= clock:
                         abandoned.append(req)
+                        if tracing:
+                            c_abandoned.inc()
+                            tr.request_abandoned(
+                                req.rid,
+                                req.kind,
+                                req.priority,
+                                req.arrival,
+                                req.launch,
+                                -1,
+                                ts=clock,
+                            )
                     else:
                         live.append(req)
                 if not live:
+                    if sampling:
+                        note_availability()
                     return
                 batch = live
             rtype = rtypes.get(kind)
@@ -844,6 +1038,15 @@ class ServingEngine:
                 req.batch = run.index
             run.seg_base = ledger.clock
             build_cursor(run, machine, [r.rows for r in batch])
+            if sampling:
+                g_inflight.set(sum(run.rows))
+                if cache is not None:
+                    lookups = (
+                        cache.hits + cache.misses
+                        - cache_hits_start - cache_misses_start
+                    )
+                    if lookups:
+                        g_cache.set((cache.hits - cache_hits_start) / lookups)
             if run.cursor is not None or run.atomic:
                 exec_unit(run)
             else:
@@ -855,16 +1058,24 @@ class ServingEngine:
                 reload = run.cursor.charge_reload()
                 run.reload += reload
                 run.attempt_reload += reload
+            if tracing and reload:
+                tr.reload_event(run.index, reload, ts=clock)
 
         def resume(run: _Run, at: float) -> None:
             nonlocal clock, running, degraded_machine, degraded_total
             clock = max(clock, at)
             run.seg_clock = clock
             run.seg_base = ledger.clock
+            if tracing:
+                run.trace_mark = len(ledger.calls)
+                if sampling:
+                    g_inflight.set(sum(run.rows))
             if not run.retry_pending:
                 # preemption resume: the PR5 path, bit-identical when
                 # no fault machinery is configured
                 run.resumes.append(clock)
+                if tracing:
+                    tr.instant("resume", ts=clock, batch=run.index)
                 charge_resume_reload(run)
                 exec_unit(run)
                 running = run
@@ -872,6 +1083,11 @@ class ServingEngine:
             run.retry_pending = False
             run.ready_at = 0.0
             run.retry_at.append(clock)
+            if tracing:
+                retry_no = len(run.retry_at)
+                tr.instant(
+                    "retry", ts=clock, batch=run.index, detail=f"attempt {retry_no}"
+                )
             if run.degrade_pending:
                 run.degrade_pending = False
                 degraded_total += 1
@@ -883,6 +1099,10 @@ class ServingEngine:
                 else:
                     run.degraded = "rows"
                     build_cursor(run, machine, degrader.degraded_rows(run.rows))
+                if tracing:
+                    tr.instant(
+                        f"degrade:{run.degraded}", ts=clock, batch=run.index
+                    )
             elif (
                 self.recovery == "checkpoint"
                 and run.cursor is not None
@@ -908,6 +1128,14 @@ class ServingEngine:
             run.service += span
             run.attempt_span += span
             busy_time += span
+            if tracing:
+                # the exact float close_segment just folded into
+                # busy_time, in the same order: trace segments sum to
+                # the run's busy time bit-exactly
+                tr.segment(
+                    run.index, run.kind, run.priority,
+                    start=run.seg_clock, dur=span,
+                )
 
         def suspend(run: _Run) -> None:
             nonlocal running, preemptions_total
@@ -916,6 +1144,11 @@ class ServingEngine:
             preemptions_total += 1
             suspended.append(run)
             running = None
+            if tracing:
+                c_preempt.inc()
+                if sampling:
+                    g_inflight.set(0)
+                tr.instant("preempt", ts=clock, batch=run.index)
 
         def abandon_run(run: _Run) -> None:
             # everything the batch charged, minus its separately
@@ -923,6 +1156,16 @@ class ServingEngine:
             # an abandoned batch produced nothing
             add_wasted(run, run.service - run.reload - run.wasted)
             abandoned.extend(run.requests)
+            if tracing:
+                c_abandoned.inc(len(run.requests))
+                for req in run.requests:
+                    tr.request_abandoned(
+                        req.rid, req.kind, req.priority,
+                        req.arrival, req.launch, run.index,
+                        ts=clock,
+                    )
+                if sampling:
+                    note_availability()
 
         def park(run: _Run, ready_at: float) -> None:
             nonlocal retries_total
@@ -930,6 +1173,11 @@ class ServingEngine:
             run.ready_at = ready_at
             retries_total += 1
             suspended.append(run)
+            if tracing:
+                c_retries.inc()
+                tr.wait(
+                    run.index, run.kind, run.priority, start=clock, end=ready_at
+                )
 
         def fail(run: _Run) -> None:
             nonlocal running
@@ -944,6 +1192,16 @@ class ServingEngine:
             attempt = len(run.attempt_spans)
             fault_events.append(FaultEvent(fkind, run.index, level, attempt, clock))
             running = None
+            if tracing:
+                c_faults.inc()
+                if sampling:
+                    g_inflight.set(0)
+                tr.instant(
+                    f"fault:{fkind}",
+                    ts=clock,
+                    batch=run.index,
+                    detail=f"level {level}, attempt {attempt}",
+                )
             if attempt >= retry.max_attempts:
                 abandon_run(run)
                 return
@@ -1013,104 +1271,169 @@ class ServingEngine:
                 for new in workload.on_complete(req, finish):
                     heapq.heappush(injected, (new.arrival, next(seq), new))
             running = None
-
-        while True:
-            na = next_arrival_time()
-            if running is not None:
-                # level-complete vs arrival, boundary first at equal
-                # times (the PR4 completion/arrival tie-break); every
-                # arrival due strictly before the boundary is admitted
-                # in one pump instead of a full event-loop turn each
-                boundary = running.boundary
-                while na < boundary:
-                    clock = na
-                    admit(pop_arrival())
-                    na = next_arrival_time()
-                clock = boundary
-                run = running
-                if run.pending_fail is not None:
-                    # the just-executed unit was lost: account, rewind,
-                    # and (budget permitting) schedule the retry
-                    fail(run)
-                elif run.cursor is None or run.cursor.done:
-                    complete(run)
-                else:
-                    contender = None
-                    if self.preempt:
-                        contender = priority_release(
-                            queues, policy, clock, False, above=run.priority
-                        )
-                        if contender is not None and contender[0] > clock:
-                            contender = None  # due later: keep running
-                    if contender is not None:
-                        suspend(run)
-                    else:
-                        advance(run)
-                continue
-
-            # machine idle: resume / release selection.  Candidates are
-            # ordered by (release, -priority, action rank, tie-break);
-            # a suspended batch resumes at `clock` and outranks a fresh
-            # launch of its own class at the same instant.  A retrying
-            # batch is not ready before its backoff expires, and nothing
-            # starts while the unit is down — both terms are 0 on a
-            # zero-fault run, so the keys collapse to the PR5 ones.
-            draining = na == math.inf
-            best: tuple | None = None
-            if suspended:
-                bi = min(
-                    range(len(suspended)),
-                    key=lambda i: (
-                        max(clock, suspended[i].ready_at, down_until),
-                        -suspended[i].priority,
-                        i,
-                    ),
+            if tracing:
+                c_completed.inc(len(run.requests))
+                if sampling:
+                    g_inflight.set(0)
+                for req in run.requests:
+                    latency = finish - req.arrival
+                    if sampling:
+                        observe_latency(latency)
+                    met = None if req.slo is None else latency <= req.slo
+                    request_rows_append(
+                        (req.rid, req.kind, req.priority, "done",
+                         req.arrival, req.launch, finish, run.index, met)
+                    )
+                    if met is not None:
+                        tr.observe_slo(req.priority, met, ts=finish)
+                        stats = slo_stats.setdefault(req.priority, [0, 0])
+                        stats[0] += met
+                        stats[1] += 1
+                        if sampling:
+                            reg.gauge(
+                                "slo_attainment",
+                                labels={"class": str(req.priority)},
+                            ).set(stats[0] / stats[1])
+                tr.batch_done(
+                    run.index, run.kind, run.priority, len(run.requests),
+                    run.service, run.reload, run.wasted, run.faults,
+                    launch=run.launch, ts=finish,
                 )
-                ready = max(clock, suspended[bi].ready_at, down_until)
-                best = (ready, -suspended[bi].priority, 0, bi, ("resume", bi))
-            released = priority_release(queues, policy, clock, draining)
-            if released is not None:
-                release, priority, head_arrival, key = released
-                candidate = (
-                    max(release, down_until),
-                    -priority,
-                    1,
-                    (head_arrival, key[1]),
-                    ("launch", key),
-                )
-                if best is None or candidate[:4] < best[:4]:
-                    best = candidate
+                if sampling:
+                    note_availability()
 
-            # strict <: an arrival at the release instant is admitted
-            # first, so simultaneous arrivals batch together instead of
-            # splitting into a size-1 batch plus a remainder
-            if best is not None and best[0] < na:
-                when = best[0]
-                if fault_active:
-                    # commit point: consume crash windows due by now; a
-                    # repair may push the action past the next arrival,
-                    # in which case the arrival goes first
-                    when = up_time(when)
-                    if na <= when and na < math.inf:
+        if tracing:
+            tr.bind_ledger(ledger)
+        try:
+            while True:
+                na = next_arrival_time()
+                if sampling and sampler.due(clock):
+                    sampler.sample(reg, ts=clock)
+                if running is not None:
+                    # level-complete vs arrival, boundary first at equal
+                    # times (the PR4 completion/arrival tie-break); every
+                    # arrival due strictly before the boundary is admitted
+                    # in one pump instead of a full event-loop turn each
+                    boundary = running.boundary
+                    while na < boundary:
                         clock = na
                         admit(pop_arrival())
-                        continue
-                action, payload = best[4]
-                if action == "resume":
-                    resume(suspended.pop(payload), when)
-                else:
-                    launch(payload, when)
-            elif na < math.inf:
-                clock = na
-                admit(pop_arrival())
-            else:
-                stranded = sum(len(q) for q in queues.values())
-                if stranded:
-                    raise ServeError(
-                        f"policy {policy.name!r} refused to drain "
-                        f"{stranded} queued request(s)"
+                        na = next_arrival_time()
+                    clock = boundary
+                    run = running
+                    if run.pending_fail is not None:
+                        # the just-executed unit was lost: account, rewind,
+                        # and (budget permitting) schedule the retry
+                        fail(run)
+                    elif run.cursor is None or run.cursor.done:
+                        complete(run)
+                    else:
+                        contender = None
+                        if self.preempt:
+                            contender = priority_release(
+                                queues, policy, clock, False, above=run.priority
+                            )
+                            if contender is not None and contender[0] > clock:
+                                contender = None  # due later: keep running
+                        if contender is not None:
+                            suspend(run)
+                        else:
+                            advance(run)
+                    continue
+
+                # machine idle: resume / release selection.  Candidates are
+                # ordered by (release, -priority, action rank, tie-break);
+                # a suspended batch resumes at `clock` and outranks a fresh
+                # launch of its own class at the same instant.  A retrying
+                # batch is not ready before its backoff expires, and nothing
+                # starts while the unit is down — both terms are 0 on a
+                # zero-fault run, so the keys collapse to the PR5 ones.
+                draining = na == math.inf
+                best: tuple | None = None
+                if suspended:
+                    bi = min(
+                        range(len(suspended)),
+                        key=lambda i: (
+                            max(clock, suspended[i].ready_at, down_until),
+                            -suspended[i].priority,
+                            i,
+                        ),
                     )
-                break
+                    ready = max(clock, suspended[bi].ready_at, down_until)
+                    best = (ready, -suspended[bi].priority, 0, bi, ("resume", bi))
+                released = priority_release(queues, policy, clock, draining)
+                if released is not None:
+                    release, priority, head_arrival, key = released
+                    candidate = (
+                        max(release, down_until),
+                        -priority,
+                        1,
+                        (head_arrival, key[1]),
+                        ("launch", key),
+                    )
+                    if best is None or candidate[:4] < best[:4]:
+                        best = candidate
+
+                # strict <: an arrival at the release instant is admitted
+                # first, so simultaneous arrivals batch together instead of
+                # splitting into a size-1 batch plus a remainder
+                if best is not None and best[0] < na:
+                    when = best[0]
+                    if fault_active:
+                        # commit point: consume crash windows due by now; a
+                        # repair may push the action past the next arrival,
+                        # in which case the arrival goes first
+                        when = up_time(when)
+                        if na <= when and na < math.inf:
+                            clock = na
+                            admit(pop_arrival())
+                            continue
+                    action, payload = best[4]
+                    if action == "resume":
+                        resume(suspended.pop(payload), when)
+                    else:
+                        launch(payload, when)
+                elif na < math.inf:
+                    clock = na
+                    admit(pop_arrival())
+                else:
+                    stranded = sum(len(q) for q in queues.values())
+                    if stranded:
+                        raise ServeError(
+                            f"policy {policy.name!r} refused to drain "
+                            f"{stranded} queued request(s)"
+                        )
+                    break
+        finally:
+            # the charge hook must never outlive the run: the
+            # machine's ledger may be reused by later serves
+            if tracing:
+                tr.unbind_ledger(ledger)
+        if sampling:
+            sampler.sample(reg, ts=clock, force=True)
+        elif tracing:
+            # without a sampler no one observes intermediate gauge or
+            # histogram state, so the hot path skips those updates;
+            # record the end-of-run values now so the final registry
+            # snapshot matches a sampled run's last row (bucket counts
+            # exactly; the histogram sum up to float association)
+            h_latency.observe_many(
+                [req.completion - req.arrival for req in finished]
+            )
+            g_queue.set(queued_now)
+            g_inflight.set(0)
+            note_availability()
+            if cache is not None:
+                lookups = (
+                    cache.hits + cache.misses
+                    - cache_hits_start - cache_misses_start
+                )
+                if lookups:
+                    g_cache.set((cache.hits - cache_hits_start) / lookups)
+            for priority, stats in slo_stats.items():
+                reg.gauge(
+                    "slo_attainment", labels={"class": str(priority)}
+                ).set(stats[0] / stats[1])
 
         result = ServeResult(
             requests=finished,

@@ -15,7 +15,7 @@ machine, policy) triples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -74,6 +74,15 @@ class ClassMetrics:
     retries: int = 0
     wasted_time: float = 0.0
     recovery_time_mean: float = 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every field."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ClassMetrics:
+        """Inverse of :meth:`to_dict` (accepts a JSON-decoded dict)."""
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -184,6 +193,37 @@ class ServeMetrics:
     wasted_ratio: float = 0.0
     recovery_time_mean: float = 0.0
     per_class: dict[int, ClassMetrics] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every field.
+
+        Integer-keyed maps (``per_class``, ``unit_busy_share``) are
+        re-keyed by *string* — JSON objects only key by string, so this
+        makes a ``dumps``/``loads`` round trip the identity on the dict
+        form; :meth:`from_dict` restores the integer keys.
+        """
+        data = asdict(self)
+        data["per_class"] = {str(k): v for k, v in data["per_class"].items()}
+        if data["unit_busy_share"] is not None:
+            data["unit_busy_share"] = {
+                str(k): v for k, v in data["unit_busy_share"].items()
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ServeMetrics:
+        """Inverse of :meth:`to_dict` (accepts a JSON-decoded dict):
+        ``ServeMetrics.from_dict(json.loads(json.dumps(m.to_dict())))``
+        equals ``m`` exactly."""
+        data = dict(data)
+        data["per_class"] = {
+            int(k): v if isinstance(v, ClassMetrics) else ClassMetrics(**v)
+            for k, v in data.get("per_class", {}).items()
+        }
+        share = data.get("unit_busy_share")
+        if share is not None:
+            data["unit_busy_share"] = {int(k): float(v) for k, v in share.items()}
+        return cls(**data)
 
 
 def _unit_busy_share(result: ServeResult) -> dict[int, float] | None:

@@ -3,9 +3,23 @@
 import numpy as np
 import pytest
 
-from repro.analysis.report import compile_report, main, utilization_table
+from repro.analysis.report import (
+    compile_report,
+    latency_table,
+    main,
+    trace_table,
+    utilization_table,
+)
+from repro.core.machine import TCUMachine
 from repro.core.parallel import ParallelTCUMachine
 from repro.core.scheduling import schedule_batch
+from repro.obs import Tracer
+from repro.serve import (
+    DeadlineAdmission,
+    PoissonWorkload,
+    ServingEngine,
+    compute_metrics,
+)
 
 
 @pytest.fixture
@@ -74,6 +88,63 @@ class TestUtilizationTable:
         machine.mm_batch([])
         text = utilization_table(machine.last_schedule)
         assert "no batch scheduled" in text
+
+
+def _served_metrics(total, *, admission="unbounded", slo=None, deadline=None):
+    machine = TCUMachine(m=16, ell=512.0)
+    workload = PoissonWorkload(
+        rate=2e-4, total=total, kind="matmul", rows=8, seed=1,
+        slo=slo, deadline=deadline,
+    )
+    result = ServingEngine(machine, "timeout", admission=admission).serve(workload)
+    return compute_metrics(result, slo=slo)
+
+
+class TestLatencyTableDegenerate:
+    def test_zero_requests_renders_without_crashing(self):
+        m = _served_metrics(0)
+        text = latency_table([("empty", m)])
+        assert "empty" in text
+        assert m.requests == 0
+
+    def test_all_shed_run(self):
+        # an absurd service estimate makes every deadline infeasible
+        m = _served_metrics(
+            20, admission=DeadlineAdmission(est_service=1e18), deadline=1.0
+        )
+        assert m.requests == 0 and m.shed == 20 and m.shed_rate == 1.0
+        text = latency_table([("shed", m)])
+        assert "shed" in text
+        # no throughput fabricated out of zero completions
+        assert m.throughput == 0.0
+
+    def test_single_class_has_no_subrows(self):
+        m = _served_metrics(10)
+        text = latency_table([("one-class", m)])
+        assert "one-class" in text
+        assert "[p" not in text  # sub-rows only appear with >1 class
+
+
+class TestTraceTable:
+    def test_reconciles_against_result(self):
+        machine = TCUMachine(m=16, ell=512.0)
+        tracer = Tracer()
+        workload = PoissonWorkload(rate=2e-4, total=12, kind="matmul", rows=8, seed=1)
+        result = ServingEngine(machine, "timeout", tracer=tracer).serve(workload)
+        text = trace_table(tracer, result, limit=5)
+        assert "critical path" in text
+        assert "deviation 0" in text
+        # one body row per shown request, slowest first
+        body = [ln for ln in text.splitlines() if ln.strip()[:1].isdigit()]
+        assert len(body) == 5
+
+    def test_limit_zero_keeps_footer(self):
+        machine = TCUMachine(m=16, ell=512.0)
+        tracer = Tracer()
+        workload = PoissonWorkload(rate=2e-4, total=4, kind="matmul", rows=8, seed=1)
+        result = ServingEngine(machine, "timeout", tracer=tracer).serve(workload)
+        text = trace_table(tracer, result, limit=0)
+        assert "busy_time" in text and "ledger" in text
 
 
 class TestMain:

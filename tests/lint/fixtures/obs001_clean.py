@@ -1,0 +1,24 @@
+"""OBS001 clean fixture: timestamps read from the ledger clock."""
+
+
+def name_timestamp(tracer, clock):
+    tracer.instant("boot", ts=clock)
+
+
+def attribute_timestamp(tracer, ledger, span):
+    start = ledger.clock - span
+    tracer.segment(0, "mlp", 1, start=start, dur=span)
+
+
+def attribute_read(sampler, registry, ledger):
+    sampler.sample(registry, ts=ledger.clock)
+
+
+def non_timestamp_kwargs_are_free(tracer, clock):
+    # batch/detail/size aren't timestamps — literals there are fine
+    tracer.instant("retry", ts=clock, batch=3, detail="attempt 2")
+
+
+def non_obs_receivers_are_free(engine, ledger):
+    # arithmetic timestamps on non-telemetry objects are out of scope
+    engine.schedule(at=ledger.clock + 1.0)

@@ -1,0 +1,17 @@
+"""OBS001 fixture: emission timestamps recomputed at the call site."""
+
+
+def literal_timestamp(tracer):
+    tracer.instant("boot", ts=0.0)
+
+
+def inline_arithmetic(tracer, ledger, elapsed):
+    tracer.segment(0, "mlp", 1, start=ledger.clock - elapsed, dur=elapsed)
+
+
+def fresh_call(sampler, registry, ledger):
+    sampler.sample(registry, ts=float(ledger.total_time))
+
+
+def negated_clock(run_tracer, clock):
+    run_tracer.wait(3, "mlp", 1, start=-clock, end=clock)

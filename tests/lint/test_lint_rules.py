@@ -221,12 +221,49 @@ class TestEXC001:
 
 
 # ----------------------------------------------------------------------
+# OBS001
+# ----------------------------------------------------------------------
+class TestOBS001:
+    def test_fires_on_recomputed_timestamps(self):
+        findings = lint_fixture(
+            "obs001_fires.py", "repro.serve.fixture", select=["OBS001"]
+        )
+        fired = active(findings, "OBS001")
+        # literal ts, inline BinOp start, fresh float() call, UnaryOp start
+        assert len(fired) == 4
+        msgs = " ".join(f.message for f in fired)
+        assert "numeric literal" in msgs
+        assert "inline arithmetic" in msgs
+        assert "a fresh call" in msgs
+
+    def test_clean_on_clock_reads(self):
+        findings = lint_fixture(
+            "obs001_clean.py", "repro.serve.fixture", select=["OBS001"]
+        )
+        assert active(findings, "OBS001") == []
+
+    def test_scope_is_core_and_serve_only(self):
+        findings = lint_fixture(
+            "obs001_fires.py", "repro.obs.fixture", select=["OBS001"]
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
 # registry idiom of the lint package itself
 # ----------------------------------------------------------------------
 class TestRuleRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         codes = available_rules()
-        for code in ("LED001", "DET001", "DET002", "REG001", "COST001", "EXC001"):
+        for code in (
+            "LED001",
+            "DET001",
+            "DET002",
+            "REG001",
+            "COST001",
+            "EXC001",
+            "OBS001",
+        ):
             assert code in codes
 
     def test_get_rule_unknown_lists_names(self):

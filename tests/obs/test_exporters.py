@@ -1,0 +1,138 @@
+"""Chrome-trace / Perfetto and Prometheus export gates."""
+
+import json
+
+import pytest
+
+from repro.core.presets import TPU_V1
+from repro.obs import (
+    MetricsRegistry,
+    ObsError,
+    SloBurnMonitor,
+    Tracer,
+    chrome_trace_json,
+    prometheus_text,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.serve import ServingEngine, chaos_injector, interactive_batch_mix
+
+
+@pytest.fixture(scope="module")
+def chaos_trace():
+    tracer = Tracer(
+        detail="level",
+        sample_every=2e5,
+        monitors=[
+            SloBurnMonitor(
+                "interactive-burn", target=0.99, window=5e6,
+                priority=2, min_count=4,
+            )
+        ],
+    )
+    machine = TPU_V1.create(execute="cost-only", trace_calls=True)
+    workload = interactive_batch_mix(
+        60, 3, interactive_load=0.6, batch_rows=2048,
+        interactive_slo=5e5, seed=3,
+    )
+    result = ServingEngine(
+        machine,
+        "continuous",
+        faults=chaos_injector(
+            fail_rate=0.05, crash_every=9.0, repair_for=0.4,
+            straggle_rate=0.1, straggle_factor=2.5, seed=103,
+        ),
+        retry="fixed",
+        recovery="checkpoint",
+        preempt=True,
+        tracer=tracer,
+    ).serve(workload)
+    return tracer, result
+
+
+class TestChromeTrace:
+    def test_valid_and_self_checking(self, chaos_trace):
+        tracer, _ = chaos_trace
+        trace = to_chrome_trace(tracer)
+        validate_chrome_trace(trace)
+
+    def test_lanes_cover_classes_units_requests(self, chaos_trace):
+        tracer, result = chaos_trace
+        events = to_chrome_trace(tracer)["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert {1, 2, 3, 4, 5} <= pids
+        # one async b/e pair per completed request
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert len(begins) == len(ends)
+        assert len(begins) >= len(result.requests)
+        # level spans run on the unit lanes
+        unit_x = [e for e in events if e["ph"] == "X" and e["pid"] == 2]
+        assert unit_x
+
+    def test_fault_instants_present(self, chaos_trace):
+        tracer, result = chaos_trace
+        events = to_chrome_trace(tracer)["traceEvents"]
+        instants = [e for e in events if e["ph"] == "i"]
+        faults = [e for e in instants if e["name"].startswith("fault:")]
+        assert len(faults) == result.faults
+
+    def test_metric_counters_exported(self, chaos_trace):
+        tracer, _ = chaos_trace
+        events = to_chrome_trace(tracer)["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters, "sampler rows must land as counter events"
+
+    def test_json_bytes_deterministic(self, chaos_trace):
+        tracer, _ = chaos_trace
+        assert chrome_trace_json(tracer) == chrome_trace_json(tracer)
+
+    def test_write_round_trips(self, chaos_trace, tmp_path):
+        tracer, _ = chaos_trace
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        trace = json.loads(path.read_text())
+        validate_chrome_trace(trace)
+
+    def test_validate_rejects_malformed(self):
+        with pytest.raises(ObsError, match="traceEvents"):
+            validate_chrome_trace({})
+        with pytest.raises(ObsError):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "Z", "name": "x", "pid": 1, "tid": 0, "ts": 0}]}
+            )
+
+
+class TestPrometheusText:
+    def test_renders_all_metric_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "served requests").inc(3)
+        reg.gauge("queue_depth", "queued rows").set(7)
+        h = reg.histogram("latency", (1.0, 10.0), "request latency")
+        h.observe(0.5)
+        h.observe(5.0)
+        text = prometheus_text(reg)
+        assert "# HELP requests_total served requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert "queue_depth 7" in text
+        # cumulative buckets + +Inf + sum/count
+        assert 'latency_bucket{le="1"} 1' in text
+        assert 'latency_bucket{le="10"} 2' in text
+        assert 'latency_bucket{le="+Inf"} 2' in text
+        assert "latency_sum 5.5" in text
+        assert "latency_count 2" in text
+
+    def test_labels_rendered_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("slo", labels={"class": "2", "az": "a"}).set(0.5)
+        text = prometheus_text(reg)
+        assert 'slo{az="a",class="2"} 0.5' in text
+
+    def test_from_live_run(self, chaos_trace):
+        tracer, result = chaos_trace
+        text = prometheus_text(tracer.registry)
+        assert "requests_completed" in text
+        assert "ledger_tensor_time" in text
+        lines = [line for line in text.splitlines() if line]
+        assert all(line.startswith("#") or " " in line for line in lines)

@@ -1,0 +1,94 @@
+"""JSON serialization: results, batches, requests and metrics ship as
+one artifact bundle and round-trip losslessly."""
+
+import json
+
+import pytest
+
+from repro.core.presets import TPU_V1
+from repro.serve import (
+    ServeMetrics,
+    ServingEngine,
+    chaos_injector,
+    compute_metrics,
+    interactive_batch_mix,
+)
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    machine = TPU_V1.create(execute="cost-only", trace_calls=True)
+    workload = interactive_batch_mix(
+        60, 3, interactive_load=0.6, batch_rows=2048,
+        interactive_slo=5e5, seed=3,
+    )
+    return ServingEngine(
+        machine,
+        "continuous",
+        faults=chaos_injector(
+            fail_rate=0.05, crash_every=9.0, repair_for=0.4,
+            straggle_rate=0.1, straggle_factor=2.5, seed=103,
+        ),
+        retry="fixed",
+        recovery="checkpoint",
+        preempt=True,
+    ).serve(workload)
+
+
+class TestServeResultToDict:
+    def test_json_round_trip_is_stable(self, chaos_result):
+        data = chaos_result.to_dict()
+        once = json.dumps(data, sort_keys=True)
+        twice = json.dumps(json.loads(once), sort_keys=True)
+        assert once == twice
+
+    def test_carries_the_full_run(self, chaos_result):
+        data = chaos_result.to_dict()
+        assert len(data["requests"]) == len(chaos_result.requests)
+        assert len(data["batches"]) == len(chaos_result.batches)
+        assert len(data["shed"]) == len(chaos_result.shed)
+        assert len(data["abandoned"]) == len(chaos_result.abandoned)
+        assert len(data["fault_events"]) == chaos_result.faults
+        assert data["clock"] == chaos_result.clock
+        assert data["busy_time"] == chaos_result.busy_time
+        assert data["machine"] == list(chaos_result.machine.config_key())
+
+    def test_nan_fields_become_null(self, chaos_result):
+        text = json.dumps(chaos_result.to_dict())
+        assert "NaN" not in text
+        for record in chaos_result.to_dict()["batches"]:
+            ff = record["first_failure"]
+            assert ff is None or isinstance(ff, float)
+
+    def test_request_records_round_trip_values(self, chaos_result):
+        data = chaos_result.to_dict()
+        for req, rec in zip(chaos_result.requests, data["requests"]):
+            assert rec["rid"] == req.rid
+            assert rec["completion"] == req.completion
+
+
+class TestServeMetricsRoundTrip:
+    def test_from_dict_inverts_to_dict_exactly(self, chaos_result):
+        metrics = compute_metrics(chaos_result, slo=5e5)
+        decoded = json.loads(json.dumps(metrics.to_dict()))
+        restored = ServeMetrics.from_dict(decoded)
+        assert restored == metrics  # frozen-dataclass equality: bit-exact
+
+    def test_per_class_keys_restored_to_int(self, chaos_result):
+        metrics = compute_metrics(chaos_result, slo=5e5)
+        decoded = json.loads(json.dumps(metrics.to_dict()))
+        assert all(isinstance(k, str) for k in decoded["per_class"])
+        restored = ServeMetrics.from_dict(decoded)
+        assert sorted(restored.per_class) == sorted(metrics.per_class)
+        assert all(isinstance(k, int) for k in restored.per_class)
+
+    def test_unit_busy_share_keys_restored(self):
+        machine = TPU_V1.create(execute="cost-only", trace_calls=True)
+        workload = interactive_batch_mix(
+            20, 1, interactive_load=0.5, batch_rows=2048,
+            interactive_slo=5e5, seed=1,
+        )
+        result = ServingEngine(machine, "continuous").serve(workload)
+        metrics = compute_metrics(result)
+        restored = ServeMetrics.from_dict(json.loads(json.dumps(metrics.to_dict())))
+        assert restored == metrics

@@ -34,6 +34,18 @@ def test_two_class_overload_demo_registered():
     assert "preempt=preempt" in source
 
 
+def test_trace_explore_registered():
+    """PR9 ships the observability walkthrough: tracing the chaos run,
+    Perfetto export, Prometheus text and byte-identical replay."""
+    assert "trace_explore.py" in {path.name for path in EXAMPLES}
+    source = (EXAMPLES_DIR / "trace_explore.py").read_text()
+    assert "Tracer" in source
+    assert "trace_table" in source
+    assert "write_chrome_trace" in source
+    assert "prometheus_text" in source
+    assert "chrome_trace_json(tracer) == chrome_trace_json(replay)" in source
+
+
 def test_fault_tolerance_demo_registered():
     """PR7 adds the chaos act: seeded fault injection with checkpoint
     vs restart recovery; keep it wired into the script it documents."""
