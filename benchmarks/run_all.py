@@ -27,6 +27,11 @@ Three sections are produced:
   (written by ``bench_plan_cache.py``): the cached-vs-uncached
   hot-path speedup on the deep bulk-MLP TPUv1 scenario, the
   bit-identity parity gate, and the cache hit rate.
+* ``autosplit`` — the headline numbers from ``BENCH_PR10.json``
+  (written by ``bench_autosplit.py``): the tensor-stream speedup of
+  ``split="auto"`` vs ``split=1`` at p=4 on the DFT and stencil
+  merged-level scenarios, the exact-oracle agreement gate, and the
+  split=1 PR 9 parity gate.
 
 Usage::
 
@@ -316,6 +321,32 @@ def plan_cache_summary() -> dict | None:
     }
 
 
+def autosplit_summary() -> dict | None:
+    """Headline auto-splitter numbers from the BENCH_PR10.json the
+    bench pass just wrote (None when the file is missing)."""
+    path = REPO / "BENCH_PR10.json"
+    if not path.is_file():
+        return None
+    data = json.loads(path.read_text())
+    curves = data.get("speedup", {}).get("curves", {})
+
+    def at_p4(kind):
+        for point in curves.get(kind, []):
+            if point.get("units") == 4:
+                return point.get("stream_speedup")
+        return None
+
+    return {
+        "dft_stream_speedup_p4": at_p4("dft"),
+        "stencil_stream_speedup_p4": at_p4("stencil"),
+        "deep_mlp_stream_speedup_p4": at_p4("deep-mlp"),
+        "speedup_gate": data.get("speedup", {}).get("gate"),
+        "oracle_agrees": data.get("oracle", {}).get("all_agree"),
+        # no recorded parity evidence counts as a failure, not a pass
+        "split1_parity_ok": bool(data.get("parity", {}).get("all_match")),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -352,6 +383,9 @@ def main(argv=None) -> int:
         plan_cache = plan_cache_summary()
         if plan_cache is not None:
             report["plan_cache"] = plan_cache
+        autosplit = autosplit_summary()
+        if autosplit is not None:
+            report["autosplit"] = autosplit
 
     Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     paths = report["exec_paths"]
@@ -394,6 +428,14 @@ def main(argv=None) -> int:
                 speedup="n/a" if speedup is None else f"{speedup:.3g}",
                 **{k: v for k, v in plan_cache.items() if k != "speedup"},
             )
+        )
+    autosplit = report.get("autosplit")
+    if autosplit is not None:
+        print(
+            "autosplit: stream speedup @ p=4 — dft "
+            "{dft_stream_speedup_p4}x, stencil {stencil_stream_speedup_p4}x "
+            "(gate {speedup_gate}x); oracle agrees: {oracle_agrees}; "
+            "split=1 parity: {split1_parity_ok}".format(**autosplit)
         )
     failures = [
         name

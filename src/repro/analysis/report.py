@@ -219,7 +219,7 @@ def trace_table(tracer, result, *, title: str | None = None, limit: int = 20) ->
     return table + "\n" + footer
 
 
-def utilization_table(schedule, *, title: str | None = None) -> str:
+def utilization_table(schedule, *, title: str | None = None, plan=None) -> str:
     """Per-unit utilisation report for one scheduled batch.
 
     Takes the :class:`~repro.core.scheduling.Schedule` a
@@ -229,6 +229,12 @@ def utilization_table(schedule, *, title: str | None = None) -> str:
     makespan, pool utilisation and the policy's optimality-gap bound.
     ``None`` (what ``last_schedule`` holds before any batch, or after
     an empty one) renders as a one-line stub instead of crashing.
+
+    Pass the :class:`~repro.core.program.Plan` the batch came from as
+    ``plan=`` to append a per-level view of the auto-splitter's
+    decisions: each level's call-group count, the chosen ``split``
+    factors, and the planner's ``modelled_makespan`` (which the batch
+    executor's ledgered makespan must reconcile against).
     """
     if schedule is None:
         return (title or "per-unit utilisation") + "\n(no batch scheduled)"
@@ -253,7 +259,26 @@ def utilization_table(schedule, *, title: str | None = None) -> str:
         f"speedup {schedule.speedup:.3g} | utilisation {schedule.utilization:.3g} | "
         f"gap bound {gap}"
     )
-    return table + "\n" + summary
+    out = table + "\n" + summary
+    if plan is not None and plan.splits is not None:
+        level_rows = []
+        for d, (groups, _) in enumerate(plan.levels):
+            factors = plan.splits[d]
+            modelled = plan.modelled_makespans[d]
+            level_rows.append(
+                [
+                    d,
+                    len(groups),
+                    ",".join(str(f) for f in factors) if factors else "-",
+                    modelled if groups else 0.0,
+                ]
+            )
+        out += "\n" + render_table(
+            ["level", "groups", "split", "modelled_makespan"],
+            level_rows,
+            title="per-level split decisions",
+        )
+    return out
 
 
 def compile_report(results_dir: Path) -> str:

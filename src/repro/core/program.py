@@ -14,7 +14,14 @@ reorder or fuse.  This module introduces the missing seam:
    within each level, *merges* independent tall calls that share the
    same resident right-hand block into one taller call.  A merged call
    pays one latency ``l`` instead of k — exactly the Theorem 2
-   amortisation, discovered mechanically instead of by hand.
+   amortisation, discovered mechanically instead of by hand.  On a
+   parallel machine the planner then prices the *reverse* trade per
+   group (``split="auto"``): re-splitting a merged tall call into ``s``
+   row-balanced chunks costs ``(s-1)*l`` extra latency but divides the
+   stream across up to ``p`` units, so a fully merged level — one tall
+   call, one busy unit — scales with the unit count whenever the
+   modelled makespan wins (:func:`modelled_call_cost`,
+   :func:`_choose_level_splits`).
 3. **Execute**: :func:`execute_plan` replays the schedule against a
    machine, charging the existing :class:`~repro.core.ledger.CostLedger`
    through the ordinary :meth:`mm` / :meth:`mm_batch` entry points, so
@@ -56,14 +63,16 @@ latency instead of five::
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TypeAlias
 
 import numpy as np
 
 from .machine import TCUMachine, TensorShapeError, placeholder
 from .parallel import ParallelTCUMachine
+from .scheduling import schedule_batch
 
 __all__ = [
     "TensorOp",
@@ -74,6 +83,7 @@ __all__ = [
     "Lazy",
     "ExecutionCursor",
     "CompiledCursor",
+    "modelled_call_cost",
     "plan_program",
     "execute_plan",
     "run_program",
@@ -404,10 +414,28 @@ class Plan:
     ``levels[d]`` is a pair ``(groups, others)`` where each group is a
     list of ``mm`` ops sharing one resident right-hand block (issued as
     a single merged call) and ``others`` are the level's add/copy ops.
+
+    ``splits[d][i]`` is the split factor chosen for group ``i`` of level
+    ``d``: a factor ``f > 1`` dispatches the group's merged stream as
+    ``f`` row-balanced sibling chunks in the level's ``mm_batch`` (each
+    chunk pays its own latency but the chunks spread across parallel
+    units), ``f = 1`` issues the single merged call of the legacy
+    schedule.  ``modelled_makespans[d]`` is the level's tensor-batch
+    makespan under the machine's cost model and scheduling policy with
+    those splits — what the ledger clock should advance by for the
+    level's tensor work (exact on plain machines; see
+    :func:`modelled_call_cost`).  Both are ``None`` on hand-built plans,
+    which execute on the unsplit legacy path.
+
+    ``stats.tensor_calls_planned`` keeps counting *logical* merged
+    calls; splitting expands a group into sibling chunk calls only at
+    dispatch.
     """
 
     levels: list[tuple[list[list[TensorOp]], list[TensorOp]]]
     stats: PlanStats
+    splits: list[list[int]] | None = field(default=None)
+    modelled_makespans: list[float] | None = field(default=None)
 
 
 def _buffer_key(arr: np.ndarray) -> tuple:
@@ -478,11 +506,174 @@ def _cap_group(group: list[TensorOp], max_rows: int | None) -> list[list[TensorO
     return out
 
 
+# ----------------------------------------------------------------------
+# the latency-vs-parallelism auto-splitter
+# ----------------------------------------------------------------------
+# exhaustive split search is used while the candidate space (product of
+# per-group feasible factors) stays below this; larger levels fall back
+# to coordinate descent.  Both searches only ever *accept* a candidate
+# on a strict makespan improvement (or equal makespan with fewer
+# chunks), so the all-ones legacy schedule survives every tie.
+_SPLIT_SEARCH_LIMIT = 512
+_SPLIT_DESCENT_PASSES = 4
+
+
+def modelled_call_cost(machine: TCUMachine, rows: int, dtype=np.float64) -> float:
+    """The (tensor + latency) model cost of one logical call of ``rows``
+    rows, priced from the machine's own parameters.
+
+    Matches what :meth:`~repro.core.machine.TCUMachine.mm` charges to
+    the tensor/latency columns exactly: ``f * (rows*sqrt(m) + l)`` with
+    the complex cost factor ``f``, and under a hardware row bound the
+    sum over the stream's chunks with a short final chunk padded up to
+    ``sqrt(m)`` rows.  CPU-side charges (padding copies, reassembly,
+    complex-multiply adds) are excluded — they stay serial and do not
+    enter the batch schedule, mirroring
+    :meth:`~repro.core.parallel.ParallelTCUMachine.mm_batch`'s per-call
+    cost measurement.
+    """
+    s = machine.sqrt_m
+    ell = machine.ell
+    factor = (
+        machine.complex_cost_factor
+        if np.issubdtype(np.dtype(dtype), np.complexfloating)
+        else 1
+    )
+    bound = machine.max_rows
+    if bound is None or rows <= bound:
+        return factor * (rows * s + ell)
+    total = 0.0
+    for start in range(0, rows, bound):
+        chunk = min(bound, rows - start)
+        total += factor * (max(chunk, s) * s + ell)
+    return total
+
+
+def _split_bounds(rows: int, pieces: int) -> list[tuple[int, int]]:
+    """Row-balanced chunk boundaries of a ``rows``-row stream: the first
+    ``rows % pieces`` chunks carry one extra row."""
+    base, extra = divmod(rows, pieces)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for i in range(pieces):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _split_cap(group: list[TensorOp], machine: TCUMachine, units: int) -> int:
+    """The largest feasible split factor for a merge group: no more
+    chunks than units, and every chunk at least ``sqrt(m)`` rows (the
+    single-call interface floor)."""
+    return max(1, min(units, _group_rows(group) // machine.sqrt_m))
+
+
+def _level_cost_vector(
+    groups: list[list[TensorOp]], splits: Sequence[int], machine: TCUMachine
+) -> np.ndarray:
+    """Per-chunk modelled costs of one level under the given splits, in
+    the exact order :func:`_dispatch_parallel` issues the chunks."""
+    costs: list[float] = []
+    for group, pieces in zip(groups, splits, strict=True):
+        rows = _group_rows(group)
+        for lo, hi in _split_bounds(rows, pieces):
+            costs.append(modelled_call_cost(machine, hi - lo, group[0].dtype))
+    return np.asarray(costs, dtype=np.float64)
+
+
+def _level_makespan(
+    groups: list[list[TensorOp]], splits: Sequence[int], machine: TCUMachine
+) -> float:
+    """Modelled tensor makespan of one level under the given splits.
+
+    Uses the machine's own scheduling policy over its unit count, so the
+    prediction is the same schedule ``mm_batch`` will compute at
+    dispatch; returns ``inf`` for configurations the policy refuses
+    (the exact oracle's job-count limit), which the chooser treats as
+    infeasible.
+    """
+    units = int(getattr(machine, "units", 1))
+    costs = _level_cost_vector(groups, splits, machine)
+    if units <= 1:
+        return float(costs.sum())
+    try:
+        return schedule_batch(costs, units, machine.scheduler).makespan
+    except ValueError:
+        return float("inf")
+
+
+def _choose_level_splits(
+    groups: list[list[TensorOp]], machine: TCUMachine
+) -> list[int]:
+    """Pick the split factor per merge group minimising the level's
+    modelled makespan (ties break toward fewer calls).
+
+    Small candidate spaces are searched exhaustively — there the chosen
+    configuration *is* the optimum over row-balanced splits under the
+    machine's policy, which is what the exact-oracle pinning tests
+    assert.  Larger levels run coordinate descent from the all-ones
+    legacy schedule, accepting only strict improvements, so the result
+    is never worse than not splitting.
+    """
+    units = int(getattr(machine, "units", 1))
+    best = [1] * len(groups)
+    if units <= 1 or not groups:
+        return best
+    caps = [_split_cap(g, machine, units) for g in groups]
+    if all(cap == 1 for cap in caps):
+        return best
+    best_span = _level_makespan(groups, best, machine)
+    if best_span <= 0.0:
+        return best
+    # a perfectly balanced unsplit schedule is already optimal:
+    # splitting only adds latency, and serial/p lower-bounds every split
+    serial = float(_level_cost_vector(groups, best, machine).sum())
+    if best_span == serial / units:
+        return best
+
+    def better(span: float, splits: list[int]) -> bool:
+        return span < best_span or (
+            span == best_span and sum(splits) < sum(best)
+        )
+
+    space = 1
+    for cap in caps:
+        space *= cap
+        if space > _SPLIT_SEARCH_LIMIT:
+            break
+    if space <= _SPLIT_SEARCH_LIMIT:
+        for cand in itertools.product(*(range(1, cap + 1) for cap in caps)):
+            splits = list(cand)
+            if splits == best:
+                continue
+            span = _level_makespan(groups, splits, machine)
+            if better(span, splits):
+                best, best_span = splits, span
+        return best
+    for _ in range(_SPLIT_DESCENT_PASSES):
+        changed = False
+        for gi, cap in enumerate(caps):
+            for factor in range(1, cap + 1):
+                if factor == best[gi]:
+                    continue
+                trial = list(best)
+                trial[gi] = factor
+                span = _level_makespan(groups, trial, machine)
+                if better(span, trial):
+                    best, best_span = trial, span
+                    changed = True
+        if not changed:
+            break
+    return best
+
+
 def plan_program(
     program: TensorProgram,
     machine: TCUMachine,
     *,
     merge: bool = True,
+    split: str | int = "auto",
 ) -> Plan:
     """Level the program's DAG and merge same-resident-block calls.
 
@@ -497,7 +688,30 @@ def plan_program(
     merge:
         Disable to keep one tensor call per ``mm`` node (the planned
         schedule then matches the eager call sequence exactly).
+    split:
+        ``"auto"`` (default) prices, for each merged call group on a
+        parallel machine, the modelled makespan of dispatching the
+        group's stream as ``s ∈ {1..p}`` row-balanced sibling chunks —
+        splitting pays ``(s-1)·l`` extra latency but divides stream
+        time across up to ``p`` units — and keeps the ``s`` minimising
+        the level's makespan under the machine's
+        ``(sqrt_m, l, p, max_rows, complex_cost_factor)`` cost model
+        and its own scheduling policy (ties break toward fewer calls,
+        so the legacy schedule survives whenever splitting does not
+        strictly win).  ``1`` is the legacy no-split schedule;
+        an explicit integer ``s`` forces that factor on every group
+        (capped per group by feasibility: at most ``p`` chunks, each at
+        least ``sqrt(m)`` rows).  On single-unit machines every mode
+        degenerates to the legacy schedule.
     """
+    if split != "auto" and (
+        isinstance(split, bool)
+        or not isinstance(split, (int, np.integer))
+        or split < 1
+    ):
+        raise ProgramError(
+            f"split must be 'auto' or an integer >= 1, got {split!r}"
+        )
     s = machine.sqrt_m
     n_levels = 0
     mm_ops = 0
@@ -543,6 +757,22 @@ def plan_program(
         calls += len(level_groups)
         levels.append((level_groups, others))
 
+    units = int(getattr(machine, "units", 1))
+    splits: list[list[int]] = []
+    modelled: list[float] = []
+    for level_groups, _ in levels:
+        if split == "auto":
+            chosen = _choose_level_splits(level_groups, machine)
+        elif split == 1 or units <= 1:
+            chosen = [1] * len(level_groups)
+        else:
+            chosen = [
+                min(int(split), _split_cap(g, machine, units))
+                for g in level_groups
+            ]
+        splits.append(chosen)
+        modelled.append(_level_makespan(level_groups, chosen, machine))
+
     stats = PlanStats(
         ops=len(program.ops),
         mm_ops=mm_ops,
@@ -550,7 +780,9 @@ def plan_program(
         merged_away=mm_ops - calls,
         levels=n_levels,
     )
-    return Plan(levels=levels, stats=stats)
+    return Plan(
+        levels=levels, stats=stats, splits=splits, modelled_makespans=modelled
+    )
 
 
 # ----------------------------------------------------------------------
@@ -592,7 +824,10 @@ def _group_rows(group: list[TensorOp]) -> int:
 
 
 def _dispatch_parallel(
-    groups: list[list[TensorOp]], machine: ParallelTCUMachine, cost_only: bool
+    groups: list[list[TensorOp]],
+    machine: ParallelTCUMachine,
+    cost_only: bool,
+    splits: Sequence[int] | None = None,
 ) -> None:
     """One level on a parallel machine: always a single scheduled batch.
 
@@ -601,24 +836,44 @@ def _dispatch_parallel(
     complex cost factors, overflow checks, the systolic backend), so
     every level parallelises on every machine configuration — there is
     no serialising guard here any more.
+
+    A group with split factor ``f > 1`` issues its merged stream as
+    ``f`` row-balanced sibling chunks in the same batch: the chunk
+    slices are uncharged views of the gathered stream and the chunk
+    outputs reassemble by row concatenation (the inverse of the merge
+    gather — index arithmetic in the RAM model, like the gather
+    itself), so the numerics are bit-identical to the unsplit call
+    while each chunk lands on its own unit with its own trace
+    ``unit_id``.
     """
     s = machine.sqrt_m
-    if cost_only:
-        pairs = [
-            (
-                placeholder((_group_rows(g), s), g[0].dtype),
-                placeholder((s, s), g[0].dtype),
+    if splits is None:
+        splits = [1] * len(groups)
+    pairs = []
+    for g, pieces in zip(groups, splits, strict=True):
+        if cost_only:
+            A = placeholder((_group_rows(g), s), g[0].dtype)
+            B = placeholder((s, s), g[0].dtype)
+        else:
+            A = _group_operands(g)
+            B = _resolve(g[0].b)
+        if pieces == 1:
+            pairs.append((A, B))
+        else:
+            pairs.extend(
+                (A[lo:hi], B) for lo, hi in _split_bounds(A.shape[0], pieces)
             )
-            for g in groups
-        ]
-    else:
-        pairs = [(_group_operands(g), _resolve(g[0].b)) for g in groups]
     results = machine.mm_batch(pairs)
-    for g, out in zip(groups, results, strict=True):
+    index = 0
+    for g, pieces in zip(groups, splits, strict=True):
+        outs = results[index : index + pieces]
+        index += pieces
         if cost_only:
             _scatter_placeholders(g)
+        elif pieces == 1:
+            _scatter_group(g, outs[0])
         else:
-            _scatter_group(g, out)
+            _scatter_group(g, np.vstack(outs))  # repro-lint: disable=LED001 -- reassembling sibling chunk outputs is the inverse of the uncharged merge gather (row bookkeeping)
 
 
 def _dispatch_grid(groups: list[list[TensorOp]], machine: TCUMachine) -> None:
@@ -699,13 +954,17 @@ def _execute_level(
     others: list[TensorOp],
     machine: TCUMachine,
     fused: bool,
+    splits: Sequence[int] | None = None,
 ) -> None:
     """Execute one planned level: its merged call groups, then its
     CPU-side ops — the unit of work :class:`ExecutionCursor` steps by."""
     cost_only = machine.execute == "cost-only"
     if groups:
-        if isinstance(machine, ParallelTCUMachine) and len(groups) > 1:
-            _dispatch_parallel(groups, machine, cost_only)
+        if isinstance(machine, ParallelTCUMachine) and (
+            len(groups) > 1
+            or (splits is not None and any(f > 1 for f in splits))
+        ):
+            _dispatch_parallel(groups, machine, cost_only, splits)
         elif fused:
             _dispatch_grid(groups, machine)
         else:
@@ -819,8 +1078,13 @@ class ExecutionCursor:
         if self.done:
             raise ProgramError("cursor is exhausted; no levels left to execute")
         groups, others = self.plan.levels[self.next_level]
+        splits = (
+            self.plan.splits[self.next_level]
+            if self.plan.splits is not None
+            else None
+        )
         with self.machine.ledger.stopwatch() as span:
-            _execute_level(groups, others, self.machine, self.fused)
+            _execute_level(groups, others, self.machine, self.fused, splits)
         self.next_level += 1
         self.level_times.append(span.elapsed)
         if self.observer is not None:
@@ -1062,8 +1326,15 @@ def run_program(
     *,
     merge: bool = True,
     fused: bool = True,
+    split: str | int = "auto",
 ) -> Plan:
-    """Plan then execute a program; returns the plan (for its stats)."""
-    plan = plan_program(program, machine, merge=merge)
+    """Plan then execute a program; returns the plan (for its stats).
+
+    ``split`` is forwarded to :func:`plan_program`: ``"auto"`` (default)
+    lets the planner split merged tall calls across parallel units when
+    the modelled makespan wins, ``1`` keeps the legacy one-call-per-group
+    schedule, an integer forces that factor.
+    """
+    plan = plan_program(program, machine, merge=merge, split=split)
     execute_plan(plan, machine, fused=fused)
     return plan

@@ -75,7 +75,11 @@ def _col_block(tcu: TCUMachine, X: np.ndarray, Y: np.ndarray) -> None:
 
 
 def transitive_closure(
-    tcu: TCUMachine, adjacency: np.ndarray, *, plan: bool = True
+    tcu: TCUMachine,
+    adjacency: np.ndarray,
+    *,
+    plan: bool = True,
+    split: str | int = "auto",
 ) -> np.ndarray:
     """Transitive closure of a directed graph (Figure 7).
 
@@ -88,6 +92,10 @@ def transitive_closure(
         merge the two same-weight-block segment calls of every ``j``
         into one (half the latency; identical throughput and output).
         ``False`` replays the eager per-segment call sequence.
+    split:
+        Planner split policy for each pivot's trailing-update level
+        (``"auto"`` re-splits merged strips across parallel units;
+        ``1`` pins the legacy schedule).  Ignored when ``plan=False``.
 
     Returns
     -------
@@ -153,7 +161,7 @@ def transitive_closure(
                 for seg in segments:
                     op = program.mm(work[seg, kk], weight)
                     tasks.append((jj, seg, op))
-            run_program(program, tcu)
+            run_program(program, tcu, split=split)
             for jj, seg, op in tasks:
                 # X <- min(X + Y*Z, 1): integer product + clamp
                 if tcu.execute != "cost-only":

@@ -26,6 +26,11 @@ so the CLI, CI gate and tests select them with a string.
 ``COST001``  A function taking a machine plus payload arrays reads
             payload *values* with no ``execute == "cost-only"`` /
             placeholder guard — breaks shape-only charge replay.
+``COST002``  Makespan/split pricing in ``repro.core`` binding a
+            cost-model parameter (``l``/``sqrt_m``/``units``/
+            ``max_rows``/``complex_cost_factor``) to a numeric
+            literal — split decisions must price from the machine
+            object or they contradict the ledger off-preset.
 ``EXC001``  Bare or broad ``except`` in ``repro.core`` /
             ``repro.serve`` — swallows :class:`LedgerError` and
             conservation failures.
@@ -53,6 +58,7 @@ __all__ = [
     "OrderInsensitiveSeed",
     "RegistryDiscipline",
     "CostOnlySafety",
+    "HardcodedCostParameter",
     "BroadExcept",
     "RecomputedTraceTimestamp",
     "register_rule",
@@ -633,6 +639,101 @@ class CostOnlySafety(LintRule):
 
 
 # ----------------------------------------------------------------------
+# COST002 — cost parameters come from the machine, never literals
+# ----------------------------------------------------------------------
+_COST_PARAM_NAMES = {
+    "ell",
+    "l",
+    "sqrt_m",
+    "s",
+    "max_rows",
+    "units",
+    "complex_cost_factor",
+}
+_COST_FUNC_RE = re.compile(r"split|makespan|modelled|cost", re.IGNORECASE)
+_MACHINE_ATTR_FOR = {"l": "ell", "s": "sqrt_m"}
+
+
+def _numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, (int, float))
+
+
+class HardcodedCostParameter(LintRule):
+    """Makespan/split pricing must read its cost parameters —
+    ``l``, ``sqrt_m``, ``units``, ``max_rows``,
+    ``complex_cost_factor`` — from the machine object, never from
+    literal constants (PR 10).  A literal that happens to match one
+    preset silently mis-prices every other machine: the auto-splitter
+    would then pick split factors the batch executor's ledger
+    contradicts, and the modelled-vs-ledgered reconciliation gate
+    breaks on exactly the configs the literal didn't anticipate.  The
+    clean idiom is ``ell = machine.ell`` / ``s = machine.sqrt_m``.
+    """
+
+    code = "COST002"
+    name = "hardcoded-cost-parameter"
+    description = (
+        "cost-model parameter bound to a numeric literal in makespan/"
+        "split code instead of being read from the machine"
+    )
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.module.startswith("repro.core")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for qual, func in all_functions(ctx.tree):
+            if not _COST_FUNC_RE.search(func.name):
+                continue
+            args = getattr(func, "args", None)
+            if args is not None:
+                params = args.posonlyargs + args.args + args.kwonlyargs
+                defaults = args.defaults + args.kw_defaults
+                names = [p.arg for p in params]
+                padded = [None] * (len(names) - len(defaults)) + list(defaults)
+                for pname, default in zip(names, padded):
+                    if (
+                        pname in _COST_PARAM_NAMES
+                        and default is not None
+                        and _numeric_literal(default)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"parameter {pname}= in {qual}() defaults to a "
+                            "numeric literal; cost-model parameters must "
+                            "come from the machine object (e.g. machine."
+                            f"{_MACHINE_ATTR_FOR.get(pname, pname)})",
+                        )
+            for node in own_nodes(func):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets = [node.target]
+                    value = node.value
+                else:
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in _COST_PARAM_NAMES
+                        and _numeric_literal(value)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{target.id} = <literal> in {qual}() hardcodes a "
+                            "cost-model parameter; read it from the machine "
+                            f"(e.g. {target.id} = machine."
+                            f"{_MACHINE_ATTR_FOR.get(target.id, target.id)}) "
+                            "so split decisions price every configuration",
+                        )
+
+
+# ----------------------------------------------------------------------
 # EXC001 — no bare/broad except in core + serve
 # ----------------------------------------------------------------------
 class BroadExcept(LintRule):
@@ -762,6 +863,7 @@ for _rule in (
     OrderInsensitiveSeed(),
     RegistryDiscipline(),
     CostOnlySafety(),
+    HardcodedCostParameter(),
     BroadExcept(),
     RecomputedTraceTimestamp(),
 ):

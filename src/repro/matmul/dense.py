@@ -137,6 +137,7 @@ def matmul(
     *,
     charge_padding: bool = True,
     plan: bool = True,
+    split: str | int = "auto",
 ) -> np.ndarray:
     """``C = A @ B`` for arbitrary 2-D shapes via the Theorem 2 schedule.
 
@@ -159,6 +160,13 @@ def matmul(
         back to the planned :class:`~repro.core.program.TensorProgram`
         path.  ``False`` executes each tensor call eagerly as the
         schedule produces it.
+    split:
+        Forwarded to :func:`~repro.core.program.plan_program` on the
+        planned path: ``"auto"`` (default) lets the cost model split
+        merged tall calls across parallel units, ``1`` pins the legacy
+        one-call-per-group schedule, an explicit ``s`` forces ``s``
+        chunks per group.  Serial machines and the fused direct path
+        are unaffected (splitting is the identity there).
 
     On a machine with ``execute="cost-only"`` the product is never
     computed: the schedule's exact model cost is charged from shapes
@@ -215,7 +223,7 @@ def matmul(
     if plan:
         program = TensorProgram()
         lazy = _emit_theorem2(tcu, program, Ap, Bp)
-        run_program(program, tcu)
+        run_program(program, tcu, split=split)
         return lazy.result()[:p, :r]
 
     out_dtype = np.result_type(Ap.dtype, Bp.dtype)

@@ -36,7 +36,12 @@ __all__ = [
 
 
 def circular_convolve(
-    tcu: TCUMachine, a: np.ndarray, b: np.ndarray, *, plan: bool = True
+    tcu: TCUMachine,
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    plan: bool = True,
+    split: str | int = "auto",
 ) -> np.ndarray:
     """Standard circular convolution ``c[i] = sum_j a[j] b[(i-j) mod n]``."""
     a = np.asarray(a)
@@ -45,12 +50,12 @@ def circular_convolve(
         raise ValueError(
             f"circular_convolve expects equal-length vectors, got {a.shape}, {b.shape}"
         )
-    fa = batched_dft(tcu, a[None, :], plan=plan)
-    fb = batched_dft(tcu, b[None, :], plan=plan)
+    fa = batched_dft(tcu, a[None, :], plan=plan, split=split)
+    fb = batched_dft(tcu, b[None, :], plan=plan, split=split)
     cost_only = tcu.execute == "cost-only"
     prod = placeholder(fa.shape, np.complex128) if cost_only else fa * fb
     tcu.charge_cpu(a.size)
-    out = batched_idft(tcu, prod, plan=plan)[0]
+    out = batched_idft(tcu, prod, plan=plan, split=split)[0]
     if not (np.iscomplexobj(a) or np.iscomplexobj(b)):
         # real inputs give a real result (dtype preserved in cost-only
         # so downstream consumers see the same array kind)
@@ -59,7 +64,9 @@ def circular_convolve(
     return out
 
 
-def dft2(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
+def dft2(
+    tcu: TCUMachine, X: np.ndarray, *, plan: bool = True, split: str | int = "auto"
+) -> np.ndarray:
     """2-D DFT of a ``(batch, S, S)`` stack: row transforms then column
     transforms, each as one batched (tall) 1-D DFT."""
     X = np.asarray(X)
@@ -68,32 +75,34 @@ def dft2(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
     T, S, _ = X.shape
     if tcu.execute == "cost-only":
         # shape-only: two batched transform passes, no re-arrangements
-        batched_dft(tcu, placeholder((T * S, S), np.complex128), plan=plan)
-        batched_dft(tcu, placeholder((T * S, S), np.complex128), plan=plan)
+        batched_dft(tcu, placeholder((T * S, S), np.complex128), plan=plan, split=split)
+        batched_dft(tcu, placeholder((T * S, S), np.complex128), plan=plan, split=split)
         return placeholder((T, S, S), np.complex128)
     X = np.asarray(X, dtype=np.complex128)
     # axis re-arrangements are index arithmetic (fused in a RAM
     # implementation); the transform passes below carry the cost.
-    rows = batched_dft(tcu, X.reshape(T * S, S), plan=plan).reshape(T, S, S)
+    rows = batched_dft(tcu, X.reshape(T * S, S), plan=plan, split=split).reshape(T, S, S)
     cols = rows.transpose(0, 2, 1).reshape(T * S, S)
-    out = batched_dft(tcu, cols, plan=plan).reshape(T, S, S).transpose(0, 2, 1)
+    out = batched_dft(tcu, cols, plan=plan, split=split).reshape(T, S, S).transpose(0, 2, 1)
     return out
 
 
-def idft2(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
+def idft2(
+    tcu: TCUMachine, X: np.ndarray, *, plan: bool = True, split: str | int = "auto"
+) -> np.ndarray:
     """Inverse 2-D DFT of a ``(batch, S, S)`` stack."""
     X = np.asarray(X)
     if X.ndim != 3 or X.shape[1] != X.shape[2]:
         raise ValueError(f"idft2 expects a (batch, S, S) stack, got {X.shape}")
     T, S, _ = X.shape
     if tcu.execute == "cost-only":
-        batched_idft(tcu, placeholder((T * S, S), np.complex128), plan=plan)
-        batched_idft(tcu, placeholder((T * S, S), np.complex128), plan=plan)
+        batched_idft(tcu, placeholder((T * S, S), np.complex128), plan=plan, split=split)
+        batched_idft(tcu, placeholder((T * S, S), np.complex128), plan=plan, split=split)
         return placeholder((T, S, S), np.complex128)
     X = np.asarray(X, dtype=np.complex128)
-    rows = batched_idft(tcu, X.reshape(T * S, S), plan=plan).reshape(T, S, S)
+    rows = batched_idft(tcu, X.reshape(T * S, S), plan=plan, split=split).reshape(T, S, S)
     cols = rows.transpose(0, 2, 1).reshape(T * S, S)
-    out = batched_idft(tcu, cols, plan=plan).reshape(T, S, S).transpose(0, 2, 1)
+    out = batched_idft(tcu, cols, plan=plan, split=split).reshape(T, S, S).transpose(0, 2, 1)
     return out
 
 
@@ -153,6 +162,7 @@ def batched_circular_convolve2d(
     kernel: np.ndarray,
     *,
     plan: bool = True,
+    split: str | int = "auto",
 ) -> np.ndarray:
     """Correlate every ``S x S`` tile with a centred odd-side kernel.
 
@@ -176,14 +186,14 @@ def batched_circular_convolve2d(
     tcu.charge_cpu(2 * S * S)
 
     cost_only = tcu.execute == "cost-only"
-    f_tiles = dft2(tcu, tiles, plan=plan)
-    f_ker = dft2(tcu, reversed_ker[None, :, :], plan=plan)[0]
+    f_tiles = dft2(tcu, tiles, plan=plan, split=split)
+    f_ker = dft2(tcu, reversed_ker[None, :, :], plan=plan, split=split)[0]
     if cost_only:
         prod = placeholder(f_tiles.shape, np.complex128)
     else:
         prod = f_tiles * f_ker[None, :, :]
     tcu.charge_cpu(tiles.size)
-    out = idft2(tcu, prod, plan=plan)
+    out = idft2(tcu, prod, plan=plan, split=split)
     if not (np.iscomplexobj(tiles) or np.iscomplexobj(kernel)):
         # real inputs give a real result (dtype preserved in cost-only)
         out = placeholder(out.shape, np.float64) if cost_only else out.real

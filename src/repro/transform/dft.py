@@ -68,7 +68,9 @@ def dft_recursion_depth(n: int, m: int) -> int:
     return depth
 
 
-def batched_dft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
+def batched_dft(
+    tcu: TCUMachine, X: np.ndarray, *, plan: bool = True, split: str | int = "auto"
+) -> np.ndarray:
     """DFT of every row of a ``(batch, size)`` complex matrix.
 
     Implements the Theorem 7 recursion; the batch dimension rides along
@@ -79,7 +81,9 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndar
     when ``plan`` is true (the default; levels are sequential because of
     the twiddle pass, so the planner works within one level at a time);
     ``plan=False`` is the eager escape hatch, threaded down to
-    :func:`repro.matmul.dense.matmul`.
+    :func:`repro.matmul.dense.matmul`; ``split`` is forwarded to the
+    planner at every level (``"auto"`` lets merged tall transforms
+    scale across parallel units, ``1`` pins the legacy schedule).
     """
     X = np.asarray(X)
     if X.ndim != 2:
@@ -97,7 +101,7 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndar
     if size <= s:
         W = dft_matrix(size)
         tcu.charge_cpu(size * size)  # constructing/loading the base Fourier matrix
-        return matmul(tcu, X, W, plan=plan)
+        return matmul(tcu, X, W, plan=plan, split=split)
     if size % s:
         raise ValueError(
             f"DFT size {size} is not sqrt(m)={s}-smooth; Theorem 7 requires "
@@ -116,13 +120,14 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndar
     else:
         cols = X.reshape(B, n1, n2).transpose(0, 2, 1).reshape(B * n2, n1)
     tcu.charge_cpu(n1 * n1)
-    G = matmul(tcu, cols, dft_matrix(n1), plan=plan)  # row b*n2+c holds DFT of column c
+    # row b*n2+c holds DFT of column c
+    G = matmul(tcu, cols, dft_matrix(n1), plan=plan, split=split)
 
     # Twiddle factors: entry (r=p, c) of each n1 x n2 matrix gets
     # exp(-2*pi*i * p*c / size).
     tcu.charge_cpu(B * size)
     if cost_only:
-        batched_dft(tcu, placeholder((B * n1, n2), np.complex128), plan=plan)
+        batched_dft(tcu, placeholder((B * n1, n2), np.complex128), plan=plan, split=split)
         return placeholder((B, size), np.complex128)
     c_idx = np.tile(np.arange(n2), B)[:, None]
     p_idx = np.arange(n1)[None, :]
@@ -130,14 +135,16 @@ def batched_dft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndar
 
     # Row DFTs: rows of the n1 x n2 matrices, batch B*n1, size n2.
     rows = G.reshape(B, n2, n1).transpose(0, 2, 1).reshape(B * n1, n2)
-    F = batched_dft(tcu, rows, plan=plan)
+    F = batched_dft(tcu, rows, plan=plan, split=split)
 
     # Read out column-major: y[q*n1 + p] = F[p, q].
     out = F.reshape(B, n1, n2).transpose(0, 2, 1).reshape(B, size)
     return out
 
 
-def batched_idft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.ndarray:
+def batched_idft(
+    tcu: TCUMachine, X: np.ndarray, *, plan: bool = True, split: str | int = "auto"
+) -> np.ndarray:
     """Inverse DFT of every row (conjugation trick; same cost bound)."""
     X = np.asarray(X)
     if X.ndim != 2:
@@ -148,10 +155,10 @@ def batched_idft(tcu: TCUMachine, X: np.ndarray, *, plan: bool = True) -> np.nda
     if size == 0:
         return np.zeros(X.shape, dtype=np.complex128)
     if tcu.execute == "cost-only":
-        batched_dft(tcu, placeholder(X.shape, np.complex128), plan=plan)
+        batched_dft(tcu, placeholder(X.shape, np.complex128), plan=plan, split=split)
         tcu.charge_cpu(X.size)
         return placeholder(X.shape, np.complex128)
-    out = np.conj(batched_dft(tcu, np.conj(X), plan=plan)) / size
+    out = np.conj(batched_dft(tcu, np.conj(X), plan=plan, split=split)) / size
     tcu.charge_cpu(X.size)
     return out
 

@@ -153,7 +153,12 @@ def _next_fft_size(minimum: int, sqrt_m: int) -> int:
 
 
 def _convolve_squares(
-    tcu: TCUMachine, P: np.ndarray, Q: np.ndarray, *, plan: bool = True
+    tcu: TCUMachine,
+    P: np.ndarray,
+    Q: np.ndarray,
+    *,
+    plan: bool = True,
+    split: str | int = "auto",
 ) -> np.ndarray:
     """Full linear 2-D convolution of two centred odd-side coefficient
     arrays (a bivariate polynomial product).
@@ -183,15 +188,20 @@ def _convolve_squares(
     Pg[0, :p, :p] = P
     Qg[0, :q, :q] = Q
     tcu.charge_cpu(2 * S * S)
-    prod = dft2(tcu, Pg, plan=plan) * dft2(tcu, Qg, plan=plan)
+    prod = dft2(tcu, Pg, plan=plan, split=split) * dft2(tcu, Qg, plan=plan, split=split)
     tcu.charge_cpu(S * S)
-    out = idft2(tcu, prod, plan=plan)[0].real
+    out = idft2(tcu, prod, plan=plan, split=split)[0].real
     tcu.charge_cpu(S * S)
     return np.ascontiguousarray(out[:side, :side])
 
 
 def unrolled_weights(
-    tcu: TCUMachine, weights: np.ndarray, k: int, *, plan: bool = True
+    tcu: TCUMachine,
+    weights: np.ndarray,
+    k: int,
+    *,
+    plan: bool = True,
+    split: str | int = "auto",
 ) -> np.ndarray:
     """Lemma 2: the (2k+1) x (2k+1) unrolled weight matrix W = P^k.
 
@@ -215,11 +225,11 @@ def unrolled_weights(
             result = (
                 base.copy()
                 if result is None
-                else _convolve_squares(tcu, result, base, plan=plan)
+                else _convolve_squares(tcu, result, base, plan=plan, split=split)
             )
         e >>= 1
         if e:
-            base = _convolve_squares(tcu, base, base, plan=plan)
+            base = _convolve_squares(tcu, base, base, plan=plan, split=split)
     assert result is not None
     expected = 2 * k + 1
     if result.shape[0] != expected:  # pragma: no cover - defensive
@@ -307,6 +317,7 @@ def stencil_tcu(
     *,
     precomputed_W: np.ndarray | None = None,
     plan: bool = True,
+    split: str | int = "auto",
 ) -> np.ndarray:
     """Theorem 8: evolve a linear stencil k sweeps in ``O(n log_m k + l log k)``.
 
@@ -326,6 +337,10 @@ def stencil_tcu(
         Route every transform product through the plan/execute layer
         (default); ``False`` is the eager escape hatch, threaded down
         through the convolution and DFT layers.
+    split:
+        Planner split policy, threaded down the same path (``"auto"``
+        scales merged transform streams across parallel units; ``1``
+        pins the legacy one-call-per-group schedule).
     """
     Wstep = _check_kernel(weights)
     A = np.asarray(A, dtype=np.float64)
@@ -334,7 +349,10 @@ def stencil_tcu(
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
 
-    W = precomputed_W if precomputed_W is not None else unrolled_weights(tcu, Wstep, k, plan=plan)
+    if precomputed_W is not None:
+        W = precomputed_W
+    else:
+        W = unrolled_weights(tcu, Wstep, k, plan=plan, split=split)
     if W.shape != (2 * k + 1, 2 * k + 1):
         raise ValueError(
             f"unrolled kernel must be {(2*k+1, 2*k+1)}, got {W.shape}"
@@ -352,7 +370,7 @@ def stencil_tcu(
     tcu.charge_cpu(T * S * S)
 
     # One batched correlation of all windows against W (Lemma 1).
-    conv = batched_circular_convolve2d(tcu, windows, W, plan=plan)
+    conv = batched_circular_convolve2d(tcu, windows, W, plan=plan, split=split)
 
     out = assemble_tiles(conv, t, k, rb, cb)
     tcu.charge_cpu(rpad * cpad)

@@ -1,5 +1,7 @@
 """Report compiler tests."""
 
+import re
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,7 @@ from repro.analysis.report import (
     trace_table,
     utilization_table,
 )
+from repro import TensorProgram, matmul_lazy, run_program
 from repro.core.machine import TCUMachine
 from repro.core.parallel import ParallelTCUMachine
 from repro.core.scheduling import schedule_batch
@@ -89,6 +92,29 @@ class TestUtilizationTable:
         text = utilization_table(machine.last_schedule)
         assert "no batch scheduled" in text
 
+    def test_plan_appends_split_decisions(self):
+        rng = np.random.default_rng(9)
+        machine = ParallelTCUMachine(m=16, ell=32.0, units=3)
+        prog = TensorProgram()
+        matmul_lazy(machine, prog, rng.random((48, 4)), rng.random((4, 4)))
+        plan = run_program(prog, machine)
+        assert plan.splits[0][0] > 1
+        text = utilization_table(machine.last_schedule, plan=plan)
+        assert "per-level split decisions" in text
+        assert "split" in text and "modelled_makespan" in text
+        # the chosen factor and its priced makespan appear in the body
+        assert str(plan.splits[0][0]) in text
+        assert f"{plan.modelled_makespans[0]:g}" in text
+
+    def test_legacy_plan_without_splits_renders_unchanged(self):
+        """Hand-built plans (splits=None) keep the plain report."""
+        sched = schedule_batch(np.array([8.0, 4.0, 4.0]), 2, "lpt")
+        class Legacy:
+            splits = None
+        text = utilization_table(sched, plan=Legacy())
+        assert "per-level split decisions" not in text
+        assert "makespan 8" in text
+
 
 def _served_metrics(total, *, admission="unbounded", slo=None, deadline=None):
     machine = TCUMachine(m=16, ell=512.0)
@@ -145,6 +171,18 @@ class TestTraceTable:
         result = ServingEngine(machine, "timeout", tracer=tracer).serve(workload)
         text = trace_table(tracer, result, limit=0)
         assert "busy_time" in text and "ledger" in text
+
+    def test_footer_reconciles_to_exact_zeros_on_split_run(self):
+        """Auto-split serving changes call shapes; the span/ledger
+        reconciliation must still land on exact zeros."""
+        machine = ParallelTCUMachine(m=16, ell=512.0, units=3)
+        tracer = Tracer()
+        workload = PoissonWorkload(rate=2e-4, total=12, kind="dft", rows=512, seed=3)
+        result = ServingEngine(machine, "timeout", tracer=tracer).serve(workload)
+        text = trace_table(tracer, result, limit=5)
+        deviations = re.findall(r"deviation (\S+)", text)
+        assert len(deviations) == 2
+        assert all(d == "0" for d in deviations)
 
 
 class TestMain:

@@ -259,3 +259,66 @@ class TestPoisoningGuard:
         with pytest.raises(LedgerError):
             CompiledCursor(compiled, victim).run()
         assert victim.ledger.tensor_calls == 0
+
+
+class TestConfigKeyCompleteness:
+    """The cache key must separate machines along every cost-model
+    parameter the auto-splitter reads (PR 10 regression): a plan whose
+    split factor was priced for one ``(p, l, sqrt_m, max_rows,
+    complex_cost_factor, scheduler)`` must never be served to another."""
+
+    def test_cache_never_serves_across_unit_counts(self):
+        cache = PlanCache()
+        rtype = get_request_type("dft")
+        p2 = ParallelTCUMachine(m=16, ell=ELL, units=2, execute="cost-only")
+        p4 = ParallelTCUMachine(m=16, ell=ELL, units=4, execute="cost-only")
+        first = cache.get_or_compile(rtype, p2, [512])
+        second = cache.get_or_compile(rtype, p4, [512])
+        assert cache.hits == 0 and cache.misses == 2
+        assert first is not second
+        # and the split decisions genuinely differ between the two keys
+        assert PlanCache.key("dft", [512], p2) != PlanCache.key("dft", [512], p4)
+
+    def test_cache_never_serves_across_schedulers(self):
+        cache = PlanCache()
+        rtype = get_request_type("matmul")
+        lpt = ParallelTCUMachine(m=16, ell=ELL, units=3, scheduler="lpt")
+        rr = ParallelTCUMachine(m=16, ell=ELL, units=3, scheduler="round-robin")
+        cache.get_or_compile(rtype, lpt, [8, 8, 8])
+        cache.get_or_compile(rtype, rr, [8, 8, 8])
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_config_key_covers_every_splitter_parameter(self):
+        """Varying any parameter the splitter's cost model reads yields
+        a distinct fingerprint."""
+        base = ParallelTCUMachine(m=16, ell=ELL, units=3)
+        variants = [
+            ParallelTCUMachine(m=64, ell=ELL, units=3),  # sqrt_m
+            ParallelTCUMachine(m=16, ell=7.0, units=3),  # l
+            ParallelTCUMachine(m=16, ell=ELL, units=4),  # p
+            ParallelTCUMachine(m=16, ell=ELL, units=3, max_rows=16),
+            ParallelTCUMachine(m=16, ell=ELL, units=3, complex_cost_factor=4),
+            ParallelTCUMachine(m=16, ell=ELL, units=3, scheduler="greedy"),
+        ]
+        keys = {base.config_key()} | {m.config_key() for m in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_cross_unit_count_replay_charges_the_donor_schedule(self):
+        """The ledger-binding guard keys on ``(sqrt_m, l)`` only — it
+        *cannot* detect a unit-count mismatch, because a frozen plan
+        carries its own unit assignment and charge columns.  A p=2 plan
+        replayed on a p=4 machine silently charges the p=2 makespan:
+        this is precisely why ``config_key()`` (and hence the cache key)
+        must include ``units`` — the key is the sole line of defence."""
+        donor = ParallelTCUMachine(m=16, ell=ELL, units=2)
+        compiled = compile_plan(get_request_type("dft"), donor, [512])
+        CompiledCursor(compiled, donor).run()
+
+        victim = ParallelTCUMachine(m=16, ell=ELL, units=4)
+        CompiledCursor(compiled, victim).run()
+        # the mis-routed replay reproduces the *donor's* charges, not
+        # what a p=4 plan would cost — a real hazard were the key wrong
+        assert victim.ledger.snapshot() == donor.ledger.snapshot()
+        native = ParallelTCUMachine(m=16, ell=ELL, units=4)
+        CompiledCursor(compile_plan(get_request_type("dft"), native, [512]), native).run()
+        assert native.ledger.total_time < victim.ledger.total_time

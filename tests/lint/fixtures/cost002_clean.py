@@ -1,0 +1,22 @@
+"""COST002 clean fixture: the machine object is the single source of
+every cost parameter, and unrelated literals stay unflagged."""
+
+
+def modelled_split_cost(machine, rows):
+    ell = machine.ell
+    sqrt_m = machine.sqrt_m
+    return rows * sqrt_m + ell
+
+
+def level_makespan(machine, costs, units=None):
+    units = machine.units if units is None else units
+    total = 0.0  # accumulator, not a cost parameter
+    for c in costs:
+        total += c
+    return total / units
+
+
+def unrelated_helper(machine):
+    # out-of-scope function name: literals here are fine
+    ell = 32.0
+    return ell

@@ -1,0 +1,27 @@
+"""COST002 fixture: makespan/split code hardcoding cost parameters.
+
+Every literal below happens to match one machine preset and mis-prices
+all the others — split decisions would contradict the ledger off-preset.
+"""
+
+
+def modelled_split_cost(machine, rows):
+    ell = 32.0
+    sqrt_m = 4
+    return rows * sqrt_m + ell
+
+
+def level_makespan(machine, costs, units=3):
+    total = sum(costs)
+    return total / units
+
+
+def choose_split(machine, rows):
+    max_rows = 16
+    s: int = -4
+    return min(rows // max_rows, -s)
+
+
+def split_cap_suppressed(machine, rows):
+    units = 8  # repro-lint: disable=COST002 -- fixture: reasoned preset override
+    return min(units, rows)

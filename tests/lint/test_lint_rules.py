@@ -193,6 +193,45 @@ class TestCOST001:
 
 
 # ----------------------------------------------------------------------
+# COST002
+# ----------------------------------------------------------------------
+class TestCOST002:
+    def test_fires_on_hardcoded_cost_parameters(self):
+        findings = lint_fixture(
+            "cost002_fires.py", "repro.core.fixture", select=["COST002"]
+        )
+        fired = active(findings, "COST002")
+        # ell, sqrt_m, units= default, max_rows, annotated s — one each
+        assert len(fired) == 5
+        msgs = " ".join(f.message for f in fired)
+        for param in ("ell", "sqrt_m", "units", "max_rows"):
+            assert param in msgs
+        # each message points at the machine-object idiom
+        assert all("machine." in f.message for f in fired)
+        assert "machine.sqrt_m" in msgs  # the s -> sqrt_m mapping
+
+    def test_reasoned_suppression_honoured(self):
+        findings = lint_fixture(
+            "cost002_fires.py", "repro.core.fixture", select=["COST002"]
+        )
+        assert len(suppressed(findings, "COST002")) == 1
+
+    def test_clean_on_machine_sourced_parameters(self):
+        findings = lint_fixture(
+            "cost002_clean.py", "repro.core.fixture", select=["COST002"]
+        )
+        assert active(findings, "COST002") == []
+
+    def test_out_of_scope_module_ignored(self):
+        """The rule only polices repro.core — serving/analysis literals
+        are someone else's business."""
+        findings = lint_fixture(
+            "cost002_fires.py", "repro.serve.fixture", select=["COST002"]
+        )
+        assert active(findings, "COST002") == []
+
+
+# ----------------------------------------------------------------------
 # EXC001
 # ----------------------------------------------------------------------
 class TestEXC001:
@@ -261,6 +300,7 @@ class TestRuleRegistry:
             "DET002",
             "REG001",
             "COST001",
+            "COST002",
             "EXC001",
             "OBS001",
         ):
